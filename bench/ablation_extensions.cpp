@@ -1,0 +1,75 @@
+// Extension predictors versus the paper's set, over the same campaign:
+//  * AR(p) — the ARIMA-class predictor the paper skipped for needing too
+//    much history (§5, §7): does it actually beat the simple ones here?
+//  * NWS-style adaptive selection — race the paper's predictors and always
+//    use the currently-best one.
+//  * hybrid FB+HB (§7 future work) — measured on cold-start regret: the
+//    first transfers of every trace, where HB has little or no history.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/fb_analysis.hpp"
+#include "analysis/hb_analysis.hpp"
+#include "bench_util.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/metrics.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Ablation: extension predictors (AR, adaptive selection, hybrid FB+HB)",
+           "the paper conjectures ARIMA-class models need too much history to help "
+           "(s5), and proposes hybrid FB+HB predictors as future work (s7)");
+
+    const auto data = testbed::ensure_campaign1();
+
+    std::printf("per-trace RMSRE (median / 90th percentile across traces):\n");
+    std::printf("  %-14s %8s %8s\n", "predictor", "median", "p90");
+    for (const char* spec :
+         {"10-MA-LSO", "0.8-HW-LSO", "2-AR", "4-AR", "8-AR", "4-AR-LSO", "NWS"}) {
+        const auto pred = analysis::make_predictor(spec);
+        const auto rmsres =
+            analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
+        std::printf("  %-14s %8.3f %8.3f\n", spec, analysis::median(rmsres),
+                    analysis::quantile(rmsres, 0.9));
+    }
+
+    // Hybrid cold start: score only the first `horizon` transfers of each
+    // trace, comparing pure-HB, pure-FB and the hybrid.
+    const std::size_t horizon = 5;
+    core::tcp_flow_params flow;
+    std::vector<double> hb_err, fb_err, hybrid_err;
+    for (const auto& [key, recs] : data.traces()) {
+        core::hybrid_predictor hybrid(analysis::make_predictor("0.8-HW-LSO"), 3.0);
+        auto hb = analysis::make_predictor("0.8-HW-LSO");
+        for (std::size_t i = 0; i < recs.size() && i < horizon; ++i) {
+            const auto& m = recs[i]->m;
+            if (m.that_s <= 0 || m.r_large_bps <= 0) continue;
+            core::path_measurement meas{m.phat, m.that_s, m.avail_bw_bps};
+            const double fb = core::fb_predict(flow, meas).throughput_bps;
+            hybrid.set_formula_prediction(fb);
+
+            fb_err.push_back(core::relative_error(fb, m.r_large_bps));
+            const double hy = hybrid.predict();
+            if (!std::isnan(hy)) {
+                hybrid_err.push_back(core::relative_error(hy, m.r_large_bps));
+            }
+            const double hb_forecast = hb->predict();
+            if (!std::isnan(hb_forecast)) {
+                hb_err.push_back(core::relative_error(hb_forecast, m.r_large_bps));
+            }
+            hybrid.observe(m.r_large_bps);
+            hb->observe(m.r_large_bps);
+        }
+    }
+    std::printf("\ncold start (first %zu transfers of every trace), RMSRE:\n", horizon);
+    std::printf("  %-22s %8.3f  (n=%zu; no forecast for the first sample)\n",
+                "pure HB (HW-LSO)", core::rmsre(hb_err), hb_err.size());
+    std::printf("  %-22s %8.3f  (n=%zu)\n", "pure FB (Eq. 3)", core::rmsre(fb_err),
+                fb_err.size());
+    std::printf("  %-22s %8.3f  (n=%zu; covers the first sample too)\n",
+                "hybrid FB+HB (k=3)", core::rmsre(hybrid_err), hybrid_err.size());
+    return 0;
+}

@@ -1,0 +1,69 @@
+// §6.1.4 ablation: the queueing-model claims the paper could NOT verify on
+// RON because bottleneck internals were unobservable — our simulator can.
+//  1. prediction error (and throughput CoV) increases with bottleneck
+//     utilization;
+//  2. at fixed utilization, it decreases with the degree of statistical
+//     multiplexing (number of competing flows).
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "testbed/epoch_runner.hpp"
+#include "testbed/path_catalog.hpp"
+
+using namespace tcppred;
+using namespace tcppred::testbed;
+using namespace tcppred::bench;
+
+namespace {
+
+double throughput_cov(const path_profile& base, double utilization, int elastic,
+                      double burstiness, int epochs) {
+    path_profile p = base;
+    p.burstiness = burstiness;
+    load_state load;
+    load.utilization = utilization;
+    load.elastic_flows = elastic;
+    epoch_config cfg;
+    cfg.run_pathload = false;   // only the transfer matters here
+    cfg.run_small_window = false;
+    cfg.prior_ping.count = 50;
+    cfg.transfer_s = 8.0;
+    std::vector<double> rs;
+    for (int e = 0; e < epochs; ++e) {
+        rs.push_back(run_epoch(p, load, 5000 + static_cast<std::uint64_t>(e), cfg)
+                         .r_large_bps);
+    }
+    return analysis::cov(rs);
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablation (s6.1.4): utilization and statistical multiplexing vs predictability",
+           "predicted by the paper's queueing analysis but not verifiable on RON: "
+           "(1) error grows with bottleneck utilization; (2) at fixed utilization, error "
+           "shrinks with more competing flows (statistical multiplexing)");
+
+    const auto paths = ron_like_catalog(35, 1);
+    const path_profile& base = paths[10];
+    const int epochs = 12;
+
+    std::printf("claim 1: throughput CoV (~ HB error) vs utilization (single bursty source)\n");
+    std::printf("  %-12s %s\n", "utilization", "CoV of R across epochs");
+    for (const double u : {0.1, 0.3, 0.5, 0.7, 0.85}) {
+        std::printf("  %-12.2f %.3f\n", u, throughput_cov(base, u, 0, 0.5, epochs));
+    }
+
+    std::printf("\nclaim 2: CoV at utilization 0.6, varying how many sources carry the\n");
+    std::printf("  SAME load (burstiness fraction = single-source burst amplitude)\n");
+    std::printf("  %-34s %s\n", "cross-traffic composition", "CoV of R");
+    std::printf("  %-34s %.3f\n", "1 very bursty aggregate (b=0.8)",
+                throughput_cov(base, 0.6, 2, 0.8, epochs));
+    std::printf("  %-34s %.3f\n", "moderately multiplexed (b=0.4)",
+                throughput_cov(base, 0.6, 2, 0.4, epochs));
+    std::printf("  %-34s %.3f\n", "highly multiplexed (b=0.1, smooth)",
+                throughput_cov(base, 0.6, 2, 0.1, epochs));
+    std::printf("\n(lower CoV at the same utilization = higher predictability)\n");
+    return 0;
+}

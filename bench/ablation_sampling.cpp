@@ -1,0 +1,62 @@
+// §3.3 ablation: how different are (a) the periodic-probe loss rate,
+// (b) TCP's own packet loss rate, and (c) TCP's congestion-event
+// probability p'? The paper's ns2 simulations found ping-based estimates
+// up to an order of magnitude away from the congestion-event probability.
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "core/fb_formulas.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Ablation (s3.3): periodic probing vs TCP sampling of the loss process",
+           "a ping-based loss estimate can be an order of magnitude away from the "
+           "congestion-event probability p' that PFTK actually wants; the unconditional "
+           "TCP loss rate sits in between (drop-tail losses are bursty)");
+
+    const auto data = testbed::ensure_campaign1();
+
+    std::vector<double> ping_prior, ping_during, tcp_loss, tcp_events, implied;
+    std::vector<double> r_ping_event, r_loss_event;
+    core::tcp_flow_params flow;
+    for (const auto& r : data.records) {
+        const auto& m = r.m;
+        if (m.tcp_event_rate <= 0 || m.r_large_bps <= 0) continue;
+        ping_prior.push_back(m.phat);
+        ping_during.push_back(m.ptilde);
+        tcp_loss.push_back(m.tcp_loss_rate);
+        tcp_events.push_back(m.tcp_event_rate);
+        // p' implied by inverting PFTK on the achieved rate.
+        implied.push_back(core::pftk_implied_loss(flow, m.tcp_mean_rtt_s > 0 ? m.tcp_mean_rtt_s
+                                                                             : m.that_s,
+                                                  1.0, m.r_large_bps));
+        if (m.tcp_event_rate > 0) {
+            r_ping_event.push_back(m.ptilde / m.tcp_event_rate);
+            r_loss_event.push_back(m.tcp_loss_rate / m.tcp_event_rate);
+        }
+    }
+
+    auto stats = [](const char* name, const std::vector<double>& v) {
+        std::printf("  %-34s median %.5f  p90 %.5f  (n=%zu)\n", name,
+                    analysis::median(v), analysis::quantile(v, 0.9), v.size());
+    };
+    std::printf("loss-process views during the target transfer:\n");
+    stats("ping before flow (p-hat)", ping_prior);
+    stats("ping during flow (p-tilde)", ping_during);
+    stats("TCP packet loss (retx/sent)", tcp_loss);
+    stats("TCP congestion events / segment", tcp_events);
+    stats("p' implied by PFTK from achieved R", implied);
+
+    std::printf("\nratios per epoch (lossy transfers):\n");
+    std::printf("  ping-during / congestion-event rate: median %.2f (p10 %.2f, p90 %.2f)\n",
+                analysis::median(r_ping_event), analysis::quantile(r_ping_event, 0.1),
+                analysis::quantile(r_ping_event, 0.9));
+    std::printf("  TCP loss rate / congestion-event rate: median %.2f (burst factor: "
+                "several drops per event)\n",
+                analysis::median(r_loss_event));
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction benches: consistent table
+// formatting and access to the cached measurement campaigns.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace tcppred::bench {
+
+/// Print the figure banner and, for the reader, the paper's qualitative
+/// claim this bench is supposed to reproduce.
+inline void banner(const std::string& title, const std::string& paper_claim) {
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+/// Print one CDF as rows "x  F(x)" on a fixed grid of x values.
+inline void print_cdf_rows(const std::string& series_name,
+                           const analysis::ecdf& cdf, std::span<const double> grid) {
+    std::printf("%-22s", ("CDF(" + series_name + ")").c_str());
+    for (const double x : grid) std::printf(" %8.3g", x);
+    std::printf("\n%-22s", ("  n=" + std::to_string(cdf.size())).c_str());
+    for (const double x : grid) std::printf(" %8.3f", cdf.at(x));
+    std::printf("\n");
+}
+
+/// Print several CDFs on a shared grid: header row of x values, then one
+/// row of F(x) per series.
+inline void print_cdf_table(std::span<const std::pair<std::string, analysis::ecdf>> series,
+                            std::span<const double> grid, const std::string& x_label) {
+    std::printf("%-26s", x_label.c_str());
+    for (const double x : grid) std::printf(" %7.3g", x);
+    std::printf("\n");
+    for (const auto& [name, cdf] : series) {
+        std::printf("%-26s", name.c_str());
+        for (const double x : grid) std::printf(" %7.3f", cdf.at(x));
+        std::printf("\n");
+    }
+}
+
+/// Grid helpers for common figure axes.
+inline std::vector<double> error_grid() {
+    return {-10, -5, -3, -2, -1, -0.5, -0.2, 0, 0.2, 0.5, 1, 2, 3, 5, 9, 20};
+}
+
+inline std::vector<double> rmsre_grid() {
+    return {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 4.0};
+}
+
+/// Fraction of samples satisfying a predicate — for headline statistics.
+template <typename Pred>
+double fraction(std::span<const double> xs, Pred&& pred) {
+    if (xs.empty()) return 0.0;
+    std::size_t hits = 0;
+    for (const double x : xs) {
+        if (pred(x)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(xs.size());
+}
+
+}  // namespace tcppred::bench

@@ -1,0 +1,53 @@
+// Fig. 2: CDF of the FB relative prediction error E for all predictions,
+// for lossy-path (PFTK) predictions, and for lossless-path (avail-bw)
+// predictions.
+#include <cstdio>
+
+#include "analysis/fb_analysis.hpp"
+#include "bench_util.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Fig. 2: CDF of E for all / lossy / lossless FB predictions",
+           "~40% of predictions overestimate by more than 2x (E>=1); ~10% by more than "
+           "10x (E>=9); only ~8% underestimate by more than 2x; lossless (avail-bw) "
+           "predictions rarely underestimate and overestimate less");
+
+    const auto data = testbed::ensure_campaign1();
+    const auto evals = analysis::evaluate_fb(data);
+
+    std::vector<double> all, lossy, lossless;
+    for (const auto& e : evals) {
+        all.push_back(e.error);
+        if (e.pred.branch == core::fb_branch::model_based) {
+            lossy.push_back(e.error);
+        } else {
+            lossless.push_back(e.error);
+        }
+    }
+
+    const auto grid = error_grid();
+    const std::vector<std::pair<std::string, analysis::ecdf>> series{
+        {"all predictions", analysis::ecdf(all)},
+        {"lossy paths (PFTK)", analysis::ecdf(lossy)},
+        {"lossless paths (A-hat)", analysis::ecdf(lossless)},
+    };
+    print_cdf_table(series, grid, "E ->");
+
+    std::printf("\nheadline: n=%zu (lossy %zu / lossless %zu)\n", all.size(), lossy.size(),
+                lossless.size());
+    std::printf("  overestimation (E>0):            %.0f%%\n",
+                100.0 * fraction(all, [](double e) { return e > 0; }));
+    std::printf("  overestimate by >2x  (E>=1):     %.0f%%\n",
+                100.0 * fraction(all, [](double e) { return e >= 1; }));
+    std::printf("  overestimate by >10x (E>=9):     %.0f%%\n",
+                100.0 * fraction(all, [](double e) { return e >= 9; }));
+    std::printf("  underestimate by >2x (E<=-1):    %.0f%%\n",
+                100.0 * fraction(all, [](double e) { return e <= -1; }));
+    std::printf("  lossless underestimates (E<=-1): %.0f%%\n",
+                100.0 * fraction(lossless, [](double e) { return e <= -1; }));
+    return 0;
+}

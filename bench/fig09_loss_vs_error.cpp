@@ -1,0 +1,47 @@
+// Fig. 9 / §4.2.5: a-priori loss rate p-hat versus the FB prediction error
+// — the paper finds no positive correlation.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/fb_analysis.hpp"
+#include "bench_util.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Fig. 9: FB prediction error versus the a-priori loss rate p-hat (lossy epochs)",
+           "the prediction error is NOT correlated with the a-priori path loss rate");
+
+    const auto data = testbed::ensure_campaign1();
+    const auto evals = analysis::evaluate_fb(data);
+
+    struct bin {
+        double lo, hi;
+        std::vector<double> errors;
+    };
+    std::vector<bin> bins{{0, 0.001, {}},  {0.001, 0.002, {}}, {0.002, 0.005, {}},
+                          {0.005, 0.01, {}}, {0.01, 0.02, {}},   {0.02, 1.0, {}}};
+    std::vector<double> ps, errs;
+    for (const auto& e : evals) {
+        const double p = e.rec->m.phat;
+        if (p <= 0) continue;
+        for (auto& b : bins) {
+            if (p >= b.lo && p < b.hi) b.errors.push_back(e.error);
+        }
+        ps.push_back(p);
+        errs.push_back(e.error);
+    }
+
+    std::printf("%-20s %6s %9s %9s %9s\n", "p-hat bin", "n", "E p10", "E median", "E p90");
+    for (const auto& b : bins) {
+        if (b.errors.empty()) continue;
+        std::printf("%8.3f .. %-8.3f %6zu %9.2f %9.2f %9.2f\n", b.lo, b.hi,
+                    b.errors.size(), analysis::quantile(b.errors, 0.1),
+                    analysis::median(b.errors), analysis::quantile(b.errors, 0.9));
+    }
+    std::printf("\nheadline: corr(p-hat, E) = %.2f (paper: no positive correlation)\n",
+                analysis::pearson(ps, errs));
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 10 / §4.2.6: a-priori RTT T-hat versus the FB prediction error —
+// the paper finds no positive correlation.
+#include <cstdio>
+
+#include "analysis/fb_analysis.hpp"
+#include "bench_util.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Fig. 10: FB prediction error versus the a-priori RTT T-hat",
+           "no positive correlation between the prior RTT and the prediction error");
+
+    const auto data = testbed::ensure_campaign1();
+    const auto evals = analysis::evaluate_fb(data);
+
+    struct bin {
+        double lo_ms, hi_ms;
+        std::vector<double> errors;
+    };
+    std::vector<bin> bins{{0, 25, {}},  {25, 50, {}},  {50, 75, {}},
+                          {75, 110, {}}, {110, 170, {}}, {170, 400, {}}};
+    std::vector<double> ts, errs;
+    for (const auto& e : evals) {
+        const double t_ms = e.rec->m.that_s * 1e3;
+        for (auto& b : bins) {
+            if (t_ms >= b.lo_ms && t_ms < b.hi_ms) b.errors.push_back(e.error);
+        }
+        ts.push_back(t_ms);
+        errs.push_back(e.error);
+    }
+
+    std::printf("%-20s %6s %9s %9s %9s\n", "T-hat bin (ms)", "n", "E p10", "E median",
+                "E p90");
+    for (const auto& b : bins) {
+        if (b.errors.empty()) continue;
+        std::printf("%6.0f .. %-10.0f %6zu %9.2f %9.2f %9.2f\n", b.lo_ms, b.hi_ms,
+                    b.errors.size(), analysis::quantile(b.errors, 0.1),
+                    analysis::median(b.errors), analysis::quantile(b.errors, 0.9));
+    }
+    std::printf("\nheadline: corr(T-hat, E) = %.2f (paper: no positive correlation)\n",
+                analysis::pearson(ts, errs));
+    return 0;
+}

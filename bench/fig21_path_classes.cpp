@@ -1,0 +1,80 @@
+// Fig. 21 / §6.1.4: 12 sample paths grouped into four predictability
+// classes, with the per-trace RMSRE of 1-MA, 10-MA, HW and HW-LSO.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/hb_analysis.hpp"
+#include "bench_util.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tcppred;
+using namespace tcppred::bench;
+
+int main() {
+    banner("Fig. 21: path predictability classes",
+           "(a) predictable paths (low RMSRE), (b) small and stable errors, (c) small "
+           "but unstable errors across traces, (d) unpredictable paths (high RMSRE); "
+           "HW-LSO is almost always the best of the four predictors");
+
+    const auto data = testbed::ensure_campaign1();
+
+    const std::vector<const char*> specs{"1-MA", "10-MA", "0.8-HW", "0.8-HW-LSO"};
+    // rmsre[path][trace][spec]
+    std::map<int, std::map<int, std::vector<double>>> rmsre;
+    for (const char* spec : specs) {
+        const auto pred = analysis::make_predictor(spec);
+        for (const auto& t : analysis::hb_rmsre_per_trace(data, *pred)) {
+            rmsre[t.path_id][t.trace_id].push_back(t.rmsre);
+        }
+    }
+
+    // Classify each path by mean and spread of its HW-LSO trace RMSREs.
+    struct row {
+        int path;
+        double mean_err, spread;
+    };
+    std::vector<row> rows;
+    for (const auto& [path, traces] : rmsre) {
+        std::vector<double> hwlso;
+        for (const auto& [trace, vals] : traces) hwlso.push_back(vals.back());
+        rows.push_back(row{path, analysis::mean(hwlso),
+                           analysis::quantile(hwlso, 1.0) - analysis::quantile(hwlso, 0.0)});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const row& a, const row& b) { return a.mean_err < b.mean_err; });
+
+    auto klass = [](const row& r) {
+        if (r.mean_err < 0.2) return "a: predictable";
+        if (r.mean_err < 0.5) return r.spread < 0.25 ? "b: stable errors" : "c: unstable errors";
+        return "d: unpredictable";
+    };
+
+    // Print 12 sample paths spread across the sorted order.
+    std::printf("%-10s %-20s", "path", "class");
+    for (const char* s : specs) std::printf(" %10s", s);
+    std::printf("   (RMSRE per trace, first trace shown per cell)\n");
+    const std::size_t step = std::max<std::size_t>(1, rows.size() / 12);
+    for (std::size_t i = 0; i < rows.size(); i += step) {
+        const row& r = rows[i];
+        const auto& prof = data.profile(r.path);
+        for (const auto& [trace, vals] : rmsre[r.path]) {
+            std::printf("%-10s %-20s", prof.name.c_str(), klass(r));
+            for (const double v : vals) std::printf(" %10.3f", v);
+            std::printf("   trace %d\n", trace);
+        }
+    }
+
+    int a = 0, b = 0, c = 0, d = 0;
+    for (const auto& r : rows) {
+        const std::string k = klass(r);
+        if (k[0] == 'a') ++a;
+        else if (k[0] == 'b') ++b;
+        else if (k[0] == 'c') ++c;
+        else ++d;
+    }
+    std::printf("\nheadline: class sizes over %zu paths: predictable=%d stable=%d "
+                "unstable=%d unpredictable=%d (paper: all four classes occur)\n",
+                rows.size(), a, b, c, d);
+    return 0;
+}

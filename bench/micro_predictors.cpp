@@ -1,0 +1,114 @@
+// google-benchmark micro-benchmarks for the prediction library: HB
+// predictor update/forecast cost and the LSO scan, demonstrating that
+// history-based prediction is computationally free compared to the
+// measurements that feed it.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/fb_formulas.hpp"
+#include "core/fb_predictor.hpp"
+#include "core/hb_evaluation.hpp"
+#include "core/hb_predictors.hpp"
+#include "core/lso.hpp"
+#include "sim/rng.hpp"
+
+using namespace tcppred;
+
+namespace {
+
+std::vector<double> synthetic_series(std::size_t n) {
+    sim::rng r(42);
+    std::vector<double> s;
+    s.reserve(n);
+    double level = 5e6;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 60 == 59) level *= r.chance(0.5) ? 2.0 : 0.5;  // level shifts
+        s.push_back(level * (1.0 + r.normal(0.0, 0.1)));
+    }
+    return s;
+}
+
+void bm_moving_average_observe(benchmark::State& state) {
+    const auto series = synthetic_series(4096);
+    core::moving_average ma(static_cast<std::size_t>(state.range(0)));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        ma.observe(series[i++ & 4095]);
+        benchmark::DoNotOptimize(ma.predict());
+    }
+}
+BENCHMARK(bm_moving_average_observe)->Arg(5)->Arg(20);
+
+void bm_holt_winters_observe(benchmark::State& state) {
+    const auto series = synthetic_series(4096);
+    core::holt_winters hw(0.8, 0.2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        hw.observe(series[i++ & 4095]);
+        benchmark::DoNotOptimize(hw.predict());
+    }
+}
+BENCHMARK(bm_holt_winters_observe);
+
+void bm_lso_predictor_step(benchmark::State& state) {
+    // Full LSO step at a given history length (detection + refit).
+    const auto series = synthetic_series(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        core::lso_predictor pred(std::make_unique<core::holt_winters>(0.8, 0.2));
+        for (const double x : series) pred.observe(x);
+        benchmark::DoNotOptimize(pred.predict());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_lso_predictor_step)->Arg(20)->Arg(150);
+
+void bm_lso_scan_trace(benchmark::State& state) {
+    const auto series = synthetic_series(150);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::lso_scan(series));
+    }
+}
+BENCHMARK(bm_lso_scan_trace);
+
+void bm_pftk_formula(benchmark::State& state) {
+    const core::tcp_flow_params flow;
+    double p = 1e-4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::pftk_throughput(flow, 0.06, p, 1.0));
+        p = p < 0.4 ? p * 1.01 : 1e-4;
+    }
+}
+BENCHMARK(bm_pftk_formula);
+
+void bm_pftk_full_formula(benchmark::State& state) {
+    const core::tcp_flow_params flow;
+    double p = 1e-4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::pftk_full_throughput(flow, 0.06, p, 1.0));
+        p = p < 0.4 ? p * 1.01 : 1e-4;
+    }
+}
+BENCHMARK(bm_pftk_full_formula);
+
+void bm_pftk_inversion(benchmark::State& state) {
+    const core::tcp_flow_params flow;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::pftk_implied_loss(flow, 0.06, 1.0, 2e6));
+    }
+}
+BENCHMARK(bm_pftk_inversion);
+
+void bm_evaluate_one_step_trace(benchmark::State& state) {
+    const auto series = synthetic_series(150);
+    const core::lso_predictor proto(std::make_unique<core::holt_winters>(0.8, 0.2));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::evaluate_one_step(series, proto));
+    }
+}
+BENCHMARK(bm_evaluate_one_step_trace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// TCP-based streaming with predictability-aware rate selection — the
+// application §4.2.8 of the paper points at: "applications that care more
+// for throughput predictability than throughput maximization should perform
+// transfers with a limited advertised window so that they do not attempt to
+// saturate the underlying avail-bw" (real-time grid computing, TCP-based
+// streaming, overlay peer selection).
+//
+// A streaming client picks a bitrate for each 10-second segment from an HB
+// forecast of its TCP throughput. Two configurations are compared on the
+// same path and background load:
+//   * congestion-limited fetches (W = 1 MB): higher but volatile throughput;
+//   * window-limited fetches (W sized to ~1.5x the target bitrate):
+//     lower but stable throughput.
+// The score is rebuffering: segments whose fetch was slower than playback.
+//
+// Build & run:  ./build/examples/adaptive_streaming
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/hb_predictors.hpp"
+#include "core/lso.hpp"
+#include "core/metrics.hpp"
+#include "net/cross_traffic.hpp"
+#include "net/path.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp.hpp"
+
+using namespace tcppred;
+
+namespace {
+
+constexpr double k_segment_s = 10.0;  // playback duration of one segment
+const std::vector<double> k_bitrates{0.5e6, 1e6, 1.5e6, 2e6, 3e6, 4.5e6, 6e6};
+
+struct session_stats {
+    int segments{0};
+    int rebuffers{0};
+    double mean_bitrate{0.0};
+    double mean_error{0.0};
+};
+
+/// Fetch one `bytes`-sized segment with max window `wnd`; returns seconds.
+double fetch_segment(sim::scheduler& sched, net::duplex_path& path, net::flow_id flow,
+                     std::uint64_t bytes, std::uint64_t wnd) {
+    net::path_conduit conduit(path);
+    tcp::tcp_config cfg;
+    cfg.variant = tcp::tcp_variant::sack;
+    cfg.initial_ssthresh_segments = 64;
+    cfg.max_window_bytes = wnd;
+    tcp::tcp_connection conn(sched, conduit, flow, cfg);
+    const double t0 = sched.now();
+    conn.start();
+    while (conn.sender().acked_bytes() < bytes && sched.now() < t0 + 120.0) {
+        if (!sched.step()) break;
+    }
+    conn.quiesce();
+    return sched.now() - t0;
+}
+
+session_stats stream(sim::scheduler& sched, net::duplex_path& path,
+                     net::poisson_source& cross, double cap, bool window_limited,
+                     net::flow_id flow_base, std::uint64_t seed) {
+    sim::rng load_rng(seed);
+    core::lso_predictor forecaster(std::make_unique<core::holt_winters>(0.8, 0.2));
+    session_stats stats;
+    double sum_rate = 0.0, sum_abs_err = 0.0;
+    int scored = 0;
+
+    for (int seg = 0; seg < 36; ++seg) {
+        // Background load drifts between segments.
+        if (seg % 9 == 8) cross.set_rate(load_rng.uniform(0.25, 0.5) * cap);
+
+        // Pick the highest bitrate safely below the forecast.
+        const double forecast = forecaster.predict();
+        double bitrate = k_bitrates.front();
+        if (!std::isnan(forecast)) {
+            for (const double b : k_bitrates) {
+                if (b <= forecast * 0.95) bitrate = b;
+            }
+        }
+
+        const auto bytes = static_cast<std::uint64_t>(bitrate * k_segment_s / 8.0);
+        // Window-limited fetches size W for the NEXT bitrate rung: enough
+        // headroom to observe whether an upgrade would be sustainable,
+        // without saturating the path the way W = 1 MB does.
+        double probe_rate = k_bitrates.back();
+        for (const double b : k_bitrates) {
+            if (b > bitrate) {
+                probe_rate = b;
+                break;
+            }
+        }
+        const std::uint64_t wnd =
+            window_limited
+                ? std::max<std::uint64_t>(
+                      16 * 1024,
+                      static_cast<std::uint64_t>(probe_rate * 1.75 * 0.06 / 8.0))
+                : (1u << 20);
+        const double took = fetch_segment(sched, path, flow_base + seg, bytes, wnd);
+        const double achieved = static_cast<double>(bytes) * 8.0 / took;
+
+        ++stats.segments;
+        if (took > k_segment_s) ++stats.rebuffers;
+        sum_rate += bitrate;
+        if (!std::isnan(forecast)) {
+            sum_abs_err += std::abs(core::relative_error(forecast, achieved));
+            ++scored;
+        }
+        forecaster.observe(achieved);
+        // Idle until the playback deadline (pacing between segments).
+        sched.run_until(sched.now() + std::max(0.0, k_segment_s - took) + 0.5);
+    }
+    stats.mean_bitrate = sum_rate / stats.segments;
+    stats.mean_error = scored > 0 ? sum_abs_err / scored : 0.0;
+    return stats;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("adaptive TCP streaming: window-limited vs congestion-limited fetches\n\n");
+
+    const double cap = 10e6;
+    for (const bool window_limited : {false, true}) {
+        sim::scheduler sched;
+        std::vector<net::hop_config> fwd{net::hop_config{cap, 0.03, 60}};
+        std::vector<net::hop_config> rev{net::hop_config{100e6, 0.03, 512}};
+        net::duplex_path path(sched, fwd, rev);
+        net::poisson_source cross(sched, path, 0, 999, 11, 0.3 * cap);
+        net::pareto_onoff_config bcfg;
+        net::pareto_onoff_source bursts(sched, path, 0, 998, 12, bcfg);
+        bursts.set_mean_rate(0.25 * cap);
+        cross.start();
+        bursts.start();
+        sched.run_until(2.0);
+
+        const session_stats s = stream(sched, path, cross, cap, window_limited, 1000, 77);
+        std::printf("%-22s segments %2d | rebuffers %2d | mean bitrate %.2f Mbps | "
+                    "mean |forecast error| %.2f\n",
+                    window_limited ? "window-limited (W~rate)" : "congestion-limited",
+                    s.segments, s.rebuffers, s.mean_bitrate / 1e6, s.mean_error);
+    }
+    std::printf("\ntakeaway (s4.2.8): capping the window sacrifices peak throughput but "
+                "makes the forecast reliable — fewer rebuffers at a similar bitrate.\n");
+    return 0;
+}

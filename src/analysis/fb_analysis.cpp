@@ -1,0 +1,102 @@
+#include "analysis/fb_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/stats.hpp"
+
+namespace tcppred::analysis {
+
+std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options opts) {
+    core::tcp_flow_params flow = opts.flow;
+    flow.max_window_bytes = static_cast<double>(opts.window_bytes);
+
+    // For input smoothing we need per-trace history of (p̂, T̂) in epoch
+    // order; build an index once.
+    const auto traces = data.traces();
+
+    std::vector<fb_epoch_eval> out;
+    out.reserve(data.records.size());
+    for (const auto& [key, recs] : traces) {
+        std::vector<double> p_hist, t_hist;
+        for (const testbed::epoch_record* rec : recs) {
+            const auto& m = rec->m;
+            const double actual = opts.small_window ? m.r_small_bps : m.r_large_bps;
+
+            core::path_measurement meas;
+            if (opts.use_during_flow) {
+                meas.loss_rate = m.ptilde;
+                meas.rtt_s = m.ttilde_s;
+            } else {
+                meas.loss_rate = opts.use_event_loss ? m.phat_events : m.phat;
+                meas.rtt_s = m.that_s;
+            }
+            meas.avail_bw_bps = m.avail_bw_bps;
+
+            if (opts.smooth_inputs) {
+                // One-step-ahead moving average over the previous epochs'
+                // measurements; the raw current measurement seeds the very
+                // first epoch of a trace.
+                if (!p_hist.empty()) {
+                    const std::size_t n = std::min(opts.smooth_window, p_hist.size());
+                    double ps = 0.0, ts = 0.0;
+                    for (std::size_t k = p_hist.size() - n; k < p_hist.size(); ++k) {
+                        ps += p_hist[k];
+                        ts += t_hist[k];
+                    }
+                    meas.loss_rate = ps / static_cast<double>(n);
+                    meas.rtt_s = ts / static_cast<double>(n);
+                }
+                p_hist.push_back(opts.use_during_flow ? m.ptilde : m.phat);
+                t_hist.push_back(opts.use_during_flow ? m.ttilde_s : m.that_s);
+            }
+
+            if (actual <= 0.0 || meas.rtt_s <= 0.0) continue;
+
+            fb_epoch_eval e;
+            e.rec = rec;
+            e.pred = core::fb_predict(flow, meas, opts.formula);
+            e.actual_bps = actual;
+            e.error = core::relative_error(e.pred.throughput_bps, actual);
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+std::vector<double> errors_of(const std::vector<fb_epoch_eval>& evals) {
+    std::vector<double> out;
+    out.reserve(evals.size());
+    for (const auto& e : evals) out.push_back(e.error);
+    return out;
+}
+
+std::vector<trace_rmsre> fb_rmsre_per_trace(const std::vector<fb_epoch_eval>& evals) {
+    std::map<std::pair<int, int>, std::vector<double>> grouped;
+    for (const auto& e : evals) {
+        grouped[{e.rec->path_id, e.rec->trace_id}].push_back(e.error);
+    }
+    std::vector<trace_rmsre> out;
+    out.reserve(grouped.size());
+    for (const auto& [key, errors] : grouped) {
+        out.push_back(trace_rmsre{key.first, key.second, core::rmsre(errors),
+                                  errors.size()});
+    }
+    return out;
+}
+
+std::vector<path_error_summary> fb_error_per_path(const std::vector<fb_epoch_eval>& evals) {
+    std::map<int, std::vector<double>> grouped;
+    for (const auto& e : evals) grouped[e.rec->path_id].push_back(e.error);
+
+    std::vector<path_error_summary> out;
+    out.reserve(grouped.size());
+    for (const auto& [path, errors] : grouped) {
+        out.push_back(path_error_summary{path, quantile(errors, 0.10),
+                                         quantile(errors, 0.50), quantile(errors, 0.90),
+                                         errors.size()});
+    }
+    return out;
+}
+
+}  // namespace tcppred::analysis

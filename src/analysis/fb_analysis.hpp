@@ -1,0 +1,72 @@
+// Applies the FB predictor (Eq. 3) across a measurement dataset and
+// computes the per-epoch relative errors and per-trace/per-path summaries
+// that Figs. 2-14 and 19 report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fb_predictor.hpp"
+#include "core/metrics.hpp"
+#include "testbed/dataset.hpp"
+
+namespace tcppred::analysis {
+
+/// How to evaluate the FB predictor over a dataset.
+struct fb_options {
+    core::fb_formula formula{core::fb_formula::pftk};
+    /// Use the during-flow probing view (T̃, p̃) instead of the a-priori one
+    /// (the hypothetical of §4.2.3 / Fig. 6).
+    bool use_during_flow{false};
+    /// Use the loss-EVENT rate (consecutive probe losses collapsed, Goyal
+    /// et al.) instead of the raw probe loss rate as the PFTK input.
+    bool use_event_loss{false};
+    /// Smooth the RTT/loss inputs with a 10-sample moving average over the
+    /// preceding epochs of the same trace (§4.2.10 / Fig. 14).
+    bool smooth_inputs{false};
+    std::size_t smooth_window{10};
+    /// Predict/score the W=20KB companion transfer instead of the W=1MB
+    /// target (Fig. 12).
+    bool small_window{false};
+    core::tcp_flow_params flow{};  ///< max_window_bytes is overridden below
+    std::uint64_t window_bytes{1 << 20};
+};
+
+/// One scored epoch.
+struct fb_epoch_eval {
+    const testbed::epoch_record* rec{nullptr};
+    core::fb_prediction pred;
+    double actual_bps{0.0};
+    double error{0.0};  ///< E (Eq. 4)
+};
+
+/// Score every epoch in the dataset. Epochs whose actual throughput is zero
+/// (transfer never got going within the epoch) are skipped.
+[[nodiscard]] std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data,
+                                                     fb_options opts = {});
+
+/// Extract just the error values (for CDFs).
+[[nodiscard]] std::vector<double> errors_of(const std::vector<fb_epoch_eval>& evals);
+
+/// Per-trace RMSRE of the FB predictor (Fig. 19, Fig. 12).
+struct trace_rmsre {
+    int path_id{0};
+    int trace_id{0};
+    double rmsre{0.0};
+    std::size_t samples{0};
+};
+[[nodiscard]] std::vector<trace_rmsre> fb_rmsre_per_trace(
+    const std::vector<fb_epoch_eval>& evals);
+
+/// Per-path error distribution summary (Fig. 7).
+struct path_error_summary {
+    int path_id{0};
+    double p10{0.0};
+    double median{0.0};
+    double p90{0.0};
+    std::size_t samples{0};
+};
+[[nodiscard]] std::vector<path_error_summary> fb_error_per_path(
+    const std::vector<fb_epoch_eval>& evals);
+
+}  // namespace tcppred::analysis

@@ -1,0 +1,92 @@
+#include "analysis/hb_analysis.hpp"
+
+#include <stdexcept>
+
+#include "analysis/stats.hpp"
+#include "core/adaptive_selector.hpp"
+#include "core/ar_predictor.hpp"
+
+namespace tcppred::analysis {
+
+std::vector<hb_trace_eval> hb_rmsre_per_trace(const testbed::dataset& data,
+                                              const core::hb_predictor& prototype,
+                                              hb_options opts) {
+    std::vector<hb_trace_eval> out;
+    for (const auto& [key, recs] : data.traces()) {
+        std::vector<double> series;
+        series.reserve(recs.size());
+        for (const testbed::epoch_record* r : recs) {
+            series.push_back(opts.small_window ? r->m.r_small_bps : r->m.r_large_bps);
+        }
+        if (opts.downsample > 1) series = core::downsample(series, opts.downsample);
+        if (series.size() < 3) continue;
+
+        const core::hb_evaluation eval = core::evaluate_one_step(series, prototype,
+                                                                 opts.eval);
+        out.push_back(hb_trace_eval{key.first, key.second, eval.rmsre, eval.forecasts()});
+    }
+    return out;
+}
+
+std::unique_ptr<core::hb_predictor> make_predictor(const std::string& spec,
+                                                   core::lso_config lso, double hw_beta) {
+    if (spec == "NWS") return core::adaptive_selector::standard();
+
+    const bool with_lso = spec.size() > 4 && spec.ends_with("-LSO");
+    const std::string base = with_lso ? spec.substr(0, spec.size() - 4) : spec;
+
+    const auto dash = base.rfind('-');
+    if (dash == std::string::npos) {
+        throw std::invalid_argument("make_predictor: bad spec '" + spec + "'");
+    }
+    const std::string param = base.substr(0, dash);
+    const std::string kind = base.substr(dash + 1);
+
+    std::unique_ptr<core::hb_predictor> inner;
+    if (kind == "MA") {
+        inner = std::make_unique<core::moving_average>(std::stoul(param));
+    } else if (kind == "EWMA") {
+        inner = std::make_unique<core::ewma>(std::stod(param));
+    } else if (kind == "HW") {
+        inner = std::make_unique<core::holt_winters>(std::stod(param), hw_beta);
+    } else if (kind == "AR") {
+        inner = std::make_unique<core::ar_predictor>(std::stoul(param));
+    } else {
+        throw std::invalid_argument("make_predictor: unknown kind '" + kind + "'");
+    }
+    if (with_lso) return std::make_unique<core::lso_predictor>(std::move(inner), lso);
+    return inner;
+}
+
+std::vector<double> rmsre_of(const std::vector<hb_trace_eval>& evals) {
+    std::vector<double> out;
+    out.reserve(evals.size());
+    for (const auto& e : evals) out.push_back(e.rmsre);
+    return out;
+}
+
+std::vector<cov_rmsre_point> cov_vs_rmsre(const testbed::dataset& data,
+                                          const core::hb_predictor& prototype,
+                                          core::lso_config lso) {
+    // Paper §6.1.3: both the CoV and the RMSRE exclude detected outliers;
+    // the CoV is additionally computed per stationary period and weighted.
+    hb_options opts;
+    opts.eval.exclude_outliers = true;
+    opts.eval.lso = lso;
+
+    std::vector<cov_rmsre_point> out;
+    for (const auto& [key, recs] : data.traces()) {
+        std::vector<double> series;
+        series.reserve(recs.size());
+        for (const testbed::epoch_record* r : recs) series.push_back(r->m.r_large_bps);
+        if (series.size() < 3) continue;
+
+        const core::hb_evaluation eval =
+            core::evaluate_one_step(series, prototype, opts.eval);
+        out.push_back(cov_rmsre_point{key.first, key.second, weighted_cov(series, lso),
+                                      eval.rmsre});
+    }
+    return out;
+}
+
+}  // namespace tcppred::analysis

@@ -1,0 +1,56 @@
+// Applies HB predictors across all traces of a dataset: per-trace RMSREs
+// (Figs. 15-19, 21-23) and the CoV relation (Fig. 20).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hb_evaluation.hpp"
+#include "core/hb_predictors.hpp"
+#include "core/lso.hpp"
+#include "testbed/dataset.hpp"
+
+namespace tcppred::analysis {
+
+/// RMSRE of one predictor on one trace.
+struct hb_trace_eval {
+    int path_id{0};
+    int trace_id{0};
+    double rmsre{0.0};
+    std::size_t forecasts{0};
+};
+
+struct hb_options {
+    core::hb_evaluation_options eval{};
+    std::size_t downsample{1};     ///< keep every k-th epoch (§6.1.6)
+    bool small_window{false};      ///< evaluate on the W=20KB series (Fig. 22)
+};
+
+/// Evaluate `prototype` one-step-ahead over every (path, trace) series.
+[[nodiscard]] std::vector<hb_trace_eval> hb_rmsre_per_trace(
+    const testbed::dataset& data, const core::hb_predictor& prototype,
+    hb_options opts = {});
+
+/// Convenience predictor factory used by benches and examples: builds the
+/// named predictors of the paper plus the extensions. `spec` examples:
+/// "1-MA", "10-MA", "0.8-EWMA", "0.8-HW", "10-MA-LSO", "0.8-HW-LSO",
+/// "4-AR", "4-AR-LSO", and "NWS" (the adaptive selector).
+[[nodiscard]] std::unique_ptr<core::hb_predictor> make_predictor(
+    const std::string& spec, core::lso_config lso = {}, double hw_beta = 0.2);
+
+/// Extract the RMSRE values (for CDF curves).
+[[nodiscard]] std::vector<double> rmsre_of(const std::vector<hb_trace_eval>& evals);
+
+/// Per-trace (CoV, RMSRE) pairs with a given predictor (Fig. 20).
+struct cov_rmsre_point {
+    int path_id{0};
+    int trace_id{0};
+    double cov{0.0};
+    double rmsre{0.0};
+};
+[[nodiscard]] std::vector<cov_rmsre_point> cov_vs_rmsre(
+    const testbed::dataset& data, const core::hb_predictor& prototype,
+    core::lso_config lso = {});
+
+}  // namespace tcppred::analysis

@@ -1,0 +1,52 @@
+// Statistics toolkit for the evaluation: empirical CDFs, quantiles,
+// correlation, and the stationarity-weighted coefficient of variation the
+// paper uses in §6.1.3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/lso.hpp"
+
+namespace tcppred::analysis {
+
+/// Mean of a series (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Median (copies and partially sorts).
+[[nodiscard]] double median(std::span<const double> xs);
+/// q-quantile, q in [0,1], linear interpolation between order statistics.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+/// Pearson correlation coefficient; 0 when either side is degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+/// Coefficient of variation: stddev / mean (0 for degenerate input).
+[[nodiscard]] double cov(std::span<const double> xs);
+
+/// Weighted CoV of a trace per §6.1.3: split the series into stationary
+/// periods at detected level shifts, drop outliers, compute each period's
+/// CoV, and average them weighted by period length.
+[[nodiscard]] double weighted_cov(const std::vector<double>& series,
+                                  core::lso_config lso = {});
+
+/// Empirical CDF over a sample.
+class ecdf {
+public:
+    explicit ecdf(std::vector<double> samples);
+
+    /// F(x): fraction of samples <= x.
+    [[nodiscard]] double at(double x) const;
+    /// Inverse: smallest sample value v with F(v) >= q.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+    [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+    /// Evenly spaced (x, F(x)) points for printing a CDF curve.
+    [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace tcppred::analysis

@@ -1,0 +1,92 @@
+#include "core/adaptive_selector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/lso.hpp"
+#include "core/metrics.hpp"
+
+namespace tcppred::core {
+
+adaptive_selector::adaptive_selector(std::vector<std::unique_ptr<hb_predictor>> candidates,
+                                     double score_discount)
+    : discount_(score_discount) {
+    if (candidates.empty()) {
+        throw std::invalid_argument("adaptive_selector: need at least one candidate");
+    }
+    if (score_discount <= 0.0 || score_discount > 1.0) {
+        throw std::invalid_argument("adaptive_selector: discount in (0,1]");
+    }
+    for (auto& c : candidates) {
+        if (!c) throw std::invalid_argument("adaptive_selector: null candidate");
+        candidates_.push_back(entry{std::move(c), 0.0, 0.0});
+    }
+}
+
+void adaptive_selector::observe(double x) {
+    for (auto& c : candidates_) {
+        const double forecast = c.predictor->predict();
+        if (!std::isnan(forecast) && x > 0.0) {
+            const double e = relative_error(forecast, x);
+            c.score = c.score * discount_ + e * e;
+            c.weight = c.weight * discount_ + 1.0;
+        }
+        c.predictor->observe(x);
+    }
+    ++seen_;
+}
+
+std::size_t adaptive_selector::best_index() const {
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        const auto& c = candidates_[i];
+        // Unscored candidates rank behind any scored one.
+        const double mean = c.weight > 0.0 ? c.score / c.weight
+                                           : std::numeric_limits<double>::infinity();
+        if (mean < best_score) {
+            best_score = mean;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::string adaptive_selector::best_name() const {
+    return candidates_[best_index()].predictor->name();
+}
+
+double adaptive_selector::predict() const {
+    return candidates_[best_index()].predictor->predict();
+}
+
+void adaptive_selector::reset() {
+    for (auto& c : candidates_) {
+        c.predictor->reset();
+        c.score = 0.0;
+        c.weight = 0.0;
+    }
+    seen_ = 0;
+}
+
+std::unique_ptr<hb_predictor> adaptive_selector::clone_empty() const {
+    std::vector<std::unique_ptr<hb_predictor>> clones;
+    clones.reserve(candidates_.size());
+    for (const auto& c : candidates_) clones.push_back(c.predictor->clone_empty());
+    return std::make_unique<adaptive_selector>(std::move(clones), discount_);
+}
+
+std::string adaptive_selector::name() const {
+    return "NWS-" + std::to_string(candidates_.size());
+}
+
+std::unique_ptr<adaptive_selector> adaptive_selector::standard() {
+    std::vector<std::unique_ptr<hb_predictor>> set;
+    set.push_back(std::make_unique<lso_predictor>(std::make_unique<moving_average>(5)));
+    set.push_back(std::make_unique<lso_predictor>(std::make_unique<moving_average>(10)));
+    set.push_back(std::make_unique<lso_predictor>(std::make_unique<ewma>(0.5)));
+    set.push_back(std::make_unique<lso_predictor>(std::make_unique<holt_winters>(0.8, 0.2)));
+    return std::make_unique<adaptive_selector>(std::move(set), 0.9);
+}
+
+}  // namespace tcppred::core

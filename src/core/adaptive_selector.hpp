@@ -1,0 +1,53 @@
+// NWS-style adaptive predictor selection (Network Weather Service, Swany &
+// Wolski — the operational HB system cited in §2). Runs a set of candidate
+// forecasters in parallel, tracks each one's recent one-step error on the
+// *same* series, and forecasts with whichever candidate currently has the
+// lowest exponentially-discounted mean squared relative error. Supports the
+// paper's finding that no single predictor dominates on every path by
+// letting the data pick per path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hb_predictors.hpp"
+
+namespace tcppred::core {
+
+class adaptive_selector final : public hb_predictor {
+public:
+    /// @param candidates      forecasters to race (at least one)
+    /// @param score_discount  exponential discount of past errors in (0,1];
+    ///                        1 = plain cumulative MSE, smaller = adaptive
+    explicit adaptive_selector(std::vector<std::unique_ptr<hb_predictor>> candidates,
+                               double score_discount = 0.9);
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override { return seen_; }
+
+    /// Index and name of the currently winning candidate.
+    [[nodiscard]] std::size_t best_index() const;
+    [[nodiscard]] std::string best_name() const;
+
+    /// The paper-standard candidate set: MA{5,10}, EWMA 0.5, HW 0.8 — all
+    /// LSO-wrapped — raced with discount 0.9.
+    [[nodiscard]] static std::unique_ptr<adaptive_selector> standard();
+
+private:
+    struct entry {
+        std::unique_ptr<hb_predictor> predictor;
+        double score{0.0};   ///< discounted sum of squared relative errors
+        double weight{0.0};  ///< discounted number of scored forecasts
+    };
+
+    std::vector<entry> candidates_;
+    double discount_;
+    std::size_t seen_{0};
+};
+
+}  // namespace tcppred::core

@@ -1,0 +1,62 @@
+// Autoregressive AR(p) one-step forecasting — the "more complex linear
+// predictors (ARMA/ARIMA)" the paper deliberately leaves out because
+// fitting them needs more history than applications usually have (§5, §7).
+// Implemented here as the natural extension: sample autocovariances +
+// Levinson-Durbin recursion refit over a sliding window, so the claim can
+// be tested instead of assumed (see bench/ablation_ar).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/hb_predictors.hpp"
+
+namespace tcppred::core {
+
+/// Solve the Yule-Walker equations for AR coefficients from a series'
+/// sample autocovariances using the Levinson-Durbin recursion.
+/// Returns the coefficients a_1..a_p of
+///   x_t - mean = sum_k a_k (x_{t-k} - mean) + e_t.
+/// Exposed for unit testing. Returns an empty vector when the series is too
+/// short or degenerate (zero variance).
+[[nodiscard]] std::vector<double> fit_ar_coefficients(const std::vector<double>& series,
+                                                      std::size_t order);
+
+/// AR(p) one-step forecaster over a sliding history window.
+///
+/// The model is refit (O(window * order)) on every observation; forecasts
+/// are made around the window mean, and clamped to be non-negative like the
+/// other throughput forecasters. Falls back to the window mean while the
+/// history is shorter than `min_fit` samples.
+class ar_predictor final : public hb_predictor {
+public:
+    /// @param order   AR order p (>= 1)
+    /// @param window  sliding window length (0 = unbounded history)
+    explicit ar_predictor(std::size_t order, std::size_t window = 0);
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override { return history_.size(); }
+
+    [[nodiscard]] std::size_t order() const noexcept { return order_; }
+    /// Coefficients of the current fit (empty before the first fit).
+    [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+        return coefficients_;
+    }
+
+private:
+    void refit();
+
+    std::size_t order_;
+    std::size_t window_;
+    std::size_t min_fit_;
+    std::deque<double> history_;
+    std::vector<double> coefficients_;
+    double mean_{0.0};
+};
+
+}  // namespace tcppred::core

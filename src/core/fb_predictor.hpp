@@ -1,0 +1,45 @@
+// The composite formula-based predictor of the paper (Eq. 3): PFTK on the
+// a-priori RTT/loss measurements when the path is lossy, min(W/T̂, Â) when
+// the a-priori probing saw no loss.
+#pragma once
+
+#include "core/fb_formulas.hpp"
+
+namespace tcppred::core {
+
+/// A-priori (or during-flow) path characteristics feeding the predictor.
+struct path_measurement {
+    double loss_rate{0.0};   ///< p̂ (or p̃): fraction of probes lost
+    double rtt_s{0.0};       ///< T̂ (or T̃): mean probe RTT, seconds
+    double avail_bw_bps{0.0};///< Â: available bandwidth estimate, bits/s
+};
+
+/// Which throughput model the lossy branch uses.
+enum class fb_formula {
+    square_root,  ///< Mathis et al. (Eq. 1)
+    pftk,         ///< PFTK approximation (Eq. 2) — the paper's default
+    pftk_full,    ///< full/revised PFTK (§4.2.9)
+};
+
+/// Which branch of Eq. 3 produced a prediction.
+enum class fb_branch {
+    model_based,   ///< p̂ > 0: throughput formula on (T̂, p̂)
+    avail_bw,      ///< p̂ = 0 and Â < W/T̂: predict Â
+    window_bound,  ///< p̂ = 0 and W/T̂ ≤ Â: predict W/T̂ (window-limited)
+};
+
+/// A prediction plus which branch made it (the paper analyzes lossy vs
+/// lossless predictions separately, e.g. Fig. 2).
+struct fb_prediction {
+    double throughput_bps{0.0};  ///< R̂
+    fb_branch branch{fb_branch::model_based};
+};
+
+/// Eq. 3 of the paper. `t0_s` defaults to the paper's estimate
+/// max(1 s, 2 T̂) when passed as 0.
+[[nodiscard]] fb_prediction fb_predict(const tcp_flow_params& flow,
+                                       const path_measurement& m,
+                                       fb_formula formula = fb_formula::pftk,
+                                       double t0_s = 0.0);
+
+}  // namespace tcppred::core

@@ -1,0 +1,43 @@
+#include "core/hb_evaluation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+
+namespace tcppred::core {
+
+hb_evaluation evaluate_one_step(const std::vector<double>& series,
+                                const hb_predictor& prototype,
+                                hb_evaluation_options opts) {
+    hb_evaluation out;
+    auto predictor = prototype.clone_empty();
+
+    std::vector<bool> excluded;
+    if (opts.exclude_outliers) {
+        excluded = lso_scan(series, opts.lso).is_outlier;
+    }
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double forecast = predictor->predict();
+        const bool skip = i < opts.warmup || std::isnan(forecast) ||
+                          (opts.exclude_outliers && excluded[i]);
+        if (!skip) {
+            out.errors.push_back(relative_error(forecast, series[i]));
+            out.indices.push_back(i);
+        }
+        predictor->observe(series[i]);
+    }
+    out.rmsre = rmsre(out.errors);
+    return out;
+}
+
+std::vector<double> downsample(const std::vector<double>& series, std::size_t factor) {
+    if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
+    std::vector<double> out;
+    out.reserve(series.size() / factor + 1);
+    for (std::size_t i = 0; i < series.size(); i += factor) out.push_back(series[i]);
+    return out;
+}
+
+}  // namespace tcppred::core

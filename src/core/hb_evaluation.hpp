@@ -1,0 +1,45 @@
+// One-step-ahead evaluation of HB predictors over a throughput trace:
+// for each sample, forecast it from the preceding history, then reveal it.
+// Produces the per-sample relative errors and the trace RMSRE (Eq. 5).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/hb_predictors.hpp"
+#include "core/lso.hpp"
+
+namespace tcppred::core {
+
+/// Result of evaluating a predictor over one trace.
+struct hb_evaluation {
+    std::vector<double> errors;        ///< relative error of each forecast made
+    std::vector<std::size_t> indices;  ///< series index each error refers to
+    double rmsre{0.0};
+
+    /// Number of forecasts that were actually made (history permitting).
+    [[nodiscard]] std::size_t forecasts() const noexcept { return errors.size(); }
+};
+
+struct hb_evaluation_options {
+    /// Skip forecasting the first `warmup` samples even if the predictor
+    /// could forecast earlier (they only seed the history).
+    std::size_t warmup{1};
+    /// Retrospectively exclude samples flagged as outliers by an LSO scan
+    /// from the error statistics (used by the CoV analysis, §6.1.3).
+    bool exclude_outliers{false};
+    lso_config lso{};  ///< parameters for the exclusion scan
+};
+
+/// Run `prototype` (cloned empty) over `series` one step ahead.
+[[nodiscard]] hb_evaluation evaluate_one_step(const std::vector<double>& series,
+                                              const hb_predictor& prototype,
+                                              hb_evaluation_options opts = {});
+
+/// Keep every k-th sample of a series (down-sampling to a longer transfer
+/// period, §6.1.6).
+[[nodiscard]] std::vector<double> downsample(const std::vector<double>& series,
+                                             std::size_t factor);
+
+}  // namespace tcppred::core

@@ -1,0 +1,113 @@
+// History-based (HB) predictors (§5.1): Moving Average, Exponentially
+// Weighted Moving Average, and non-seasonal Holt-Winters, behind a common
+// one-step-ahead forecasting interface.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace tcppred::core {
+
+/// A one-step-ahead forecaster over a scalar time series.
+///
+/// Usage: alternately call `predict()` (forecast for the *next* sample) and
+/// `observe()` (reveal that sample). `predict()` returns NaN until the
+/// predictor has enough history to forecast.
+class hb_predictor {
+public:
+    virtual ~hb_predictor() = default;
+
+    /// Reveal the next observed value.
+    virtual void observe(double x) = 0;
+    /// Forecast the next value; NaN while history is insufficient.
+    [[nodiscard]] virtual double predict() const = 0;
+    /// Forget all history (used on detected level shifts).
+    virtual void reset() = 0;
+    /// A fresh predictor of the same kind and parameters.
+    [[nodiscard]] virtual std::unique_ptr<hb_predictor> clone_empty() const = 0;
+    /// Human-readable name, e.g. "10-MA" or "0.8-HW".
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Number of samples observed since the last reset.
+    [[nodiscard]] virtual std::size_t history_size() const = 0;
+
+protected:
+    static constexpr double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+};
+
+/// n-order Moving Average: the mean of the last n observations
+/// (1-MA = last value).
+class moving_average final : public hb_predictor {
+public:
+    explicit moving_average(std::size_t order);
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override { return seen_; }
+
+    [[nodiscard]] std::size_t order() const noexcept { return order_; }
+
+private:
+    std::size_t order_;
+    std::deque<double> window_;
+    double sum_{0.0};
+    std::size_t seen_{0};
+};
+
+/// EWMA: X̂_{i+1} = α X_i + (1−α) X̂_i, initialized with the first sample.
+class ewma final : public hb_predictor {
+public:
+    explicit ewma(double alpha);
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override { return seen_; }
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double alpha_;
+    double forecast_{0.0};
+    std::size_t seen_{0};
+};
+
+/// Non-seasonal Holt-Winters (§5.1.3): separate smoothing and trend
+/// components,
+///   s_i = α X_i + (1−α)(s_{i−1} + t_{i−1})
+///   t_i = β (s_i − s_{i−1}) + (1−β) t_{i−1}
+///   forecast = s_i + t_i,
+/// initialized per the paper with s_0 = X_0 and t_0 = X_1 − X_0 (forecasts
+/// start after two samples).
+class holt_winters final : public hb_predictor {
+public:
+    holt_winters(double alpha, double beta);
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override { return seen_; }
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+
+private:
+    double alpha_;
+    double beta_;
+    double level_{0.0};
+    double trend_{0.0};
+    double first_{0.0};
+    std::size_t seen_{0};
+};
+
+}  // namespace tcppred::core

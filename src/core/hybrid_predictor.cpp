@@ -1,0 +1,38 @@
+#include "core/hybrid_predictor.hpp"
+
+#include <stdexcept>
+
+namespace tcppred::core {
+
+hybrid_predictor::hybrid_predictor(std::unique_ptr<hb_predictor> history,
+                                   double fb_weight_samples)
+    : history_(std::move(history)), k_(fb_weight_samples) {
+    if (!history_) throw std::invalid_argument("hybrid_predictor: null history predictor");
+    if (k_ <= 0.0) throw std::invalid_argument("hybrid_predictor: k must be positive");
+}
+
+void hybrid_predictor::set_formula_prediction(double fb_bps) { fb_bps_ = fb_bps; }
+
+void hybrid_predictor::observe(double actual_bps) { history_->observe(actual_bps); }
+
+double hybrid_predictor::history_weight() const {
+    const double hb = history_->predict();
+    if (std::isnan(hb)) return 0.0;
+    const auto n = static_cast<double>(history_->history_size());
+    return n / (n + k_);
+}
+
+double hybrid_predictor::predict() const {
+    const double hb = history_->predict();
+    const bool have_hb = !std::isnan(hb);
+    const bool have_fb = !std::isnan(fb_bps_);
+    if (!have_hb && !have_fb) return std::numeric_limits<double>::quiet_NaN();
+    if (!have_hb) return fb_bps_;
+    if (!have_fb) return hb;
+    const double w = history_weight();
+    return w * hb + (1.0 - w) * fb_bps_;
+}
+
+void hybrid_predictor::reset() { history_->reset(); }
+
+}  // namespace tcppred::core

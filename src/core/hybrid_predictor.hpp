@@ -1,0 +1,60 @@
+// Hybrid FB+HB prediction — the first item on the paper's future-work list
+// (§7): "examine hybrid predictors, which rely on TCP models as well as on
+// recent history".
+//
+// The hybrid forecast blends the formula-based estimate (available from
+// non-intrusive measurements even on a cold path) with the history-based
+// forecast, weighting history by how much of it exists:
+//
+//   forecast = w * HB + (1 - w) * FB,     w = n / (n + k)
+//
+// where n is the usable history length and k ("fb_weight_samples") says how
+// many samples of history it takes for HB to outweigh FB evenly. With no
+// history the hybrid IS the FB predictor; with a long history the FB input
+// only nudges it.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/hb_predictors.hpp"
+
+namespace tcppred::core {
+
+class hybrid_predictor {
+public:
+    /// @param history            the HB component (takes ownership)
+    /// @param fb_weight_samples  k: history length at which HB and FB have
+    ///                           equal weight (must be > 0)
+    explicit hybrid_predictor(std::unique_ptr<hb_predictor> history,
+                              double fb_weight_samples = 3.0);
+
+    /// Supply the latest formula-based estimate (Eq. 3 output, bits/s).
+    /// May be refreshed before every predict(); stays in effect until
+    /// replaced.
+    void set_formula_prediction(double fb_bps);
+
+    /// Reveal the actual throughput of the transfer that just completed.
+    void observe(double actual_bps);
+
+    /// The blended forecast. NaN only when there is neither history nor a
+    /// formula prediction.
+    [[nodiscard]] double predict() const;
+
+    /// Current blend weight on the HB side, in [0, 1].
+    [[nodiscard]] double history_weight() const;
+
+    [[nodiscard]] const hb_predictor& history() const noexcept { return *history_; }
+    [[nodiscard]] std::string name() const { return history_->name() + "+FB"; }
+
+    /// Forget all history (e.g. after a route change); keeps the FB input.
+    void reset();
+
+private:
+    std::unique_ptr<hb_predictor> history_;
+    double k_;
+    double fb_bps_{std::numeric_limits<double>::quiet_NaN()};
+};
+
+}  // namespace tcppred::core

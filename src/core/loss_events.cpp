@@ -1,0 +1,46 @@
+#include "core/loss_events.hpp"
+
+namespace tcppred::core {
+
+double packet_loss_rate(std::span<const std::uint8_t> outcomes) {
+    if (outcomes.empty()) return 0.0;
+    std::size_t lost = 0;
+    for (const std::uint8_t o : outcomes) lost += o == 0 ? 1 : 0;
+    return static_cast<double>(lost) / static_cast<double>(outcomes.size());
+}
+
+double loss_event_rate(std::span<const std::uint8_t> outcomes) {
+    if (outcomes.empty()) return 0.0;
+    std::size_t events = 0;
+    bool in_burst = false;
+    for (const std::uint8_t o : outcomes) {
+        if (o == 0) {
+            if (!in_burst) {
+                ++events;
+                in_burst = true;
+            }
+        } else {
+            in_burst = false;
+        }
+    }
+    return static_cast<double>(events) / static_cast<double>(outcomes.size());
+}
+
+double mean_loss_burst_length(std::span<const std::uint8_t> outcomes) {
+    std::size_t lost = 0, events = 0;
+    bool in_burst = false;
+    for (const std::uint8_t o : outcomes) {
+        if (o == 0) {
+            ++lost;
+            if (!in_burst) {
+                ++events;
+                in_burst = true;
+            }
+        } else {
+            in_burst = false;
+        }
+    }
+    return events == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(events);
+}
+
+}  // namespace tcppred::core

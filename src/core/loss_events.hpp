@@ -1,0 +1,26 @@
+// Loss-event (congestion-event) estimation — the Goyal et al. correction
+// discussed in §2/§3.3: the PFTK parameter p should be the *congestion
+// event* probability, not the raw packet loss rate. Drop-tail losses come
+// in bursts, so the raw rate overestimates the event rate; collapsing
+// consecutive losses in a periodic probe sequence into single events gives
+// a better p' estimate from the same probes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tcppred::core {
+
+/// Raw loss fraction of a probe outcome sequence (1 = received, 0 = lost).
+[[nodiscard]] double packet_loss_rate(std::span<const std::uint8_t> outcomes);
+
+/// Loss-EVENT rate: maximal runs of consecutive losses count once.
+/// This is the Goyal-style estimate of the congestion-event probability p'
+/// from periodic probing.
+[[nodiscard]] double loss_event_rate(std::span<const std::uint8_t> outcomes);
+
+/// Mean length of a loss burst (1.0 when losses are isolated; 0 when there
+/// are no losses). The ratio p / p' the paper's §3.3 talks about.
+[[nodiscard]] double mean_loss_burst_length(std::span<const std::uint8_t> outcomes);
+
+}  // namespace tcppred::core

@@ -1,0 +1,160 @@
+#include "core/lso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcppred::core {
+
+namespace {
+
+double median_values(const std::vector<lso_filter::sample>& v, std::size_t begin,
+                     std::size_t end) {
+    std::vector<double> tmp;
+    tmp.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) tmp.push_back(v[i].value);
+    std::sort(tmp.begin(), tmp.end());
+    const std::size_t n = tmp.size();
+    if (n == 0) return 0.0;
+    return n % 2 == 1 ? tmp[n / 2] : 0.5 * (tmp[n / 2 - 1] + tmp[n / 2]);
+}
+
+/// Relative gap between two positive levels, measured against the smaller:
+/// symmetric for increasing and decreasing shifts.
+double relative_gap(double a, double b) {
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    if (lo <= 0.0) return hi > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    return (hi - lo) / lo;
+}
+
+}  // namespace
+
+lso_filter::lso_filter(lso_config cfg) : cfg_(cfg) {
+    if (cfg.gamma < 0 || cfg.psi < 0) throw std::invalid_argument("lso: negative thresholds");
+}
+
+void lso_filter::observe(double x) {
+    history_.push_back(sample{observed_, x});
+    ++observed_;
+    detect_outliers();
+    detect_level_shift();
+}
+
+void lso_filter::detect_outliers() {
+    // A sample X_k with k < n is an outlier when it differs from the median
+    // of {X_1..X_n} by more than a relative difference ψ. Two refinements
+    // keep outlier removal from swallowing level shifts:
+    //  * the trailing run of deviant samples is exempt — it may be the
+    //    beginning of a new level (the shift detector decides later);
+    //  * only short runs (1-2 samples) bounded by non-deviant samples are
+    //    treated as outliers; longer interior runs are left alone.
+    if (history_.size() < 3) return;
+    const double med = median_values(history_, 0, history_.size());
+    if (med <= 0.0) return;
+
+    const auto deviant = [&](std::size_t i) {
+        return relative_gap(history_[i].value, med) > cfg_.psi;
+    };
+
+    std::vector<std::size_t> to_remove;
+    for (std::size_t i = 0; i < history_.size();) {
+        if (!deviant(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < history_.size() && deviant(j)) ++j;
+        const bool terminated = j < history_.size();  // a normal sample follows
+        if (terminated && j - i <= 2) {
+            for (std::size_t k = i; k < j; ++k) to_remove.push_back(k);
+        }
+        i = j;
+    }
+    for (auto it = to_remove.rbegin(); it != to_remove.rend(); ++it) {
+        outliers_.push_back(history_[*it].index);
+        history_.erase(history_.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    std::sort(outliers_.begin(), outliers_.end());
+}
+
+void lso_filter::detect_level_shift() {
+    const std::size_t n = history_.size();
+    if (n < cfg_.min_post_shift_samples + 1) return;
+
+    // Scan candidate shift positions k (0-based index of the first sample of
+    // the new level). Paper conditions:
+    //  1. all of X_1..X_{k-1} on one side of all of X_k..X_n,
+    //  2. medians differ by more than γ (relative),
+    //  3. at least min_post_shift_samples samples at the new level
+    //     (the paper's k + 2 <= n with 1-based k).
+    for (std::size_t k = 1; k + cfg_.min_post_shift_samples <= n; ++k) {
+        double max_before = history_[0].value, min_before = history_[0].value;
+        for (std::size_t i = 1; i < k; ++i) {
+            max_before = std::max(max_before, history_[i].value);
+            min_before = std::min(min_before, history_[i].value);
+        }
+        double max_after = history_[k].value, min_after = history_[k].value;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            max_after = std::max(max_after, history_[i].value);
+            min_after = std::min(min_after, history_[i].value);
+        }
+        const bool increasing = max_before < min_after;
+        const bool decreasing = min_before > max_after;
+        if (!increasing && !decreasing) continue;
+
+        const double med_before = median_values(history_, 0, k);
+        const double med_after = median_values(history_, k, n);
+        if (relative_gap(med_before, med_after) <= cfg_.gamma) continue;
+
+        shifts_.push_back(history_[k].index);
+        history_.erase(history_.begin(),
+                       history_.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+    }
+}
+
+lso_predictor::lso_predictor(std::unique_ptr<hb_predictor> inner, lso_config cfg)
+    : prototype_(std::move(inner)), filter_(cfg) {
+    if (!prototype_) throw std::invalid_argument("lso_predictor: null inner predictor");
+    fitted_ = prototype_->clone_empty();
+}
+
+void lso_predictor::observe(double x) {
+    filter_.observe(x);
+    refit();
+}
+
+void lso_predictor::refit() {
+    fitted_ = prototype_->clone_empty();
+    for (const auto& s : filter_.cleaned()) fitted_->observe(s.value);
+}
+
+double lso_predictor::predict() const { return fitted_->predict(); }
+
+void lso_predictor::reset() {
+    filter_ = lso_filter(filter_.config());
+    fitted_ = prototype_->clone_empty();
+}
+
+std::unique_ptr<hb_predictor> lso_predictor::clone_empty() const {
+    return std::make_unique<lso_predictor>(prototype_->clone_empty(), filter_.config());
+}
+
+std::string lso_predictor::name() const { return prototype_->name() + "-LSO"; }
+
+std::size_t lso_predictor::history_size() const { return filter_.cleaned().size(); }
+
+lso_scan_result lso_scan(const std::vector<double>& series, lso_config cfg) {
+    lso_filter filter(cfg);
+    for (const double x : series) filter.observe(x);
+
+    lso_scan_result out;
+    out.is_outlier.assign(series.size(), false);
+    for (const std::size_t i : filter.outlier_indices()) out.is_outlier[i] = true;
+    out.segment_starts.push_back(0);
+    for (const std::size_t i : filter.shift_indices()) out.segment_starts.push_back(i);
+    return out;
+}
+
+}  // namespace tcppred::core

@@ -1,0 +1,107 @@
+// The paper's LSO heuristics (§5.2): detect level shifts (restart the
+// predictor from the shift point) and outliers (discard the sample) in a
+// short throughput history, without fitting ARMA models.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hb_predictors.hpp"
+
+namespace tcppred::core {
+
+/// LSO detection parameters. Defaults are the values the paper found to
+/// work well: γ = 0.3 (level-shift median gap), ψ = 0.4 (outlier gap).
+struct lso_config {
+    double gamma{0.3};  ///< χ in Fig. 18: min relative gap between segment medians
+    double psi{0.4};    ///< ψ: min relative gap between a sample and the median
+    /// A level shift at position k needs k + 2 <= n (paper condition 3):
+    /// at least this many samples at the new level before declaring a shift.
+    std::size_t min_post_shift_samples{3};
+};
+
+/// Incremental LSO scanner over a time series.
+///
+/// Maintains the "cleaned" history: samples since the last detected level
+/// shift, with detected outliers removed. Each sample keeps its original
+/// series index so callers can attribute detections retrospectively
+/// (needed e.g. when excluding outliers from RMSRE or segmenting a trace
+/// into stationary periods for the CoV computation, §6.1.3).
+class lso_filter {
+public:
+    explicit lso_filter(lso_config cfg = {});
+
+    struct sample {
+        std::size_t index;  ///< position in the original series
+        double value;
+    };
+
+    /// Feed the next observation. Runs outlier and level-shift detection.
+    void observe(double x);
+
+    /// Cleaned history: samples since the last level shift, outliers removed.
+    [[nodiscard]] const std::vector<sample>& cleaned() const noexcept { return history_; }
+
+    /// Original indices of every sample ever flagged as an outlier.
+    [[nodiscard]] const std::vector<std::size_t>& outlier_indices() const noexcept {
+        return outliers_;
+    }
+    /// Original indices where level shifts were detected (index of the first
+    /// sample of each new level).
+    [[nodiscard]] const std::vector<std::size_t>& shift_indices() const noexcept {
+        return shifts_;
+    }
+    /// Total samples observed so far.
+    [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
+    [[nodiscard]] const lso_config& config() const noexcept { return cfg_; }
+
+private:
+    void detect_outliers();
+    void detect_level_shift();
+
+    lso_config cfg_;
+    std::vector<sample> history_;
+    std::vector<std::size_t> outliers_;
+    std::vector<std::size_t> shifts_;
+    std::size_t observed_{0};
+};
+
+/// An HB predictor wrapped with the LSO heuristics: on every observation the
+/// cleaned history is re-fed to a fresh inner predictor, so outliers never
+/// pollute the forecast and level shifts restart it (§5.2). Histories are
+/// short (tens of samples) so the O(n) refit per step is negligible — see
+/// bench/micro_predictors.
+class lso_predictor final : public hb_predictor {
+public:
+    lso_predictor(std::unique_ptr<hb_predictor> inner, lso_config cfg = {});
+
+    void observe(double x) override;
+    [[nodiscard]] double predict() const override;
+    void reset() override;
+    [[nodiscard]] std::unique_ptr<hb_predictor> clone_empty() const override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t history_size() const override;
+
+    [[nodiscard]] const lso_filter& filter() const noexcept { return filter_; }
+
+private:
+    void refit();
+
+    std::unique_ptr<hb_predictor> prototype_;
+    std::unique_ptr<hb_predictor> fitted_;
+    lso_filter filter_;
+};
+
+/// Retrospective LSO scan of a whole series: outlier flags and stationary
+/// segment boundaries. Convenience for analyses that need the final verdict
+/// for every sample (CoV weighting, error exclusion).
+struct lso_scan_result {
+    std::vector<bool> is_outlier;            ///< per original index
+    std::vector<std::size_t> segment_starts; ///< always starts with 0
+};
+[[nodiscard]] lso_scan_result lso_scan(const std::vector<double>& series,
+                                       lso_config cfg = {});
+
+}  // namespace tcppred::core

@@ -1,0 +1,29 @@
+// Prediction-error metrics of the paper: the relative error E (Eq. 4) and
+// the Root Mean Square Relative Error over a series (Eq. 5).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace tcppred::core {
+
+/// Relative prediction error (Eq. 4):
+///   E = (R̂ − R) / min(R̂, R).
+/// Symmetric in over/under-estimation: predicting w·R or R/w both yield
+/// |E| = w − 1. Both arguments must be positive; a tiny floor guards
+/// degenerate zero measurements.
+[[nodiscard]] inline double relative_error(double predicted, double actual) noexcept {
+    constexpr double floor = 1e-12;
+    const double denom = std::max(std::min(predicted, actual), floor);
+    return (predicted - actual) / denom;
+}
+
+/// Root Mean Square Relative Error (Eq. 5) over a series of relative errors.
+[[nodiscard]] inline double rmsre(std::span<const double> errors) noexcept {
+    if (errors.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double e : errors) sum += e * e;
+    return std::sqrt(sum / static_cast<double>(errors.size()));
+}
+
+}  // namespace tcppred::core

@@ -1,0 +1,80 @@
+#include "net/cross_traffic.hpp"
+
+namespace tcppred::net {
+
+poisson_source::poisson_source(sim::scheduler& sched, duplex_path& path,
+                               std::size_t link_index, flow_id flow, std::uint64_t seed,
+                               double rate_bps, packet_size_mix mix)
+    : sched_(&sched),
+      path_(&path),
+      link_index_(link_index),
+      flow_(flow),
+      rng_(seed),
+      rate_bps_(rate_bps),
+      mix_(mix) {}
+
+void poisson_source::start() {
+    if (running_) return;
+    running_ = true;
+    schedule_next();
+}
+
+void poisson_source::schedule_next() {
+    if (!running_ || rate_bps_ <= 0.0) return;
+    const double mean_interarrival = mix_.mean_bytes() * 8.0 / rate_bps_;
+    sched_->schedule_in(rng_.exponential(mean_interarrival), [this] {
+        if (!running_) return;
+        packet p;
+        p.flow = flow_;
+        p.kind = packet_kind::cross;
+        p.size_bytes = mix_.draw(rng_);
+        p.seq = seq_++;
+        p.sent_at = sched_->now();
+        path_->inject_forward(link_index_, p);
+        schedule_next();
+    });
+}
+
+pareto_onoff_source::pareto_onoff_source(sim::scheduler& sched, duplex_path& path,
+                                         std::size_t link_index, flow_id flow,
+                                         std::uint64_t seed, pareto_onoff_config cfg)
+    : sched_(&sched),
+      path_(&path),
+      link_index_(link_index),
+      flow_(flow),
+      rng_(seed),
+      cfg_(cfg) {}
+
+void pareto_onoff_source::start() {
+    if (running_) return;
+    running_ = true;
+    // Random initial OFF phase so concurrent sources don't synchronize.
+    sched_->schedule_in(rng_.exponential(cfg_.mean_off_s), [this] { begin_on_period(); });
+}
+
+void pareto_onoff_source::begin_on_period() {
+    if (!running_) return;
+    // Pareto with mean = mean_on_s: xmin = mean * (shape-1)/shape.
+    const double xmin = cfg_.mean_on_s * (cfg_.pareto_shape - 1.0) / cfg_.pareto_shape;
+    const double on = rng_.pareto(cfg_.pareto_shape, xmin);
+    emit(sched_->now() + on);
+}
+
+void pareto_onoff_source::emit(double until) {
+    if (!running_) return;
+    if (sched_->now() >= until) {
+        sched_->schedule_in(rng_.exponential(cfg_.mean_off_s), [this] { begin_on_period(); });
+        return;
+    }
+    packet p;
+    p.flow = flow_;
+    p.kind = packet_kind::cross;
+    p.size_bytes = cfg_.packet_bytes;
+    p.seq = seq_++;
+    p.sent_at = sched_->now();
+    path_->inject_forward(link_index_, p);
+    const double spacing = cfg_.packet_bytes * 8.0 / cfg_.peak_rate_bps;
+    sched_->schedule_in(spacing, [this, until] { emit(until); });
+}
+
+}  // namespace tcppred::net

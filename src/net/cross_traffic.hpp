@@ -1,0 +1,111 @@
+// Unresponsive (open-loop) cross-traffic sources. They inject packets into
+// a single queue of a path: the background load against which the target
+// flow, the probes and the elastic flows compete.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "net/path.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppred::net {
+
+/// Empirical-style Internet packet size mix (40/576/1500 with the classic
+/// trimodal weights). Gives the cross traffic realistic per-packet
+/// granularity at the queue.
+struct packet_size_mix {
+    std::array<std::uint32_t, 3> sizes{40, 576, 1500};
+    std::array<double, 3> weights{0.3, 0.2, 0.5};
+
+    [[nodiscard]] double mean_bytes() const noexcept {
+        double m = 0.0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) m += weights[i] * sizes[i];
+        return m;
+    }
+
+    [[nodiscard]] std::uint32_t draw(sim::rng& r) const {
+        double u = r.uniform();
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (u < weights[i]) return sizes[i];
+            u -= weights[i];
+        }
+        return sizes.back();
+    }
+};
+
+/// Poisson packet-arrival source at a configurable bit rate.
+class poisson_source {
+public:
+    poisson_source(sim::scheduler& sched, duplex_path& path, std::size_t link_index,
+                   flow_id flow, std::uint64_t seed, double rate_bps,
+                   packet_size_mix mix = {});
+
+    /// Begin emitting packets (idempotent).
+    void start();
+    /// Stop emitting (already-queued packets still drain).
+    void stop() { running_ = false; }
+    /// Change the offered load; takes effect from the next arrival.
+    void set_rate(double rate_bps) { rate_bps_ = rate_bps; }
+    [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+
+private:
+    void schedule_next();
+
+    sim::scheduler* sched_;
+    duplex_path* path_;
+    std::size_t link_index_;
+    flow_id flow_;
+    sim::rng rng_;
+    double rate_bps_;
+    packet_size_mix mix_;
+    bool running_{false};
+    std::uint64_t seq_{0};
+};
+
+/// Parameters of a Pareto on/off source: heavy-tailed ON periods at a fixed
+/// peak rate, exponential OFF periods. The standard model for bursty,
+/// LRD-like background traffic; its mean rate is peak * on/(on+off).
+struct pareto_onoff_config {
+    double peak_rate_bps{4e6};
+    double mean_on_s{0.20};
+    double mean_off_s{0.30};
+    double pareto_shape{1.9};  ///< ON-period tail index (1,2] = very bursty
+    std::uint32_t packet_bytes{1500};
+};
+
+class pareto_onoff_source {
+public:
+    pareto_onoff_source(sim::scheduler& sched, duplex_path& path, std::size_t link_index,
+                        flow_id flow, std::uint64_t seed, pareto_onoff_config cfg);
+
+    void start();
+    void stop() { running_ = false; }
+
+    /// Long-run average offered rate.
+    [[nodiscard]] double mean_rate_bps() const noexcept {
+        return cfg_.peak_rate_bps * cfg_.mean_on_s / (cfg_.mean_on_s + cfg_.mean_off_s);
+    }
+
+    /// Scale the peak rate so the mean offered rate equals `rate_bps`.
+    void set_mean_rate(double rate_bps) {
+        cfg_.peak_rate_bps = rate_bps * (cfg_.mean_on_s + cfg_.mean_off_s) / cfg_.mean_on_s;
+    }
+
+private:
+    void begin_on_period();
+    void emit(double until);
+
+    sim::scheduler* sched_;
+    duplex_path* path_;
+    std::size_t link_index_;
+    flow_id flow_;
+    sim::rng rng_;
+    pareto_onoff_config cfg_;
+    bool running_{false};
+    std::uint64_t seq_{0};
+};
+
+}  // namespace tcppred::net

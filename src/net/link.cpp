@@ -1,0 +1,85 @@
+#include "net/link.hpp"
+
+namespace tcppred::net {
+
+void link::set_random_loss(double probability, std::uint64_t seed,
+                           double burst_duration_s) {
+    random_loss_ = probability;
+    loss_burst_s_ = burst_duration_s;
+    loss_rng_.emplace(seed);
+    in_bad_state_ = false;
+    if (burst_duration_s > 0.0 && probability > 0.0 && probability < 1.0) {
+        // Start inside a good period of the stationary process.
+        const double mean_good = burst_duration_s * (1.0 - probability) / probability;
+        state_until_ = sched_->now() + loss_rng_->exponential(mean_good);
+    } else {
+        state_until_ = 0.0;
+    }
+}
+
+bool link::random_loss_hit() {
+    if (random_loss_ <= 0.0 || !loss_rng_) return false;
+    if (loss_burst_s_ <= 0.0) return loss_rng_->chance(random_loss_);
+
+    // Gilbert-Elliott in time: advance the two-state machine lazily to now.
+    // Mean good duration G solves loss = bad/(bad+good): G = B(1-p)/p.
+    const double now = sched_->now();
+    while (now >= state_until_) {
+        if (in_bad_state_) {
+            in_bad_state_ = false;
+            const double mean_good = loss_burst_s_ * (1.0 - random_loss_) / random_loss_;
+            state_until_ += loss_rng_->exponential(mean_good);
+        } else {
+            in_bad_state_ = true;
+            state_until_ += loss_rng_->exponential(loss_burst_s_);
+        }
+    }
+    return in_bad_state_;
+}
+
+bool link::enqueue(packet p) {
+    if (random_loss_hit()) {
+        ++stats_.dropped;
+        return false;
+    }
+    if (!transmitting_) {
+        ++stats_.enqueued;
+        start_transmission(p);
+        return true;
+    }
+    if (queue_.size() >= buffer_packets_) {
+        ++stats_.dropped;
+        return false;
+    }
+    ++stats_.enqueued;
+    queue_.push_back(p);
+    return true;
+}
+
+void link::start_transmission(packet p) {
+    transmitting_ = true;
+    const double tx = tx_time(p.size_bytes);
+    stats_.busy_time += tx;
+    sched_->schedule_in(tx, [this, p] {
+        // Transmission finished: the packet leaves onto the wire and the
+        // next queued packet starts serializing immediately.
+        ++stats_.delivered;
+        stats_.bytes_delivered += p.size_bytes;
+        sched_->schedule_in(prop_delay_, [this, p] {
+            if (sink_) sink_(p);
+        });
+        on_tx_complete();
+    });
+}
+
+void link::on_tx_complete() {
+    if (queue_.empty()) {
+        transmitting_ = false;
+        return;
+    }
+    packet next = queue_.front();
+    queue_.pop_front();
+    start_transmission(next);
+}
+
+}  // namespace tcppred::net

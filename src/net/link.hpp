@@ -1,0 +1,108 @@
+// A unidirectional store-and-forward link: finite FIFO drop-tail buffer,
+// fixed capacity, fixed propagation delay. The only source of loss and
+// queueing delay in the simulator, as in a drop-tail router port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppred::net {
+
+/// Per-link counters, split by packet kind where loss accounting needs it.
+struct link_stats {
+    std::uint64_t enqueued{0};
+    std::uint64_t delivered{0};
+    std::uint64_t dropped{0};
+    std::uint64_t bytes_delivered{0};
+    double busy_time{0.0};  ///< cumulative transmission time
+};
+
+/// FIFO drop-tail link.
+///
+/// `enqueue()` either admits the packet into the buffer or drops it (buffer
+/// full). Admitted packets are serialized at `capacity_bps` and delivered to
+/// the sink `prop_delay` seconds after their transmission completes.
+/// Propagation does not serialize: several packets can be "in flight" on the
+/// wire simultaneously.
+class link {
+public:
+    /// @param buffer_packets maximum number of packets queued *behind* the
+    ///        one in transmission (classic drop-tail buffer size).
+    link(sim::scheduler& sched, double capacity_bps, double prop_delay_s,
+         std::size_t buffer_packets)
+        : sched_(&sched),
+          capacity_bps_(capacity_bps),
+          prop_delay_(prop_delay_s),
+          buffer_packets_(buffer_packets) {}
+
+    link(const link&) = delete;
+    link& operator=(const link&) = delete;
+
+    /// Where delivered packets go (next hop's enqueue or endpoint demux).
+    void set_sink(std::function<void(packet)> sink) { sink_ = std::move(sink); }
+
+    /// Offer a packet to the link. Returns false (and counts a drop) when
+    /// the buffer is full or the packet is hit by random loss.
+    bool enqueue(packet p);
+
+    /// Enable random loss on this link, modelling loss that originates
+    /// outside the simulated bottleneck (upstream congestion episodes,
+    /// noisy access links). Loss follows a time-based Gilbert-Elliott
+    /// process: the link alternates between a good state (no extra loss)
+    /// and bad episodes during which every arrival is dropped. Episode
+    /// durations are exponential with mean `burst_duration_s`; episode
+    /// frequency is derived so the long-run loss fraction equals
+    /// `probability`. With burst_duration_s == 0 this degenerates to
+    /// independent per-packet (Bernoulli) loss.
+    void set_random_loss(double probability, std::uint64_t seed,
+                         double burst_duration_s = 0.0);
+
+    [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
+    [[nodiscard]] double prop_delay() const noexcept { return prop_delay_; }
+    [[nodiscard]] std::size_t buffer_packets() const noexcept { return buffer_packets_; }
+    [[nodiscard]] std::size_t queue_length() const noexcept {
+        return queue_.size() + (transmitting_ ? 1u : 0u);
+    }
+    [[nodiscard]] const link_stats& stats() const noexcept { return stats_; }
+
+    /// Serialization time of a packet of `bytes` on this link.
+    [[nodiscard]] double tx_time(std::uint32_t bytes) const noexcept {
+        return static_cast<double>(bytes) * 8.0 / capacity_bps_;
+    }
+
+    /// Fraction of time the link transmitted since construction (or since
+    /// the given origin time).
+    [[nodiscard]] double utilization(double since = 0.0) const noexcept {
+        const double span = sched_->now() - since;
+        return span > 0.0 ? stats_.busy_time / span : 0.0;
+    }
+
+private:
+    void start_transmission(packet p);
+    void on_tx_complete();
+
+    sim::scheduler* sched_;
+    double capacity_bps_;
+    double prop_delay_;
+    std::size_t buffer_packets_;
+    [[nodiscard]] bool random_loss_hit();
+
+    std::function<void(packet)> sink_;
+    std::deque<packet> queue_;
+    bool transmitting_{false};
+    double random_loss_{0.0};
+    double loss_burst_s_{0.0};
+    bool in_bad_state_{false};
+    double state_until_{0.0};
+    std::optional<sim::rng> loss_rng_;
+    link_stats stats_{};
+};
+
+}  // namespace tcppred::net

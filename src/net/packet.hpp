@@ -1,0 +1,42 @@
+// The packet: the unit every queue, link, endpoint and probe exchanges.
+#pragma once
+
+#include <cstdint>
+
+namespace tcppred::net {
+
+/// Identifies a flow end-to-end. Flow ids are allocated by the world that
+/// builds the topology; id 0 is reserved/invalid.
+using flow_id = std::uint64_t;
+
+/// What kind of traffic a packet carries. Only used for per-class
+/// accounting (e.g. loss rates seen by probes vs by TCP); forwarding is
+/// class-blind, as in a real FIFO router.
+enum class packet_kind : std::uint8_t {
+    tcp_data,
+    tcp_ack,
+    probe,       ///< ping / pathload probe
+    probe_reply, ///< echoed probe on the reverse path
+    cross,       ///< background (unresponsive) cross traffic
+};
+
+/// A simulated packet. Passed by value: it is a small POD.
+struct packet {
+    flow_id flow{0};
+    packet_kind kind{packet_kind::cross};
+    std::uint32_t size_bytes{0};  ///< wire size including headers
+    std::uint64_t seq{0};         ///< segment seq / probe index
+    std::uint64_t ack{0};         ///< cumulative ACK (tcp_ack only)
+    /// One SACK block [sack_begin, sack_end): the out-of-order run that the
+    /// triggering segment belongs to (tcp_ack from a SACK receiver only).
+    std::uint64_t sack_begin{0};
+    std::uint64_t sack_end{0};
+    double sent_at{0.0};          ///< timestamp written by the sender
+};
+
+/// IPv4 + TCP header overhead used to size segments and ACKs.
+inline constexpr std::uint32_t tcp_ip_header_bytes = 40;
+/// ping-style probe packet size used by the paper's homespun prober.
+inline constexpr std::uint32_t ping_probe_bytes = 41;
+
+}  // namespace tcppred::net

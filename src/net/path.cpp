@@ -1,0 +1,109 @@
+#include "net/path.hpp"
+
+namespace tcppred::net {
+
+duplex_path::duplex_path(sim::scheduler& sched, std::span<const hop_config> forward,
+                         std::span<const hop_config> reverse)
+    : sched_(&sched) {
+    if (forward.empty() || reverse.empty()) {
+        throw std::invalid_argument("duplex_path: need at least one hop per direction");
+    }
+    forward_.reserve(forward.size());
+    for (std::size_t i = 0; i < forward.size(); ++i) {
+        const auto& h = forward[i];
+        forward_.push_back(std::make_unique<link>(sched, h.capacity_bps, h.prop_delay_s,
+                                                  h.buffer_packets));
+        base_rtt_ += h.prop_delay_s;
+        if (h.capacity_bps < forward[bottleneck_].capacity_bps) bottleneck_ = i;
+        forward_[i]->set_sink([this, i](packet p) { route_forward(i + 1, p); });
+    }
+    reverse_.reserve(reverse.size());
+    for (std::size_t i = 0; i < reverse.size(); ++i) {
+        const auto& h = reverse[i];
+        reverse_.push_back(std::make_unique<link>(sched, h.capacity_bps, h.prop_delay_s,
+                                                  h.buffer_packets));
+        base_rtt_ += h.prop_delay_s;
+        reverse_[i]->set_sink([this, i](packet p) { route_reverse(i + 1, p); });
+    }
+}
+
+void duplex_path::inject_forward(std::size_t link_index, packet p) {
+    cross_members_[p.flow] = link_index;
+    forward_.at(link_index)->enqueue(p);
+}
+
+void duplex_path::route_forward(std::size_t link_index, packet p) {
+    // Cross traffic leaves right after its shared link.
+    if (link_index > 0) {
+        if (auto member = cross_members_.find(p.flow); member != cross_members_.end() &&
+            member->second == link_index - 1) {
+            if (auto exit = cross_exits_.find(p.flow); exit != cross_exits_.end()) {
+                exit->second(p);
+            }
+            return;
+        }
+    }
+    if (link_index < forward_.size()) {
+        forward_[link_index]->enqueue(p);
+        return;
+    }
+    deliver_forward(p);
+}
+
+void duplex_path::route_reverse(std::size_t link_index, packet p) {
+    if (link_index < reverse_.size()) {
+        reverse_[link_index]->enqueue(p);
+        return;
+    }
+    deliver_reverse(p);
+}
+
+void duplex_path::deliver_forward(packet p) {
+    if (auto it = forward_endpoints_.find(p.flow); it != forward_endpoints_.end()) {
+        it->second(p);
+    }
+}
+
+void duplex_path::deliver_reverse(packet p) {
+    if (auto it = reverse_endpoints_.find(p.flow); it != reverse_endpoints_.end()) {
+        it->second(p);
+    }
+}
+
+shared_link_conduit::shared_link_conduit(sim::scheduler& sched, duplex_path& path,
+                                         std::size_t link_index, flow_id flow,
+                                         double access_delay, double egress_delay,
+                                         double ack_delay)
+    : sched_(&sched),
+      path_(&path),
+      link_index_(link_index),
+      flow_(flow),
+      access_delay_(access_delay),
+      egress_delay_(egress_delay),
+      ack_delay_(ack_delay) {
+    path_->on_cross_exit(flow_, [this](packet p) {
+        sched_->schedule_in(egress_delay_, [this, p] {
+            if (data_handler_) data_handler_(p);
+        });
+    });
+}
+
+void shared_link_conduit::send_data(packet p) {
+    sched_->schedule_in(access_delay_, [this, p] { path_->inject_forward(link_index_, p); });
+}
+
+void shared_link_conduit::send_ack(packet p) {
+    sched_->schedule_in(ack_delay_, [this, p] {
+        if (ack_handler_) ack_handler_(p);
+    });
+}
+
+void shared_link_conduit::on_deliver_data(flow_id, delivery_handler h) {
+    data_handler_ = std::move(h);
+}
+
+void shared_link_conduit::on_deliver_ack(flow_id, delivery_handler h) {
+    ack_handler_ = std::move(h);
+}
+
+}  // namespace tcppred::net

@@ -1,0 +1,46 @@
+#include "probe/bulk_transfer.hpp"
+
+namespace tcppred::probe {
+
+bulk_transfer::bulk_transfer(sim::scheduler& sched, net::conduit& conduit,
+                             net::flow_id flow, double duration_s, tcp::tcp_config cfg)
+    : sched_(&sched),
+      duration_s_(duration_s),
+      conn_(std::make_unique<tcp::tcp_connection>(sched, conduit, flow, cfg)) {}
+
+bulk_transfer::~bulk_transfer() {
+    for (const auto h : pending_events_) sched_->cancel(h);
+}
+
+void bulk_transfer::add_prefix_checkpoints(const std::vector<double>& prefixes) {
+    prefixes_.insert(prefixes_.end(), prefixes.begin(), prefixes.end());
+}
+
+void bulk_transfer::start(std::function<void(const transfer_result&)> on_done) {
+    on_done_ = std::move(on_done);
+    const double t0 = sched_->now();
+
+    for (const double prefix : prefixes_) {
+        pending_events_.push_back(sched_->schedule_in(prefix, [this, prefix] {
+            const double goodput =
+                static_cast<double>(conn_->sender().acked_bytes()) * 8.0 / prefix;
+            result_.prefix_goodput_bps.emplace_back(prefix, goodput);
+        }));
+    }
+
+    conn_->start();
+    pending_events_.push_back(sched_->schedule_in(duration_s_, [this, t0] {
+        conn_->quiesce();
+        done_ = true;
+        result_.duration_s = sched_->now() - t0;
+        result_.bytes = conn_->sender().acked_bytes();
+        // A transfer that delivered nothing still "measured" a throughput of
+        // less than one segment per lifetime; report that floor instead of a
+        // hard zero so downstream relative errors stay finite.
+        if (result_.bytes == 0) result_.bytes = conn_->sender().config().mss_bytes;
+        result_.tcp_stats = conn_->sender().stats();
+        if (on_done_) on_done_(result_);
+    }));
+}
+
+}  // namespace tcppred::probe

@@ -1,0 +1,61 @@
+// IPerf-like bulk TCP transfer: run a Reno connection for a fixed duration
+// and report its average goodput, plus goodput over prefixes of its
+// lifetime (used by the paper's transfer-length experiment, Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/path.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp.hpp"
+
+namespace tcppred::probe {
+
+/// Result of a timed bulk transfer.
+struct transfer_result {
+    double duration_s{0.0};
+    std::uint64_t bytes{0};
+    /// (prefix length, goodput over that prefix) pairs, in request order.
+    std::vector<std::pair<double, double>> prefix_goodput_bps;
+    tcp::sender_stats tcp_stats;
+
+    [[nodiscard]] double goodput_bps() const noexcept {
+        return duration_s > 0.0 ? static_cast<double>(bytes) * 8.0 / duration_s : 0.0;
+    }
+};
+
+/// Runs one timed bulk transfer over a conduit.
+class bulk_transfer {
+public:
+    bulk_transfer(sim::scheduler& sched, net::conduit& conduit, net::flow_id flow,
+                  double duration_s, tcp::tcp_config cfg = {});
+
+    /// Cancels the checkpoint/end events: safe to destroy mid-transfer.
+    ~bulk_transfer();
+
+    /// Request goodput checkpoints at the given prefix lengths (seconds from
+    /// start; must be called before start()).
+    void add_prefix_checkpoints(const std::vector<double>& prefixes);
+
+    /// Begin the transfer now; `on_done` fires when the duration elapses.
+    void start(std::function<void(const transfer_result&)> on_done = nullptr);
+
+    [[nodiscard]] bool done() const noexcept { return done_; }
+    [[nodiscard]] const transfer_result& result() const noexcept { return result_; }
+    [[nodiscard]] tcp::tcp_connection& connection() noexcept { return *conn_; }
+
+private:
+    sim::scheduler* sched_;
+    double duration_s_;
+    std::unique_ptr<tcp::tcp_connection> conn_;
+    std::vector<double> prefixes_;
+    std::vector<sim::event_handle> pending_events_;
+    std::function<void(const transfer_result&)> on_done_;
+    bool done_{false};
+    transfer_result result_{};
+};
+
+}  // namespace tcppred::probe

@@ -1,0 +1,74 @@
+#include "probe/ping_prober.hpp"
+
+namespace tcppred::probe {
+
+ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flow_id flow,
+                         ping_config cfg)
+    : sched_(&sched), path_(&path), flow_(flow), cfg_(cfg) {
+    // Far end: echo every probe back over the reverse path.
+    path_->on_deliver_forward(flow_, [this](net::packet p) {
+        net::packet echo = p;
+        echo.kind = net::packet_kind::probe_reply;
+        path_->send_reverse(echo);
+    });
+    // Near end: match echoes against outstanding probes.
+    path_->on_deliver_reverse(flow_, [this](net::packet p) {
+        auto it = outstanding_.find(p.seq);
+        if (it == outstanding_.end()) return;  // echo arrived after timeout
+        result_.rtts.push_back(sched_->now() - it->second.sent_at);
+        ++result_.received;
+        if (p.seq < result_.outcomes.size()) result_.outcomes[p.seq] = 1;
+        sched_->cancel(it->second.timeout);
+        outstanding_.erase(it);
+        ++resolved_;
+        check_done();
+    });
+}
+
+ping_prober::~ping_prober() {
+    sched_->cancel(next_probe_event_);
+    for (auto& [seq, p] : outstanding_) sched_->cancel(p.timeout);
+    path_->on_deliver_forward(flow_, nullptr);
+    path_->on_deliver_reverse(flow_, nullptr);
+}
+
+void ping_prober::start(std::function<void(const ping_result&)> on_done) {
+    on_done_ = std::move(on_done);
+    send_probe();
+}
+
+void ping_prober::send_probe() {
+    if (next_seq_ >= cfg_.count) {
+        sending_done_ = true;
+        check_done();
+        return;
+    }
+    const std::uint64_t seq = next_seq_++;
+    net::packet p;
+    p.flow = flow_;
+    p.kind = net::packet_kind::probe;
+    p.size_bytes = cfg_.probe_bytes;
+    p.seq = seq;
+    p.sent_at = sched_->now();
+    pending& entry = outstanding_[seq];
+    entry.sent_at = sched_->now();
+    ++result_.sent;
+    if (result_.outcomes.size() <= seq) result_.outcomes.resize(seq + 1, 0);
+    path_->send_forward(p);
+
+    entry.timeout = sched_->schedule_in(cfg_.reply_timeout_s, [this, seq] {
+        if (outstanding_.erase(seq) > 0) {
+            ++resolved_;  // timed out: lost
+            check_done();
+        }
+    });
+    next_probe_event_ = sched_->schedule_in(cfg_.interval_s, [this] { send_probe(); });
+}
+
+void ping_prober::check_done() {
+    if (done_ || !sending_done_ || resolved_ < cfg_.count) return;
+    done_ = true;
+    if (on_done_) on_done_(result_);
+}
+
+}  // namespace tcppred::probe

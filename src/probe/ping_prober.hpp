@@ -1,0 +1,88 @@
+// Periodic small-packet RTT / loss-rate prober — the "homespun ping utility"
+// of the paper (§4.1): a 41-byte probe every fixed interval, echoed by the
+// far end over the reverse path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/path.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppred::probe {
+
+/// Outcome of a probing session.
+struct ping_result {
+    std::uint64_t sent{0};
+    std::uint64_t received{0};
+    std::vector<double> rtts;  ///< RTT of each answered probe, seconds
+    /// Per-probe outcome by sequence number (1 = echoed, 0 = lost) -- the
+    /// input to loss-event collapsing (core/loss_events.hpp).
+    std::vector<std::uint8_t> outcomes;
+
+    /// Loss fraction among probes sent (p̂ or p̃ in the paper).
+    [[nodiscard]] double loss_rate() const noexcept {
+        return sent == 0 ? 0.0 : 1.0 - static_cast<double>(received) / static_cast<double>(sent);
+    }
+    /// Mean RTT of answered probes (T̂ or T̃), seconds.
+    [[nodiscard]] double mean_rtt() const noexcept {
+        if (rtts.empty()) return 0.0;
+        double s = 0.0;
+        for (const double r : rtts) s += r;
+        return s / static_cast<double>(rtts.size());
+    }
+};
+
+/// Sends `count` probes spaced `interval` apart and collects echoes.
+/// A probe with no echo after `reply_timeout` counts as lost. `finish()`
+/// fires once the last probe is either answered or timed out.
+/// Probing-session parameters.
+struct ping_config {
+    double interval_s{0.015};
+    std::uint64_t count{400};
+    double reply_timeout_s{2.0};
+    std::uint32_t probe_bytes{net::ping_probe_bytes};
+};
+
+class ping_prober {
+public:
+    ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flow_id flow,
+                ping_config cfg = {});
+
+    /// Cancels all pending probe/timeout events and unregisters from the
+    /// path: a prober is safe to destroy at any point of the simulation.
+    ~ping_prober();
+
+    /// Begin probing now; `on_done` fires when the session completes.
+    void start(std::function<void(const ping_result&)> on_done = nullptr);
+
+    [[nodiscard]] bool done() const noexcept { return done_; }
+    [[nodiscard]] const ping_result& result() const noexcept { return result_; }
+
+private:
+    void send_probe();
+    void check_done();
+
+    sim::scheduler* sched_;
+    net::duplex_path* path_;
+    net::flow_id flow_;
+    ping_config cfg_;
+    std::function<void(const ping_result&)> on_done_;
+
+    struct pending {
+        double sent_at{0.0};
+        sim::event_handle timeout{};
+    };
+    std::unordered_map<std::uint64_t, pending> outstanding_;
+    sim::event_handle next_probe_event_{};
+    std::uint64_t next_seq_{0};
+    std::uint64_t resolved_{0};  ///< answered or timed out
+    bool sending_done_{false};
+    bool done_{false};
+    ping_result result_{};
+};
+
+}  // namespace tcppred::probe

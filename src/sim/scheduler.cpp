@@ -1,0 +1,74 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcppred::sim {
+
+event_handle scheduler::schedule_at(time_point when, callback cb) {
+    if (when < now_) {
+        // Guard against accidental scheduling into the past; tolerate tiny
+        // floating-point backsliding by clamping.
+        if (now_ - when > 1e-9) {
+            throw std::invalid_argument("scheduler: event scheduled in the past");
+        }
+        when = now_;
+    }
+    const std::uint64_t id = next_id_++;
+    queue_.push(entry{when, id, std::move(cb)});
+    return event_handle{id};
+}
+
+void scheduler::cancel(event_handle h) {
+    if (!h.valid() || h.id >= next_id_) return;
+    cancelled_.insert(h.id);
+}
+
+bool scheduler::is_cancelled(std::uint64_t id) const {
+    return cancelled_.find(id) != cancelled_.end();
+}
+
+void scheduler::forget_cancelled(std::uint64_t id) { cancelled_.erase(id); }
+
+bool scheduler::step() {
+    while (!queue_.empty()) {
+        // std::priority_queue::top() is const; we need to move the callback
+        // out, so copy the POD parts first and pop.
+        const entry& top = queue_.top();
+        const time_point when = top.when;
+        const std::uint64_t id = top.id;
+        if (is_cancelled(id)) {
+            forget_cancelled(id);
+            queue_.pop();
+            continue;
+        }
+        callback cb = std::move(const_cast<entry&>(top).cb);
+        queue_.pop();
+        now_ = when;
+        ++fired_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void scheduler::run_until(time_point t_end) {
+    for (;;) {
+        // Drop cancelled events at the head so the horizon check below looks
+        // at a live event (step() would otherwise skip past t_end).
+        while (!queue_.empty() && is_cancelled(queue_.top().id)) {
+            forget_cancelled(queue_.top().id);
+            queue_.pop();
+        }
+        if (queue_.empty() || queue_.top().when > t_end) break;
+        step();
+    }
+    if (now_ < t_end) now_ = t_end;
+}
+
+void scheduler::run_all() {
+    while (step()) {
+    }
+}
+
+}  // namespace tcppred::sim

@@ -1,0 +1,97 @@
+// Discrete-event scheduler: the clock and event queue every simulated
+// component (links, TCP endpoints, probers, traffic sources) runs on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace tcppred::sim {
+
+/// Simulated time in seconds since the start of the simulation.
+using time_point = double;
+
+/// Opaque handle for a scheduled event, usable to cancel it before it fires.
+struct event_handle {
+    std::uint64_t id{0};
+
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Events are callbacks tagged with an absolute firing time. Events scheduled
+/// for the same instant fire in the order they were scheduled (FIFO
+/// tie-breaking), which keeps packet-level simulations deterministic.
+///
+/// Cancellation is lazy: `cancel()` marks the handle dead and the event is
+/// discarded when it reaches the head of the queue.
+class scheduler {
+public:
+    using callback = std::function<void()>;
+
+    scheduler() = default;
+    scheduler(const scheduler&) = delete;
+    scheduler& operator=(const scheduler&) = delete;
+
+    /// Current simulated time.
+    [[nodiscard]] time_point now() const noexcept { return now_; }
+
+    /// Schedule `cb` at absolute time `when` (must be >= now()).
+    event_handle schedule_at(time_point when, callback cb);
+
+    /// Schedule `cb` to fire `delay` seconds from now (delay >= 0).
+    event_handle schedule_in(time_point delay, callback cb) {
+        return schedule_at(now_ + delay, std::move(cb));
+    }
+
+    /// Cancel a previously scheduled event. Safe to call with an invalid or
+    /// already-fired handle (no effect).
+    void cancel(event_handle h);
+
+    /// Fire the next pending event, advancing the clock. Returns false when
+    /// the queue is empty.
+    bool step();
+
+    /// Run events until the queue is empty or the clock passes `t_end`.
+    /// Leaves the clock at min(t_end, time of last event fired) — the clock
+    /// is always advanced to `t_end` on return so subsequent schedule_in
+    /// calls are relative to the horizon.
+    void run_until(time_point t_end);
+
+    /// Run until no events remain.
+    void run_all();
+
+    /// Number of events currently pending (including cancelled-but-not-yet
+    /// popped ones).
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+    /// Total number of events fired so far (diagnostics / micro-benchmarks).
+    [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+private:
+    struct entry {
+        time_point when;
+        std::uint64_t id;
+        callback cb;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const noexcept {
+            if (a.when != b.when) return a.when > b.when;
+            return a.id > b.id;  // FIFO among simultaneous events
+        }
+    };
+
+    [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+    void forget_cancelled(std::uint64_t id);
+
+    std::priority_queue<entry, std::vector<entry>, later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    time_point now_{0.0};
+    std::uint64_t next_id_{1};
+    std::uint64_t fired_{0};
+};
+
+}  // namespace tcppred::sim

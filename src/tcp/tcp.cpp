@@ -1,0 +1,390 @@
+#include "tcp/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcppred::tcp {
+
+namespace {
+constexpr double k_rtt_alpha = 1.0 / 8.0;  // RFC 6298 SRTT gain
+constexpr double k_rtt_beta = 1.0 / 4.0;   // RFC 6298 RTTVAR gain
+}  // namespace
+
+tcp_sender::tcp_sender(sim::scheduler& sched, net::conduit& conduit, net::flow_id flow,
+                       tcp_config cfg)
+    : sched_(&sched),
+      conduit_(&conduit),
+      flow_(flow),
+      cfg_(cfg),
+      cwnd_(static_cast<double>(cfg.init_cwnd_segments)),
+      rto_(cfg.initial_rto_s) {
+    rwnd_segments_ = std::max<std::uint64_t>(1, cfg_.max_window_bytes / cfg_.mss_bytes);
+    ssthresh_ = static_cast<double>(
+        cfg_.initial_ssthresh_segments > 0
+            ? std::min(cfg_.initial_ssthresh_segments, rwnd_segments_)
+            : rwnd_segments_);
+    conduit_->on_deliver_ack(flow_, [this](net::packet p) { on_ack(p); });
+}
+
+tcp_sender::~tcp_sender() {
+    disarm_rto();
+    conduit_->on_deliver_ack(flow_, nullptr);
+}
+
+void tcp_sender::start() {
+    if (active_) return;
+    active_ = true;
+    try_send();
+}
+
+void tcp_sender::stop() { active_ = false; }
+
+void tcp_sender::quiesce() {
+    active_ = false;
+    quiesced_ = true;
+    disarm_rto();
+}
+
+std::uint64_t tcp_sender::usable_window() const noexcept {
+    double wnd = cwnd_;
+    if (in_recovery_) wnd += static_cast<double>(inflation_);
+    wnd = std::min(wnd, static_cast<double>(rwnd_segments_));
+    return std::max<std::uint64_t>(static_cast<std::uint64_t>(wnd), 1);
+}
+
+tcp_sender::seg_meta& tcp_sender::meta(std::uint64_t seq) {
+    return metas_.at(static_cast<std::size_t>(seq - snd_una_));
+}
+
+void tcp_sender::try_send() {
+    const std::uint64_t wnd = usable_window();
+    // A stopped sender offers no new data but still drains retransmissions
+    // of data already on the wire (stop() vs quiesce()).
+    while ((active_ || next_seq_ < max_seq_sent_) && flight() < wnd) {
+        const std::uint64_t seq = next_seq_++;
+        metas_.emplace_back();
+        transmit(seq);
+    }
+}
+
+void tcp_sender::transmit(std::uint64_t seq) {
+    // Anything below the high-water mark has been on the wire before: a
+    // retransmission (first transmissions after a go-back-N rewind included),
+    // and therefore invalid for RTT timing (Karn's algorithm).
+    const bool is_retx = seq < max_seq_sent_;
+    max_seq_sent_ = std::max(max_seq_sent_, seq + 1);
+
+    seg_meta& m = meta(seq);
+    m.send_time = sched_->now();
+    if (is_retx) m.retransmitted = true;
+
+    net::packet p;
+    p.flow = flow_;
+    p.kind = net::packet_kind::tcp_data;
+    p.size_bytes = cfg_.mss_bytes + net::tcp_ip_header_bytes;
+    p.seq = seq;
+    p.sent_at = sched_->now();
+    conduit_->send_data(p);
+    ++stats_.segments_sent;
+    if (is_retx) ++stats_.retransmits;
+    if (!rto_armed_) arm_rto(rto_);
+}
+
+void tcp_sender::on_ack(const net::packet& p) {
+    if (quiesced_) return;
+    const std::uint64_t ack = p.ack;
+    if (cfg_.variant == tcp_variant::sack && p.sack_end > p.sack_begin) {
+        apply_sack_block(std::max(p.sack_begin, ack), p.sack_end);
+    }
+    if (ack > snd_una_) {
+        const std::uint64_t newly = ack - snd_una_;
+        on_new_ack(ack, newly);
+        return;
+    }
+    if (ack == snd_una_ && flight() > 0) {
+        ++dupacks_;
+        if (in_recovery_) {
+            if (cfg_.variant == tcp_variant::sack) {
+                sack_send_during_recovery();
+            } else {
+                // Each extra dupack signals a departure from the pipe:
+                // inflate the usable window transiently.
+                ++inflation_;
+                try_send();
+            }
+        } else if (dupacks_ == cfg_.dupack_threshold) {
+            enter_fast_recovery();
+        }
+    }
+}
+
+void tcp_sender::apply_sack_block(std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t seq = begin; seq < end && seq < next_seq_; ++seq) {
+        if (seq < snd_una_) continue;
+        seg_meta& m = meta(seq);
+        if (!m.sacked) {
+            m.sacked = true;
+            highest_sacked_ = std::max(highest_sacked_, seq + 1);
+        }
+    }
+}
+
+std::uint64_t tcp_sender::sacked_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const seg_meta& m : metas_) n += m.sacked ? 1 : 0;
+    return n;
+}
+
+void tcp_sender::sack_send_during_recovery() {
+    // RFC 3517-style pipe algorithm, simplified: keep cwnd segments in the
+    // pipe; fill it first with retransmissions of segments inferred lost
+    // (unSACKed below the highest SACKed seq, not yet retransmitted this
+    // recovery episode), then with new data.
+    for (;;) {
+        const std::uint64_t pipe = flight() - sacked_count();
+        if (pipe >= usable_window()) return;
+        bool sent = false;
+        for (std::uint64_t seq = snd_una_; seq < highest_sacked_ && seq < next_seq_;
+             ++seq) {
+            seg_meta& m = meta(seq);
+            if (!m.sacked && m.retx_epoch != recovery_epoch_) {
+                m.retx_epoch = recovery_epoch_;
+                transmit(seq);
+                sent = true;
+                break;
+            }
+        }
+        if (!sent) {
+            if (!active_) return;
+            const std::uint64_t seq = next_seq_++;
+            metas_.emplace_back();
+            transmit(seq);
+        }
+    }
+}
+
+void tcp_sender::on_new_ack(std::uint64_t ack, std::uint64_t newly) {
+    // After a go-back-N rewind the receiver's cumulative ACK can run ahead
+    // of our resend pointer (it buffered the out-of-order tail): skip what
+    // it already holds.
+    if (ack > next_seq_) next_seq_ = ack;
+
+    // RTT sample from the highest newly-acked segment we still have timing
+    // for, only if it was never retransmitted (Karn's algorithm).
+    const std::uint64_t covered = std::min<std::uint64_t>(newly, metas_.size());
+    if (covered > 0) {
+        const seg_meta& last = metas_[static_cast<std::size_t>(covered - 1)];
+        if (!last.retransmitted) update_rtt(sched_->now() - last.send_time);
+    }
+
+    snd_una_ = ack;
+    metas_.erase(metas_.begin(), metas_.begin() + static_cast<std::ptrdiff_t>(covered));
+    stats_.segments_delivered += newly;
+    backoff_ = 0;
+    dupacks_ = 0;
+
+    if (in_recovery_) {
+        if (ack >= recover_point_) {
+            // Full ACK: recovery complete, deflate to ssthresh.
+            in_recovery_ = false;
+            inflation_ = 0;
+            cwnd_ = ssthresh_;
+        } else if (cfg_.variant == tcp_variant::sack) {
+            // SACK partial ACK: the scoreboard drives what to resend next.
+            inflation_ = 0;
+            sack_send_during_recovery();
+        } else {
+            // NewReno partial ACK (RFC 6582): the ACK exposes the next hole;
+            // retransmit it immediately, drop the transient inflation and
+            // stay in recovery. This is what keeps multi-loss windows from
+            // ending in RTOs.
+            inflation_ = 0;
+            transmit(snd_una_);
+        }
+    } else if (cwnd_ < ssthresh_) {
+        cwnd_ += static_cast<double>(newly);  // slow start
+        if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    } else {
+        cwnd_ += static_cast<double>(newly) / cwnd_;  // congestion avoidance
+    }
+    cwnd_ = std::min(cwnd_, static_cast<double>(rwnd_segments_));
+    cwnd_ = std::max(cwnd_, 1.0);
+
+    if (flight() == 0) {
+        disarm_rto();
+    } else {
+        disarm_rto();
+        arm_rto(rto_);
+    }
+    try_send();
+}
+
+void tcp_sender::enter_fast_recovery() {
+    ++stats_.fast_recoveries;
+    ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
+
+    if (cfg_.variant == tcp_variant::tahoe) {
+        // Tahoe: no fast recovery — slow-start from one segment, resending
+        // from the loss point (go-back-N), like a timeout without backoff.
+        cwnd_ = 1.0;
+        dupacks_ = 0;
+        next_seq_ = snd_una_;
+        metas_.clear();
+        highest_sacked_ = snd_una_;
+        try_send();
+        disarm_rto();
+        arm_rto(rto_);
+        return;
+    }
+
+    recover_point_ = next_seq_;
+    in_recovery_ = true;
+    ++recovery_epoch_;
+    cwnd_ = ssthresh_;
+    inflation_ = cfg_.dupack_threshold;
+    if (cfg_.variant == tcp_variant::sack) {
+        seg_meta& first = meta(snd_una_);
+        first.retx_epoch = recovery_epoch_;
+        transmit(snd_una_);
+        sack_send_during_recovery();
+    } else {
+        transmit(snd_una_);
+    }
+    disarm_rto();
+    arm_rto(rto_);
+}
+
+void tcp_sender::update_rtt(double sample) {
+    stats_.rtt_samples.push_back(sample);
+    if (!have_rtt_) {
+        srtt_ = sample;
+        rttvar_ = sample / 2.0;
+        have_rtt_ = true;
+    } else {
+        rttvar_ = (1.0 - k_rtt_beta) * rttvar_ + k_rtt_beta * std::abs(srtt_ - sample);
+        srtt_ = (1.0 - k_rtt_alpha) * srtt_ + k_rtt_alpha * sample;
+    }
+    rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto_s, cfg_.max_rto_s);
+}
+
+void tcp_sender::arm_rto(double timeout) {
+    rto_armed_ = true;
+    const std::uint64_t generation = ++rto_generation_;
+    rto_event_ =
+        sched_->schedule_in(timeout, [this, generation] { on_rto_fire(generation); });
+}
+
+void tcp_sender::disarm_rto() {
+    rto_armed_ = false;
+    ++rto_generation_;            // invalidate in-flight timer callbacks
+    sched_->cancel(rto_event_);   // and drop the event so `this` is never touched
+    rto_event_ = {};
+}
+
+void tcp_sender::on_rto_fire(std::uint64_t generation) {
+    if (generation != rto_generation_ || !rto_armed_) return;
+    rto_armed_ = false;
+    if (flight() == 0) return;
+
+    ++stats_.timeouts;
+    ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
+    cwnd_ = 1.0;
+    in_recovery_ = false;
+    inflation_ = 0;
+    dupacks_ = 0;
+    backoff_ = std::min<std::uint32_t>(backoff_ + 1, cfg_.max_rto_backoff);
+    // Go-back-N: rewind the send pointer to the first unacknowledged
+    // segment and resend forward from there as the window reopens — absent
+    // SACK this is how a timeout recovers a multi-loss window. Segments the
+    // receiver already buffered are re-ACKed past in on_new_ack.
+    next_seq_ = snd_una_;
+    metas_.clear();
+    highest_sacked_ = snd_una_;
+    try_send();  // cwnd = 1: retransmits exactly the first hole
+    const double backed_off =
+        std::min(rto_ * static_cast<double>(1u << backoff_), cfg_.max_rto_s);
+    disarm_rto();
+    arm_rto(backed_off);
+}
+
+tcp_receiver::tcp_receiver(sim::scheduler& sched, net::conduit& conduit, net::flow_id flow,
+                           tcp_config cfg)
+    : sched_(&sched), conduit_(&conduit), flow_(flow), cfg_(cfg) {
+    conduit_->on_deliver_data(flow_, [this](net::packet p) { on_data(p); });
+}
+
+tcp_receiver::~tcp_receiver() {
+    sched_->cancel(delack_event_);
+    conduit_->on_deliver_data(flow_, nullptr);
+}
+
+void tcp_receiver::on_data(const net::packet& p) {
+    last_arrival_ = p.seq;
+    if (p.seq == rcv_next_) {
+        ++rcv_next_;
+        while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+            out_of_order_.erase(out_of_order_.begin());
+            ++rcv_next_;
+        }
+        if (!out_of_order_.empty()) {
+            // Still a hole: keep the sender's dupack clock running.
+            send_ack_now();
+        } else if (cfg_.delayed_ack) {
+            maybe_delay_ack();
+        } else {
+            send_ack_now();
+        }
+        return;
+    }
+    if (p.seq > rcv_next_) {
+        out_of_order_.insert(p.seq);
+        send_ack_now();  // duplicate ACK
+        return;
+    }
+    // Below rcv_next_: spurious retransmission; re-ACK immediately.
+    send_ack_now();
+}
+
+void tcp_receiver::maybe_delay_ack() {
+    ++unacked_segments_;
+    if (unacked_segments_ >= 2) {
+        send_ack_now();
+        return;
+    }
+    delack_armed_ = true;
+    const std::uint64_t generation = ++delack_generation_;
+    delack_event_ = sched_->schedule_in(cfg_.delack_timeout_s, [this, generation] {
+        if (delack_armed_ && generation == delack_generation_) send_ack_now();
+    });
+}
+
+void tcp_receiver::send_ack_now() {
+    unacked_segments_ = 0;
+    delack_armed_ = false;
+    ++delack_generation_;
+
+    net::packet a;
+    a.flow = flow_;
+    a.kind = net::packet_kind::tcp_ack;
+    a.size_bytes = net::tcp_ip_header_bytes;
+    a.ack = rcv_next_;
+    // SACK option: report the out-of-order run containing the most recently
+    // received segment (one block per ACK, as real stacks lead with the
+    // most recent block).
+    if (!out_of_order_.empty() && out_of_order_.count(last_arrival_) > 0) {
+        std::uint64_t lo = last_arrival_, hi = last_arrival_ + 1;
+        while (out_of_order_.count(lo - 1) > 0) --lo;
+        while (out_of_order_.count(hi) > 0) ++hi;
+        a.sack_begin = lo;
+        a.sack_end = hi;
+    }
+    a.sent_at = sched_->now();
+    conduit_->send_ack(a);
+    ++acks_sent_;
+}
+
+tcp_connection::tcp_connection(sim::scheduler& sched, net::conduit& conduit,
+                               net::flow_id flow, tcp_config cfg)
+    : sender_(sched, conduit, flow, cfg), receiver_(sched, conduit, flow, cfg) {}
+
+}  // namespace tcppred::tcp

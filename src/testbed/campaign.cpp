@@ -1,0 +1,158 @@
+#include "testbed/campaign.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/rng.hpp"
+#include "testbed/load_process.hpp"
+
+namespace tcppred::testbed {
+
+dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
+    dataset data;
+    data.paths = cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
+                                : ron_like_catalog(cfg.paths, cfg.seed);
+
+    const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
+    int completed = 0;
+    data.records.reserve(static_cast<std::size_t>(total));
+
+    for (const auto& profile : data.paths) {
+        for (int trace = 0; trace < cfg.traces_per_path; ++trace) {
+            const std::uint64_t trace_seed =
+                sim::derive_seed(cfg.seed, "trace", static_cast<std::uint64_t>(profile.id),
+                                 static_cast<std::uint64_t>(trace));
+            const auto loads = load_trajectory(profile, trace_seed, cfg.epochs_per_trace);
+            for (int epoch = 0; epoch < cfg.epochs_per_trace; ++epoch) {
+                const std::uint64_t epoch_seed = sim::derive_seed(
+                    cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
+                    static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
+                epoch_record rec;
+                rec.path_id = profile.id;
+                rec.trace_id = trace;
+                rec.epoch_index = epoch;
+                rec.m = run_epoch(profile, loads[static_cast<std::size_t>(epoch)],
+                                  epoch_seed, cfg.epoch);
+                data.records.push_back(std::move(rec));
+                ++completed;
+                if (progress) progress(completed, total);
+            }
+        }
+    }
+    return data;
+}
+
+campaign_scale scale_from_env() {
+    const char* env = std::getenv("REPRO_SCALE");
+    if (!env) return campaign_scale::normal;
+    const std::string s(env);
+    if (s == "tiny") return campaign_scale::tiny;
+    if (s == "paper") return campaign_scale::paper;
+    return campaign_scale::normal;
+}
+
+campaign_config campaign1_config(campaign_scale scale) {
+    campaign_config cfg;
+    switch (scale) {
+        case campaign_scale::tiny:
+            cfg.paths = 8;
+            cfg.traces_per_path = 1;
+            cfg.epochs_per_trace = 45;
+            break;
+        case campaign_scale::normal:
+            cfg.paths = 35;
+            cfg.traces_per_path = 2;
+            cfg.epochs_per_trace = 120;
+            break;
+        case campaign_scale::paper:
+            cfg.paths = 35;
+            cfg.traces_per_path = 7;
+            cfg.epochs_per_trace = 150;
+            break;
+    }
+    return cfg;
+}
+
+campaign_config campaign2_config(campaign_scale scale) {
+    campaign_config cfg;
+    cfg.second_set = true;
+    cfg.seed = 20060301;  // March 2006, the paper's second set
+    // Longer target transfers with goodput checkpoints at 1/4, 1/2 and the
+    // full length (the paper's 30/60/120 s of a 120 s transfer).
+    cfg.epoch.transfer_s = 24.0;
+    cfg.epoch.prefix_s = {6.0, 12.0, 24.0};
+    cfg.epoch.run_small_window = false;
+    switch (scale) {
+        case campaign_scale::tiny:
+            cfg.paths = 4;
+            cfg.traces_per_path = 1;
+            cfg.epochs_per_trace = 15;
+            break;
+        case campaign_scale::normal:
+            cfg.paths = 24;
+            cfg.traces_per_path = 1;
+            cfg.epochs_per_trace = 60;
+            break;
+        case campaign_scale::paper:
+            cfg.paths = 24;
+            cfg.traces_per_path = 3;
+            cfg.epochs_per_trace = 120;
+            break;
+    }
+    return cfg;
+}
+
+dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& file) {
+    if (std::filesystem::exists(file)) {
+        return load_csv(file);
+    }
+    std::cerr << "[campaign] dataset " << file
+              << " not found; running measurement campaign (this is done once"
+                 " and cached)...\n";
+    int last_percent = -1;
+    dataset data = run_campaign(cfg, [&](int done, int total) {
+        const int percent = done * 100 / total;
+        if (percent / 5 != last_percent / 5) {
+            std::cerr << "[campaign] " << percent << "% (" << done << "/" << total
+                      << " epochs)\n";
+            last_percent = percent;
+        }
+    });
+    std::filesystem::create_directories(file.parent_path().empty() ? "."
+                                                                   : file.parent_path());
+    save_csv(data, file);
+    std::cerr << "[campaign] saved " << data.records.size() << " epochs to " << file << "\n";
+    return data;
+}
+
+std::filesystem::path data_dir() {
+    if (const char* env = std::getenv("REPRO_DATA_DIR")) return env;
+    return "data";
+}
+
+namespace {
+
+std::string scale_suffix(campaign_scale s) {
+    switch (s) {
+        case campaign_scale::tiny: return "tiny";
+        case campaign_scale::normal: return "default";
+        case campaign_scale::paper: return "paper";
+    }
+    return "default";
+}
+
+}  // namespace
+
+dataset ensure_campaign1() {
+    const campaign_scale scale = scale_from_env();
+    return load_or_run(campaign1_config(scale),
+                       data_dir() / ("campaign1_" + scale_suffix(scale) + ".csv"));
+}
+
+dataset ensure_campaign2() {
+    const campaign_scale scale = scale_from_env();
+    return load_or_run(campaign2_config(scale),
+                       data_dir() / ("campaign2_" + scale_suffix(scale) + ".csv"));
+}
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,53 @@
+// Campaign orchestration: the full paths x traces x epochs measurement
+// sweep of §4.1, plus load-or-run caching so the expensive simulation runs
+// once and every figure binary shares the CSV (the paper's
+// collect-then-analyze split).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testbed/dataset.hpp"
+
+namespace tcppred::testbed {
+
+/// Size and seeding of a measurement campaign.
+struct campaign_config {
+    int paths{35};
+    int traces_per_path{2};
+    int epochs_per_trace{120};
+    std::uint64_t seed{20040501};  ///< May 2004, the paper's first set
+    epoch_config epoch{};
+    bool second_set{false};  ///< use the campaign-2 catalogue & transfer plan
+};
+
+/// Progress callback: (epochs completed, total epochs).
+using progress_fn = std::function<void(int, int)>;
+
+/// Run a campaign from scratch (deterministic in cfg).
+[[nodiscard]] dataset run_campaign(const campaign_config& cfg, progress_fn progress = nullptr);
+
+/// Pre-canned sizes, selectable with REPRO_SCALE=tiny|default|paper.
+enum class campaign_scale { tiny, normal, paper };
+[[nodiscard]] campaign_scale scale_from_env();
+[[nodiscard]] campaign_config campaign1_config(campaign_scale scale);
+/// Campaign 2 (§4.1 second set, March 2006): fresh paths, longer transfers
+/// with 1/4, 1/2 and full-length goodput checkpoints, no W=20KB companion.
+[[nodiscard]] campaign_config campaign2_config(campaign_scale scale);
+
+/// Load `file` if present, otherwise run the campaign and save it there.
+/// Progress goes to stderr.
+[[nodiscard]] dataset load_or_run(const campaign_config& cfg,
+                                  const std::filesystem::path& file);
+
+/// Resolve the shared data directory: $REPRO_DATA_DIR or "data".
+[[nodiscard]] std::filesystem::path data_dir();
+
+/// The standard cached campaign-1 / campaign-2 datasets used by benches and
+/// examples (scale from $REPRO_SCALE).
+[[nodiscard]] dataset ensure_campaign1();
+[[nodiscard]] dataset ensure_campaign2();
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,177 @@
+#include "testbed/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcppred::testbed {
+
+namespace {
+
+constexpr int k_max_prefixes = 3;
+
+path_class class_from_string(const std::string& s) {
+    if (s == "dsl") return path_class::dsl;
+    if (s == "eu") return path_class::transatlantic;
+    if (s == "kr") return path_class::transpacific;
+    return path_class::us_university;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+    std::vector<std::string> out;
+    std::stringstream ss(line);
+    std::string item;
+    while (std::getline(ss, item, sep)) out.push_back(item);
+    return out;
+}
+
+}  // namespace
+
+std::map<std::pair<int, int>, std::vector<const epoch_record*>> dataset::traces() const {
+    std::map<std::pair<int, int>, std::vector<const epoch_record*>> out;
+    for (const auto& r : records) out[{r.path_id, r.trace_id}].push_back(&r);
+    for (auto& [key, recs] : out) {
+        std::sort(recs.begin(), recs.end(), [](const epoch_record* a, const epoch_record* b) {
+            return a->epoch_index < b->epoch_index;
+        });
+    }
+    return out;
+}
+
+std::vector<double> dataset::throughput_series(int path_id, int trace_id) const {
+    std::vector<std::pair<int, double>> tmp;
+    for (const auto& r : records) {
+        if (r.path_id == path_id && r.trace_id == trace_id) {
+            tmp.emplace_back(r.epoch_index, r.m.r_large_bps);
+        }
+    }
+    std::sort(tmp.begin(), tmp.end());
+    std::vector<double> out;
+    out.reserve(tmp.size());
+    for (const auto& [_, v] : tmp) out.push_back(v);
+    return out;
+}
+
+std::vector<double> dataset::small_window_series(int path_id, int trace_id) const {
+    std::vector<std::pair<int, double>> tmp;
+    for (const auto& r : records) {
+        if (r.path_id == path_id && r.trace_id == trace_id) {
+            tmp.emplace_back(r.epoch_index, r.m.r_small_bps);
+        }
+    }
+    std::sort(tmp.begin(), tmp.end());
+    std::vector<double> out;
+    out.reserve(tmp.size());
+    for (const auto& [_, v] : tmp) out.push_back(v);
+    return out;
+}
+
+const path_profile& dataset::profile(int path_id) const {
+    for (const auto& p : paths) {
+        if (p.id == path_id) return p;
+    }
+    throw std::out_of_range("dataset: unknown path id " + std::to_string(path_id));
+}
+
+void save_csv(const dataset& data, const std::filesystem::path& file) {
+    std::ofstream out(file);
+    if (!out) throw std::runtime_error("save_csv: cannot open " + file.string());
+    out.precision(10);
+
+    // Catalogue summary lines: what post-hoc analysis needs about each path.
+    for (const auto& p : data.paths) {
+        out << "#path," << p.id << ',' << p.name << ',' << to_string(p.klass) << ','
+            << p.bottleneck_bps() << ',' << p.base_rtt_s() << ','
+            << p.forward.at(p.bottleneck).buffer_packets << ',' << p.base_utilization << ','
+            << p.elastic_flows << '\n';
+    }
+
+    out << "path,trace,epoch,availbw_bps,phat,phat_events,that_s,ptilde,ttilde_s,"
+           "r_large_bps,r_small_bps,tcp_loss,tcp_event_rate,tcp_rtt_s";
+    for (int i = 0; i < k_max_prefixes; ++i) out << ",prefix" << i << "_s,prefix" << i << "_bps";
+    out << '\n';
+
+    for (const auto& r : data.records) {
+        const auto& m = r.m;
+        out << r.path_id << ',' << r.trace_id << ',' << r.epoch_index << ','
+            << m.avail_bw_bps << ',' << m.phat << ',' << m.phat_events << ','
+            << m.that_s << ',' << m.ptilde << ',' << m.ttilde_s << ','
+            << m.r_large_bps << ',' << m.r_small_bps << ','
+            << m.tcp_loss_rate << ',' << m.tcp_event_rate << ',' << m.tcp_mean_rtt_s;
+        for (int i = 0; i < k_max_prefixes; ++i) {
+            if (static_cast<std::size_t>(i) < m.prefix_goodputs.size()) {
+                out << ',' << m.prefix_goodputs[static_cast<std::size_t>(i)].first << ','
+                    << m.prefix_goodputs[static_cast<std::size_t>(i)].second;
+            } else {
+                out << ",0,0";
+            }
+        }
+        out << '\n';
+    }
+}
+
+dataset load_csv(const std::filesystem::path& file) {
+    std::ifstream in(file);
+    if (!in) throw std::runtime_error("load_csv: cannot open " + file.string());
+
+    dataset data;
+    std::string line;
+    bool header_seen = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (line.rfind("#path,", 0) == 0) {
+            const auto f = split(line.substr(6), ',');
+            if (f.size() < 8) throw std::runtime_error("load_csv: bad catalogue line");
+            path_profile p;
+            p.id = std::stoi(f[0]);
+            p.name = f[1];
+            p.klass = class_from_string(f[2]);
+            // Loaded profiles are analysis summaries: a single-hop topology
+            // carrying the bottleneck capacity / RTT / buffer of the
+            // original (full hop structure is only needed to *run* epochs).
+            const double cap = std::stod(f[3]);
+            const double rtt = std::stod(f[4]);
+            const auto buffer = static_cast<std::size_t>(std::stoul(f[5]));
+            p.forward = {net::hop_config{cap, rtt / 2.0, buffer}};
+            p.reverse = {net::hop_config{100e6, rtt / 2.0, 512}};
+            p.bottleneck = 0;
+            p.base_utilization = std::stod(f[6]);
+            p.elastic_flows = std::stoi(f[7]);
+            data.paths.push_back(std::move(p));
+            continue;
+        }
+        if (!header_seen) {  // column header
+            header_seen = true;
+            continue;
+        }
+        const auto f = split(line, ',');
+        if (f.size() < 14) throw std::runtime_error("load_csv: bad record line: " + line);
+        epoch_record r;
+        r.path_id = std::stoi(f[0]);
+        r.trace_id = std::stoi(f[1]);
+        r.epoch_index = std::stoi(f[2]);
+        r.m.avail_bw_bps = std::stod(f[3]);
+        r.m.phat = std::stod(f[4]);
+        r.m.phat_events = std::stod(f[5]);
+        r.m.that_s = std::stod(f[6]);
+        r.m.ptilde = std::stod(f[7]);
+        r.m.ttilde_s = std::stod(f[8]);
+        r.m.r_large_bps = std::stod(f[9]);
+        r.m.r_small_bps = std::stod(f[10]);
+        r.m.tcp_loss_rate = std::stod(f[11]);
+        r.m.tcp_event_rate = std::stod(f[12]);
+        r.m.tcp_mean_rtt_s = std::stod(f[13]);
+        for (int i = 0; i < k_max_prefixes; ++i) {
+            const std::size_t base = 14 + static_cast<std::size_t>(2 * i);
+            if (base + 1 < f.size()) {
+                const double prefix_s = std::stod(f[base]);
+                const double bps = std::stod(f[base + 1]);
+                if (prefix_s > 0.0) r.m.prefix_goodputs.emplace_back(prefix_s, bps);
+            }
+        }
+        data.records.push_back(std::move(r));
+    }
+    return data;
+}
+
+}  // namespace tcppred::testbed

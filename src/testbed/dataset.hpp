@@ -1,0 +1,48 @@
+// The measurement dataset: one record per epoch, CSV persistence so a
+// campaign is generated once and shared by every analysis/bench binary
+// (exactly as the paper separates trace collection from analysis).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testbed/epoch_runner.hpp"
+
+namespace tcppred::testbed {
+
+/// One epoch's results, keyed by (path, trace, epoch).
+struct epoch_record {
+    int path_id{0};
+    int trace_id{0};
+    int epoch_index{0};
+    epoch_measurement m;
+};
+
+/// A full campaign's records plus the catalogue that produced them.
+struct dataset {
+    std::vector<path_profile> paths;
+    std::vector<epoch_record> records;
+
+    /// Group records into per-(path, trace) series, ordered by epoch index.
+    [[nodiscard]] std::map<std::pair<int, int>, std::vector<const epoch_record*>>
+    traces() const;
+
+    /// The W=1MB throughput series of one trace, ordered by epoch.
+    [[nodiscard]] std::vector<double> throughput_series(int path_id, int trace_id) const;
+    /// The W=20KB throughput series of one trace.
+    [[nodiscard]] std::vector<double> small_window_series(int path_id, int trace_id) const;
+
+    [[nodiscard]] const path_profile& profile(int path_id) const;
+};
+
+/// Write records as CSV (one header line, one line per epoch).
+void save_csv(const dataset& data, const std::filesystem::path& file);
+
+/// Read records back. The path catalogue is re-derived from the stored
+/// catalogue parameters line. Throws on malformed input.
+[[nodiscard]] dataset load_csv(const std::filesystem::path& file);
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,34 @@
+// Per-trace background-load trajectory: a regime-switching utilization
+// process with occasional single-epoch outlier spikes and optional linear
+// trends. This is what creates the level shifts, outliers and trends the
+// paper observes in TCP throughput time series (§5.2, Fig. 15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testbed/path_catalog.hpp"
+
+namespace tcppred::testbed {
+
+/// The background-load conditions of one measurement epoch.
+struct load_state {
+    double utilization{0.3};   ///< open-loop offered load / bottleneck capacity
+    int elastic_flows{0};      ///< concurrently active persistent TCP flows
+    bool outlier_spike{false}; ///< single-epoch anomaly (flash load / drain)
+    bool regime_shift{false};  ///< first epoch of a new regime
+    /// Multiplier applied to the open-loop load when the target transfer
+    /// starts: the paper's epochs spanned minutes, so the conditions the
+    /// transfer met had often drifted from the a-priori measurements
+    /// (the staleness error source of s3.2).
+    double intra_epoch_drift{1.0};
+};
+
+/// Generate the load trajectory of one trace: `epochs` states, derived
+/// deterministically from the profile's dynamics parameters and the trace
+/// seed.
+[[nodiscard]] std::vector<load_state> load_trajectory(const path_profile& profile,
+                                                      std::uint64_t trace_seed,
+                                                      int epochs);
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,154 @@
+#include "testbed/path_catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace tcppred::testbed {
+
+namespace {
+
+/// A fast, uncongested edge link on either side of the bottleneck.
+net::hop_config edge_hop(double delay_s) {
+    return net::hop_config{100e6, delay_s, 512};
+}
+
+/// Assemble the common 3-hop forward / 1-hop reverse topology around a
+/// bottleneck of capacity `cap` with round-trip propagation `rtt`.
+void build_hops(path_profile& p, double cap_bps, double rtt_s, std::size_t buffer_pkts) {
+    const double one_way = rtt_s / 2.0;
+    p.forward = {edge_hop(one_way * 0.2),
+                 net::hop_config{cap_bps, one_way * 0.6, buffer_pkts},
+                 edge_hop(one_way * 0.2)};
+    p.bottleneck = 1;
+    p.reverse = {edge_hop(one_way)};
+}
+
+path_profile make_path(int id, path_class klass, sim::rng& r) {
+    path_profile p;
+    p.id = id;
+    p.klass = klass;
+
+    double cap = 0.0, rtt = 0.0;
+    switch (klass) {
+        case path_class::dsl:
+            cap = r.uniform(0.768e6, 3.0e6);
+            rtt = r.uniform(0.020, 0.070);
+            break;
+        case path_class::us_university:
+            cap = r.uniform(9e6, 13e6);
+            rtt = r.uniform(0.015, 0.080);
+            break;
+        case path_class::transatlantic:
+            cap = r.uniform(9e6, 12e6);
+            rtt = r.uniform(0.090, 0.150);
+            break;
+        case path_class::transpacific:
+            cap = r.uniform(9e6, 11e6);
+            rtt = r.uniform(0.200, 0.240);
+            break;
+    }
+
+    // Buffering between ~0.4x and ~2x of the bandwidth-delay product, with a
+    // sane floor — the spread that makes avail-bw sometimes unattainable for
+    // TCP (§3.4).
+    const double bdp_packets = cap * rtt / (1500.0 * 8.0);
+    // Buffer provisioning varies wildly across the population: a third of
+    // the paths have shallow buffers (under-provisioned ports) that drop
+    // under bursts even at moderate utilization and keep TCP from reaching
+    // the measured avail-bw (§3.4); DSL access links are deeply buffered
+    // (paper-era bufferbloat), which is where the >100 ms RTT inflation of
+    // Fig. 3 comes from.
+    double buffer_bdp = r.chance(0.4) ? r.uniform(0.1, 0.4) : r.uniform(0.8, 2.5);
+    if (klass == path_class::dsl) buffer_bdp = r.uniform(1.5, 5.0);
+    const auto buffer = static_cast<std::size_t>(
+        std::max(10.0, bdp_packets * buffer_bdp));
+    build_hops(p, cap, rtt, buffer);
+
+    p.base_utilization = r.uniform(0.15, 0.62);
+    p.burstiness = r.uniform(0.05, 0.3);
+    p.elastic_flows = static_cast<int>(r.uniform_int(0, klass == path_class::dsl ? 1 : 2));
+    p.elastic_window_bytes = static_cast<std::uint64_t>(r.uniform_int(8, 16)) * 1024;
+    p.elastic_rtt_s = r.uniform(0.06, 0.15);
+
+    // Roughly half the paths carry persistent low-grade ambient loss (the
+    // paper's "lossy paths", 56% of predictions were PFTK-based). Losses
+    // arrive in upstream-congestion episodes of tens of milliseconds.
+    p.random_loss_rate = r.chance(0.85) ? r.uniform(0.001, 0.006) : 0.0;
+    p.loss_burst_s = r.uniform(0.01, 0.04);
+
+    p.shift_probability = r.uniform(0.002, 0.012);
+    p.outlier_probability = r.uniform(0.001, 0.007);
+    p.trend_per_epoch = r.chance(0.2) ? r.uniform(-0.002, 0.002) : 0.0;
+    p.regime_util_min = std::max(0.02, p.base_utilization - r.uniform(0.15, 0.35));
+    p.regime_util_max = std::min(0.92, p.base_utilization + r.uniform(0.15, 0.35));
+
+    // A minority of paths are persistently congested: high utilization and
+    // aggressive competing traffic. These become the paper's
+    // high-error/unpredictable cluster (§4.2.4, Fig. 21d).
+    if (r.chance(0.28)) {
+        p.base_utilization = r.uniform(0.75, 0.92);
+        p.regime_util_min = p.base_utilization - 0.1;
+        p.regime_util_max = std::min(0.93, p.base_utilization + 0.06);
+        p.burstiness = r.uniform(0.2, 0.45);
+        p.elastic_flows += 1;
+        // Persistently congested links of the era were also deeply buffered
+        // (bufferbloat): pre-transfer probing sees little loss but long
+        // delays, the leftover capacity is tiny, and FB overestimates by an
+        // order of magnitude (the paper's worst paths, Fig. 7/8).
+        const double bdp_pkts = cap * rtt / (1500.0 * 8.0);
+        p.forward[p.bottleneck].buffer_packets =
+            static_cast<std::size_t>(std::max(24.0, bdp_pkts * r.uniform(2.0, 5.0)));
+    }
+
+    p.name = std::string(to_string(klass)) + "-" + std::to_string(id);
+    return p;
+}
+
+}  // namespace
+
+std::string_view to_string(path_class c) {
+    switch (c) {
+        case path_class::dsl: return "dsl";
+        case path_class::us_university: return "us";
+        case path_class::transatlantic: return "eu";
+        case path_class::transpacific: return "kr";
+    }
+    return "?";
+}
+
+std::vector<path_profile> ron_like_catalog(int count, std::uint64_t seed) {
+    std::vector<path_profile> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        sim::rng r(sim::derive_seed(seed, "path", static_cast<std::uint64_t>(i)));
+        // Population mix of the May 2004 measurement set: 7/35 DSL, 5/35
+        // transatlantic, 1/35 Korea, the rest US universities.
+        path_class klass = path_class::us_university;
+        const double mix = static_cast<double>(i) / std::max(1, count);
+        if (mix < 0.2) {
+            klass = path_class::dsl;
+        } else if (mix >= 0.82 && mix < 0.97) {
+            klass = path_class::transatlantic;
+        } else if (mix >= 0.97) {
+            klass = path_class::transpacific;
+        }
+        out.push_back(make_path(i, klass, r));
+    }
+    return out;
+}
+
+std::vector<path_profile> second_campaign_catalog(int count, std::uint64_t seed) {
+    std::vector<path_profile> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        sim::rng r(sim::derive_seed(seed, "path2", static_cast<std::uint64_t>(i)));
+        const path_class klass = (i == 0) ? path_class::dsl : path_class::us_university;
+        out.push_back(make_path(i, klass, r));
+        out.back().name = "set2-" + out.back().name;
+    }
+    return out;
+}
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,78 @@
+// The synthetic stand-in for the RON testbed (§4.1): a catalogue of path
+// profiles whose capacities, RTTs, buffering, cross-traffic mixes and load
+// dynamics mirror the population the paper measured — 7 DSL-bottleneck
+// paths, a majority of >=10 Mbps US university paths, a few transatlantic
+// paths and one trans-Pacific (Korea) path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/path.hpp"
+
+namespace tcppred::testbed {
+
+/// Broad class of a path; drives the parameter ranges below.
+enum class path_class { dsl, us_university, transatlantic, transpacific };
+
+[[nodiscard]] std::string_view to_string(path_class c);
+
+/// Everything that is *static* about a path across a whole campaign.
+struct path_profile {
+    int id{0};
+    std::string name;
+    path_class klass{path_class::us_university};
+
+    std::vector<net::hop_config> forward;
+    std::vector<net::hop_config> reverse;
+    std::size_t bottleneck{0};  ///< index into `forward`
+
+    // --- cross-traffic population at the bottleneck ---
+    /// Long-run open-loop (unresponsive) offered load as a fraction of the
+    /// bottleneck capacity, before per-trace regime modulation.
+    double base_utilization{0.4};
+    /// Of the unresponsive load, the fraction carried by the bursty Pareto
+    /// on/off source (the rest is Poisson).
+    double burstiness{0.3};
+    /// Number of persistent window-limited TCP flows sharing the bottleneck.
+    int elastic_flows{2};
+    /// Max window of each elastic flow, bytes (small = tame competitor).
+    std::uint64_t elastic_window_bytes{32 * 1024};
+    /// Two-way propagation floor of the elastic flows' private paths.
+    double elastic_rtt_s{0.06};
+    /// Low-grade ambient loss at the bottleneck, modelling loss that does
+    /// not come from the simulated queue (upstream congestion, noisy access
+    /// links); 0 on clean paths.
+    double random_loss_rate{0.0};
+    /// Mean duration of an ambient-loss episode (Gilbert-Elliott bad state):
+    /// upstream congestion comes in bursts of tens of milliseconds, which is
+    /// what makes raw probe loss exceed the loss-EVENT rate (Goyal, §3.3).
+    double loss_burst_s{0.0};
+
+    // --- per-trace load dynamics (§5.2 pathologies) ---
+    double shift_probability{0.01};   ///< per-epoch regime-switch probability
+    double outlier_probability{0.01}; ///< per-epoch single-epoch load spike
+    double trend_per_epoch{0.0};      ///< linear utilization drift per epoch
+    double regime_util_min{0.1};      ///< regime utilization range
+    double regime_util_max{0.7};
+
+    [[nodiscard]] double bottleneck_bps() const { return forward.at(bottleneck).capacity_bps; }
+    [[nodiscard]] double base_rtt_s() const {
+        double r = 0.0;
+        for (const auto& h : forward) r += h.prop_delay_s;
+        for (const auto& h : reverse) r += h.prop_delay_s;
+        return r;
+    }
+};
+
+/// Build the campaign-1 catalogue: `count` paths (the paper used 35) drawn
+/// from the RON-like population, deterministically from `seed`.
+[[nodiscard]] std::vector<path_profile> ron_like_catalog(int count, std::uint64_t seed);
+
+/// Build the campaign-2 catalogue (§4.1 second set: 24 fresh US paths, one
+/// DSL-connected host).
+[[nodiscard]] std::vector<path_profile> second_campaign_catalog(int count,
+                                                                std::uint64_t seed);
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,271 @@
+// Tests for the extension layer: AR(p) forecasting, the hybrid FB+HB
+// predictor, seasonal Holt-Winters, the NWS-style adaptive selector, and
+// loss-event collapsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/adaptive_selector.hpp"
+#include "core/ar_predictor.hpp"
+#include "core/hb_evaluation.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/loss_events.hpp"
+#include "core/lso.hpp"
+#include "core/seasonal_hw.hpp"
+#include "sim/rng.hpp"
+
+namespace tcppred::core {
+namespace {
+
+// ---------- AR(p) ----------
+
+TEST(ar_fit, recovers_ar1_coefficient) {
+    // x_t = 0.7 x_{t-1} + e_t
+    sim::rng r(5);
+    std::vector<double> series{0.0};
+    for (int i = 0; i < 5000; ++i) {
+        series.push_back(0.7 * series.back() + r.normal(0.0, 1.0));
+    }
+    const auto coeffs = fit_ar_coefficients(series, 1);
+    ASSERT_EQ(coeffs.size(), 1u);
+    EXPECT_NEAR(coeffs[0], 0.7, 0.05);
+}
+
+TEST(ar_fit, recovers_ar2_coefficients) {
+    sim::rng r(9);
+    std::vector<double> series{0.0, 0.0};
+    for (int i = 0; i < 8000; ++i) {
+        const std::size_t n = series.size();
+        series.push_back(0.5 * series[n - 1] - 0.3 * series[n - 2] + r.normal(0.0, 1.0));
+    }
+    const auto coeffs = fit_ar_coefficients(series, 2);
+    ASSERT_EQ(coeffs.size(), 2u);
+    EXPECT_NEAR(coeffs[0], 0.5, 0.05);
+    EXPECT_NEAR(coeffs[1], -0.3, 0.05);
+}
+
+TEST(ar_fit, degenerate_series_yields_no_fit) {
+    EXPECT_TRUE(fit_ar_coefficients({1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, 2).empty());
+    EXPECT_TRUE(fit_ar_coefficients({1.0, 2.0}, 3).empty());
+}
+
+TEST(ar_predictor_class, falls_back_to_mean_with_short_history) {
+    ar_predictor ar(2);
+    ar.observe(10.0);
+    ar.observe(20.0);
+    EXPECT_DOUBLE_EQ(ar.predict(), 15.0);
+}
+
+TEST(ar_predictor_class, learns_constant_series) {
+    ar_predictor ar(3);
+    for (int i = 0; i < 40; ++i) ar.observe(7e6);
+    EXPECT_NEAR(ar.predict(), 7e6, 7e6 * 1e-6);
+}
+
+TEST(ar_predictor_class, tracks_persistent_series_better_than_mean) {
+    // Strongly autocorrelated series: AR should beat the plain window mean.
+    sim::rng r(11);
+    std::vector<double> series;
+    double x = 5e6;
+    for (int i = 0; i < 200; ++i) {
+        x = 4e6 + 0.85 * (x - 4e6) + r.normal(0.0, 2e5);
+        series.push_back(std::max(x, 1e5));
+    }
+    const hb_evaluation ar_eval = evaluate_one_step(series, ar_predictor(2));
+    const hb_evaluation ma_eval = evaluate_one_step(series, moving_average(20));
+    EXPECT_LT(ar_eval.rmsre, ma_eval.rmsre);
+}
+
+TEST(ar_predictor_class, respects_window_and_rejects_bad_args) {
+    EXPECT_THROW(ar_predictor(0), std::invalid_argument);
+    EXPECT_THROW(ar_predictor(4, 3), std::invalid_argument);
+    ar_predictor windowed(1, 10);
+    for (int i = 0; i < 50; ++i) windowed.observe(static_cast<double>(i));
+    EXPECT_EQ(windowed.history_size(), 10u);
+}
+
+TEST(ar_predictor_class, forecast_is_never_negative) {
+    ar_predictor ar(2);
+    // Steeply decreasing series would extrapolate below zero.
+    for (double x = 100.0; x > 1.0; x -= 12.0) ar.observe(x);
+    EXPECT_GT(ar.predict(), 0.0);
+}
+
+// ---------- hybrid FB+HB ----------
+
+TEST(hybrid, uses_fb_when_no_history) {
+    hybrid_predictor h(std::make_unique<moving_average>(10));
+    EXPECT_TRUE(std::isnan(h.predict()));
+    h.set_formula_prediction(5e6);
+    EXPECT_DOUBLE_EQ(h.predict(), 5e6);
+    EXPECT_DOUBLE_EQ(h.history_weight(), 0.0);
+}
+
+TEST(hybrid, converges_to_hb_with_history) {
+    hybrid_predictor h(std::make_unique<moving_average>(10), 2.0);
+    h.set_formula_prediction(10e6);
+    for (int i = 0; i < 50; ++i) h.observe(2e6);
+    // weight = n/(n+k) with n = 50 observations: w = 50/52.
+    EXPECT_NEAR(h.predict(), 50.0 / 52.0 * 2e6 + 2.0 / 52.0 * 10e6, 1.0);
+    EXPECT_GT(h.history_weight(), 0.9);
+}
+
+TEST(hybrid, works_without_fb_input) {
+    hybrid_predictor h(std::make_unique<moving_average>(5));
+    h.observe(3e6);
+    EXPECT_DOUBLE_EQ(h.predict(), 3e6);
+}
+
+TEST(hybrid, blends_between_the_two) {
+    hybrid_predictor h(std::make_unique<moving_average>(10), 3.0);
+    h.set_formula_prediction(8e6);
+    h.observe(2e6);  // w = 1/4
+    EXPECT_NEAR(h.predict(), 0.25 * 2e6 + 0.75 * 8e6, 1.0);
+}
+
+TEST(hybrid, reset_forgets_history_keeps_fb) {
+    hybrid_predictor h(std::make_unique<moving_average>(5));
+    h.set_formula_prediction(6e6);
+    h.observe(1e6);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.predict(), 6e6);
+}
+
+TEST(hybrid, rejects_bad_construction) {
+    EXPECT_THROW(hybrid_predictor(nullptr), std::invalid_argument);
+    EXPECT_THROW(hybrid_predictor(std::make_unique<moving_average>(5), 0.0),
+                 std::invalid_argument);
+}
+
+// ---------- seasonal Holt-Winters ----------
+
+TEST(seasonal_hw, learns_periodic_series) {
+    // Period-4 pattern plus small noise: after a few seasons the forecast
+    // must anticipate the pattern.
+    const std::vector<double> pattern{10e6, 4e6, 6e6, 12e6};
+    seasonal_holt_winters shw(0.3, 0.1, 0.3, 4);
+    for (int rep = 0; rep < 12; ++rep) {
+        for (const double v : pattern) shw.observe(v);
+    }
+    // Next sample would be pattern[0].
+    EXPECT_NEAR(shw.predict(), 10e6, 1.5e6);
+    EXPECT_TRUE(shw.seasonal_active());
+}
+
+TEST(seasonal_hw, beats_nonseasonal_on_seasonal_series) {
+    sim::rng r(3);
+    std::vector<double> series;
+    for (int i = 0; i < 120; ++i) {
+        const double base = (i % 6 < 3) ? 9e6 : 3e6;  // square-wave "diurnal" load
+        series.push_back(base * (1.0 + r.normal(0.0, 0.05)));
+    }
+    const hb_evaluation seasonal =
+        evaluate_one_step(series, seasonal_holt_winters(0.3, 0.1, 0.4, 6));
+    const hb_evaluation plain = evaluate_one_step(series, holt_winters(0.8, 0.2));
+    EXPECT_LT(seasonal.rmsre, plain.rmsre);
+}
+
+TEST(seasonal_hw, forecasts_running_mean_before_first_season) {
+    seasonal_holt_winters shw(0.3, 0.1, 0.3, 8);
+    shw.observe(4.0);
+    shw.observe(6.0);
+    EXPECT_DOUBLE_EQ(shw.predict(), 5.0);
+    EXPECT_FALSE(shw.seasonal_active());
+}
+
+TEST(seasonal_hw, rejects_bad_parameters) {
+    EXPECT_THROW(seasonal_holt_winters(0.0, 0.1, 0.1, 4), std::invalid_argument);
+    EXPECT_THROW(seasonal_holt_winters(0.3, 0.1, 0.1, 1), std::invalid_argument);
+}
+
+TEST(seasonal_hw, clone_and_reset_behave) {
+    seasonal_holt_winters shw(0.3, 0.1, 0.3, 4);
+    for (int i = 0; i < 10; ++i) shw.observe(1e6);
+    auto clone = shw.clone_empty();
+    EXPECT_TRUE(std::isnan(clone->predict()));
+    shw.reset();
+    EXPECT_TRUE(std::isnan(shw.predict()));
+}
+
+// ---------- adaptive selector (NWS-style) ----------
+
+TEST(adaptive_selector_class, picks_the_better_candidate) {
+    // On a strong linear trend HW beats MA decisively; the selector must
+    // converge to the HW candidate.
+    std::vector<std::unique_ptr<hb_predictor>> set;
+    set.push_back(std::make_unique<moving_average>(10));
+    set.push_back(std::make_unique<holt_winters>(0.8, 0.2));
+    adaptive_selector sel(std::move(set), 0.9);
+    for (int i = 0; i < 60; ++i) sel.observe(1e6 + 2e5 * i);
+    EXPECT_EQ(sel.best_name(), "0.8-HW");
+    // And its forecast continues the trend rather than lagging it.
+    EXPECT_GT(sel.predict(), 1e6 + 2e5 * 58);
+}
+
+TEST(adaptive_selector_class, tracks_regime_change_in_best_predictor) {
+    std::vector<std::unique_ptr<hb_predictor>> set;
+    set.push_back(std::make_unique<moving_average>(1));
+    set.push_back(std::make_unique<moving_average>(20));
+    adaptive_selector sel(std::move(set), 0.7);  // fast discount
+    // Alternating series: 20-MA (predicting the mean) wins over 1-MA
+    // (always predicting the previous, i.e. the wrong, extreme).
+    for (int i = 0; i < 60; ++i) sel.observe(i % 2 == 0 ? 2e6 : 4e6);
+    EXPECT_EQ(sel.best_name(), "20-MA");
+}
+
+TEST(adaptive_selector_class, standard_set_runs_end_to_end) {
+    auto sel = adaptive_selector::standard();
+    sim::rng r(8);
+    for (int i = 0; i < 80; ++i) sel->observe(5e6 * (1.0 + r.normal(0.0, 0.1)));
+    EXPECT_FALSE(std::isnan(sel->predict()));
+    EXPECT_NEAR(sel->predict(), 5e6, 1.5e6);
+}
+
+TEST(adaptive_selector_class, clone_empty_preserves_candidates) {
+    auto sel = adaptive_selector::standard();
+    auto clone = sel->clone_empty();
+    EXPECT_EQ(clone->name(), sel->name());
+    EXPECT_TRUE(std::isnan(clone->predict()));
+}
+
+TEST(adaptive_selector_class, rejects_bad_construction) {
+    EXPECT_THROW(adaptive_selector({}, 0.9), std::invalid_argument);
+    std::vector<std::unique_ptr<hb_predictor>> one;
+    one.push_back(std::make_unique<moving_average>(5));
+    EXPECT_THROW(adaptive_selector(std::move(one), 0.0), std::invalid_argument);
+}
+
+// ---------- loss events ----------
+
+TEST(loss_events, rates_on_simple_patterns) {
+    const std::vector<std::uint8_t> isolated{1, 1, 0, 1, 1, 0, 1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(packet_loss_rate(isolated), 0.2);
+    EXPECT_DOUBLE_EQ(loss_event_rate(isolated), 0.2);  // isolated: same
+    EXPECT_DOUBLE_EQ(mean_loss_burst_length(isolated), 1.0);
+
+    const std::vector<std::uint8_t> bursty{1, 0, 0, 0, 1, 1, 0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(packet_loss_rate(bursty), 0.5);
+    EXPECT_DOUBLE_EQ(loss_event_rate(bursty), 0.2);  // 2 bursts / 10
+    EXPECT_DOUBLE_EQ(mean_loss_burst_length(bursty), 2.5);
+}
+
+TEST(loss_events, lossless_and_empty_sequences) {
+    const std::vector<std::uint8_t> clean{1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(packet_loss_rate(clean), 0.0);
+    EXPECT_DOUBLE_EQ(loss_event_rate(clean), 0.0);
+    EXPECT_DOUBLE_EQ(mean_loss_burst_length(clean), 0.0);
+    EXPECT_DOUBLE_EQ(loss_event_rate(std::vector<std::uint8_t>{}), 0.0);
+}
+
+TEST(loss_events, event_rate_never_exceeds_packet_rate) {
+    sim::rng r(13);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint8_t> seq;
+        for (int i = 0; i < 200; ++i) seq.push_back(r.chance(0.15) ? 0 : 1);
+        EXPECT_LE(loss_event_rate(seq), packet_loss_rate(seq) + 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace tcppred::core

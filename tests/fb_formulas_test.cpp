@@ -1,0 +1,169 @@
+#include "core/fb_formulas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcppred::core {
+namespace {
+
+const tcp_flow_params k_flow{1460, 2, 1 << 20};
+
+TEST(square_root, matches_hand_computation) {
+    // E[R] = M / (T sqrt(2bp/3)), M=1460B, T=0.1s, b=2, p=0.01.
+    const double expected = 1460.0 * 8.0 / (0.1 * std::sqrt(2.0 * 2.0 * 0.01 / 3.0));
+    EXPECT_NEAR(square_root_throughput(k_flow, 0.1, 0.01), expected, 1.0);
+}
+
+TEST(square_root, lossless_returns_window_bound) {
+    EXPECT_DOUBLE_EQ(square_root_throughput(k_flow, 0.1, 0.0),
+                     k_flow.max_window_bytes * 8.0 / 0.1);
+}
+
+TEST(square_root, caps_at_window_bound) {
+    // Tiny loss: raw formula would exceed W/T.
+    tcp_flow_params f = k_flow;
+    f.max_window_bytes = 10000;
+    const double bound = f.max_window_bytes * 8.0 / 0.1;
+    EXPECT_DOUBLE_EQ(square_root_throughput(f, 0.1, 1e-9), bound);
+}
+
+TEST(pftk, approaches_square_root_for_small_loss) {
+    // With negligible timeout term the two models converge.
+    const double p = 1e-4;
+    const double sq = square_root_throughput(k_flow, 0.05, p);
+    const double pf = pftk_throughput(k_flow, 0.05, p, 1.0);
+    EXPECT_NEAR(pf / sq, 1.0, 0.05);
+}
+
+TEST(pftk, below_square_root_for_heavy_loss) {
+    // Timeouts dominate at high p: PFTK must predict less.
+    const double sq = square_root_throughput(k_flow, 0.05, 0.1);
+    const double pf = pftk_throughput(k_flow, 0.05, 0.1, 1.0);
+    EXPECT_LT(pf, sq * 0.7);
+}
+
+TEST(pftk, monotone_decreasing_in_loss) {
+    double prev = pftk_throughput(k_flow, 0.08, 1e-4, 1.0);
+    for (double p = 1e-3; p < 0.5; p *= 2.0) {
+        const double r = pftk_throughput(k_flow, 0.08, p, 1.0);
+        EXPECT_LT(r, prev) << "p=" << p;
+        prev = r;
+    }
+}
+
+TEST(pftk, monotone_decreasing_in_rtt) {
+    double prev = pftk_throughput(k_flow, 0.01, 0.01, 1.0);
+    for (double rtt = 0.02; rtt < 0.5; rtt *= 2.0) {
+        const double r = pftk_throughput(k_flow, rtt, 0.01, 1.0);
+        EXPECT_LT(r, prev) << "rtt=" << rtt;
+        prev = r;
+    }
+}
+
+TEST(pftk, rejects_invalid_inputs) {
+    EXPECT_THROW((void)pftk_throughput(k_flow, 0.0, 0.01, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)pftk_throughput(k_flow, 0.1, -0.1, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)pftk_throughput(k_flow, 0.1, 1.5, 1.0), std::invalid_argument);
+}
+
+TEST(pftk_full, close_to_approximate_in_moderate_regime) {
+    // §4.2.9: the revised/full model differs little from Eq. 2 at moderate
+    // loss rates.
+    for (const double p : {0.005, 0.01, 0.02, 0.05}) {
+        const double approx = pftk_throughput(k_flow, 0.06, p, 1.0);
+        const double full = pftk_full_throughput(k_flow, 0.06, p, 1.0);
+        EXPECT_NEAR(full / approx, 1.0, 0.45) << "p=" << p;
+    }
+}
+
+TEST(pftk_full, window_limited_regime_near_window_bound) {
+    tcp_flow_params f = k_flow;
+    f.max_window_bytes = 14 * 1460;  // ~ the 20 KB companion flow
+    // Tiny loss: the flow spends nearly all time at W.
+    const double bound = f.max_window_bytes * 8.0 / 0.05;
+    const double r = pftk_full_throughput(f, 0.05, 1e-4, 1.0);
+    EXPECT_GT(r, bound * 0.7);
+    EXPECT_LE(r, bound);
+}
+
+TEST(pftk_full, monotone_decreasing_in_loss) {
+    double prev = pftk_full_throughput(k_flow, 0.08, 1e-4, 1.0);
+    for (double p = 1e-3; p < 0.5; p *= 2.0) {
+        const double r = pftk_full_throughput(k_flow, 0.08, p, 1.0);
+        EXPECT_LT(r, prev) << "p=" << p;
+        prev = r;
+    }
+}
+
+TEST(slow_start, matches_formula) {
+    // E[d_ss] = (1-(1-p)^d)(1-p)/p + 1.
+    const double p = 0.01, d = 1000;
+    const double expected = (1.0 - std::pow(0.99, d)) * 0.99 / 0.01 + 1.0;
+    EXPECT_NEAR(expected_slow_start_segments(p, d), expected, 1e-9);
+}
+
+TEST(slow_start, lossless_delivers_whole_transfer_in_slow_start) {
+    EXPECT_DOUBLE_EQ(expected_slow_start_segments(0.0, 500.0), 501.0);
+}
+
+TEST(slow_start, high_loss_exits_quickly) {
+    EXPECT_LT(expected_slow_start_segments(0.5, 1000.0), 3.0);
+}
+
+TEST(short_transfer, slow_start_penalizes_short_low_loss_transfers) {
+    // At negligible loss the whole short transfer rides the exponential
+    // ramp: throughput grows with transfer length in that regime.
+    const double p = 1e-4;
+    const double t20 = short_transfer_throughput(k_flow, 0.05, p, 1.0, 20);
+    const double t100 = short_transfer_throughput(k_flow, 0.05, p, 1.0, 100);
+    const double t500 = short_transfer_throughput(k_flow, 0.05, p, 1.0, 500);
+    EXPECT_LT(t20, t100);
+    EXPECT_LT(t100, t500);
+}
+
+TEST(short_transfer, converges_to_steady_state_for_long_flows) {
+    const double steady = pftk_throughput(k_flow, 0.05, 0.02, 1.0);
+    const double long_flow = short_transfer_throughput(k_flow, 0.05, 0.02, 1.0, 1e6);
+    EXPECT_NEAR(long_flow / steady, 1.0, 0.02);
+}
+
+TEST(implied_loss, inverts_pftk) {
+    for (const double p : {0.001, 0.01, 0.05, 0.2}) {
+        const double r = pftk_throughput(k_flow, 0.06, p, 1.0);
+        EXPECT_NEAR(pftk_implied_loss(k_flow, 0.06, 1.0, r), p, p * 0.01);
+    }
+}
+
+TEST(implied_loss, window_bound_throughput_means_no_loss) {
+    const double bound = k_flow.max_window_bytes * 8.0 / 0.05;
+    EXPECT_DOUBLE_EQ(pftk_implied_loss(k_flow, 0.05, 1.0, bound * 1.1), 0.0);
+}
+
+TEST(estimate_t0, floors_at_one_second) {
+    EXPECT_DOUBLE_EQ(estimate_t0(0.050), 1.0);
+    EXPECT_DOUBLE_EQ(estimate_t0(0.8), 1.6);
+}
+
+// Property sweep: for every (rtt, p) combination the PFTK prediction is
+// positive and never exceeds the window bound.
+class pftk_bounds : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(pftk_bounds, positive_and_window_capped) {
+    const auto [rtt, p] = GetParam();
+    const double bound = k_flow.max_window_bytes * 8.0 / rtt;
+    for (const double r : {pftk_throughput(k_flow, rtt, p, 1.0),
+                           pftk_full_throughput(k_flow, rtt, p, 1.0),
+                           square_root_throughput(k_flow, rtt, p)}) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LE(r, bound + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sweep, pftk_bounds,
+    ::testing::Combine(::testing::Values(0.005, 0.02, 0.08, 0.2, 0.5),
+                       ::testing::Values(0.0, 1e-5, 1e-3, 0.01, 0.1, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace tcppred::core

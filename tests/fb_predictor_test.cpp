@@ -1,0 +1,91 @@
+#include "core/fb_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace tcppred::core {
+namespace {
+
+const tcp_flow_params k_flow{1460, 2, 1 << 20};
+
+TEST(fb_predict, lossy_path_uses_model_branch) {
+    path_measurement m{0.01, 0.060, 5e6};
+    const fb_prediction pred = fb_predict(k_flow, m);
+    EXPECT_EQ(pred.branch, fb_branch::model_based);
+    EXPECT_NEAR(pred.throughput_bps, pftk_throughput(k_flow, 0.060, 0.01, 1.0), 1.0);
+}
+
+TEST(fb_predict, lossless_path_uses_availbw_when_below_window_bound) {
+    path_measurement m{0.0, 0.060, 5e6};  // W/T ~ 140 Mbps >> Â
+    const fb_prediction pred = fb_predict(k_flow, m);
+    EXPECT_EQ(pred.branch, fb_branch::avail_bw);
+    EXPECT_DOUBLE_EQ(pred.throughput_bps, 5e6);
+}
+
+TEST(fb_predict, lossless_window_limited_uses_window_bound) {
+    tcp_flow_params f = k_flow;
+    f.max_window_bytes = 20 * 1024;  // W/T ~ 2.7 Mbps < Â
+    path_measurement m{0.0, 0.060, 5e6};
+    const fb_prediction pred = fb_predict(f, m);
+    EXPECT_EQ(pred.branch, fb_branch::window_bound);
+    EXPECT_DOUBLE_EQ(pred.throughput_bps, 20 * 1024 * 8.0 / 0.060);
+}
+
+TEST(fb_predict, missing_availbw_falls_back_to_window_bound) {
+    path_measurement m{0.0, 0.060, 0.0};
+    const fb_prediction pred = fb_predict(k_flow, m);
+    EXPECT_EQ(pred.branch, fb_branch::window_bound);
+}
+
+TEST(fb_predict, custom_t0_is_respected) {
+    path_measurement m{0.02, 0.060, 0.0};
+    const double with_default = fb_predict(k_flow, m).throughput_bps;   // T0 = 1 s
+    const double with_longer = fb_predict(k_flow, m, fb_formula::pftk, 3.0).throughput_bps;
+    EXPECT_GT(with_default, with_longer);
+}
+
+TEST(fb_predict, formula_selector_switches_models) {
+    path_measurement m{0.05, 0.080, 0.0};
+    const double sq = fb_predict(k_flow, m, fb_formula::square_root).throughput_bps;
+    const double pftk = fb_predict(k_flow, m, fb_formula::pftk).throughput_bps;
+    const double full = fb_predict(k_flow, m, fb_formula::pftk_full).throughput_bps;
+    EXPECT_GT(sq, pftk);  // square-root ignores timeouts
+    EXPECT_NE(pftk, full);
+}
+
+TEST(fb_predict, rejects_nonpositive_rtt) {
+    path_measurement m{0.01, 0.0, 0.0};
+    EXPECT_THROW((void)fb_predict(k_flow, m), std::invalid_argument);
+}
+
+TEST(relative_error, zero_for_exact_prediction) {
+    EXPECT_DOUBLE_EQ(relative_error(5e6, 5e6), 0.0);
+}
+
+TEST(relative_error, symmetric_over_and_under_estimation) {
+    // Predicting w*R or R/w must yield |E| = w - 1 (the property Eq. 4 is
+    // designed for).
+    const double r = 2e6;
+    for (const double w : {1.5, 2.0, 5.0, 10.0}) {
+        EXPECT_NEAR(relative_error(w * r, r), w - 1.0, 1e-9);
+        EXPECT_NEAR(relative_error(r / w, r), -(w - 1.0), 1e-9);
+    }
+}
+
+TEST(relative_error, sign_tracks_direction) {
+    EXPECT_GT(relative_error(2e6, 1e6), 0.0);  // overestimate
+    EXPECT_LT(relative_error(1e6, 2e6), 0.0);  // underestimate
+}
+
+TEST(rmsre_metric, matches_hand_computation) {
+    const std::vector<double> errors{1.0, -1.0, 2.0};
+    EXPECT_NEAR(rmsre(errors), std::sqrt((1.0 + 1.0 + 4.0) / 3.0), 1e-12);
+}
+
+TEST(rmsre_metric, empty_is_zero) {
+    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace tcppred::core

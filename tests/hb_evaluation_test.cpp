@@ -1,0 +1,72 @@
+#include "core/hb_evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcppred::core {
+namespace {
+
+TEST(evaluate_one_step, perfect_predictor_on_constant_series) {
+    const std::vector<double> series(20, 5.0);
+    const hb_evaluation e = evaluate_one_step(series, moving_average(5));
+    EXPECT_DOUBLE_EQ(e.rmsre, 0.0);
+    EXPECT_EQ(e.forecasts(), 19u);  // warmup skips index 0
+}
+
+TEST(evaluate_one_step, errors_align_with_indices) {
+    const std::vector<double> series{10.0, 20.0, 20.0};
+    const hb_evaluation e = evaluate_one_step(series, moving_average(1));
+    ASSERT_EQ(e.errors.size(), 2u);
+    EXPECT_EQ(e.indices[0], 1u);
+    // Forecast 10 for actual 20: E = (10-20)/10 = -1.
+    EXPECT_DOUBLE_EQ(e.errors[0], -1.0);
+    EXPECT_DOUBLE_EQ(e.errors[1], 0.0);
+}
+
+TEST(evaluate_one_step, warmup_skips_initial_forecasts) {
+    const std::vector<double> series{1.0, 1.0, 1.0, 1.0, 1.0};
+    hb_evaluation_options opts;
+    opts.warmup = 3;
+    const hb_evaluation e = evaluate_one_step(series, moving_average(1), opts);
+    EXPECT_EQ(e.forecasts(), 2u);
+}
+
+TEST(evaluate_one_step, excludes_outliers_when_requested) {
+    std::vector<double> series(10, 10.0);
+    series.push_back(100.0);  // outlier: a huge error for any predictor
+    series.insert(series.end(), 5, 10.0);
+
+    hb_evaluation_options keep;
+    const hb_evaluation with = evaluate_one_step(series, moving_average(5), keep);
+
+    hb_evaluation_options drop;
+    drop.exclude_outliers = true;
+    const hb_evaluation without = evaluate_one_step(series, moving_average(5), drop);
+
+    EXPECT_GT(with.rmsre, without.rmsre * 2.0);
+}
+
+TEST(evaluate_one_step, lso_wrapper_beats_plain_on_shifted_series) {
+    std::vector<double> series(15, 10.0);
+    series.insert(series.end(), 15, 30.0);
+
+    const hb_evaluation plain = evaluate_one_step(series, moving_average(10));
+    const lso_predictor lso_proto(std::make_unique<moving_average>(10));
+    const hb_evaluation lso = evaluate_one_step(series, lso_proto);
+    EXPECT_LT(lso.rmsre, plain.rmsre);
+}
+
+TEST(downsample_fn, keeps_every_kth_sample) {
+    const std::vector<double> s{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    EXPECT_EQ(downsample(s, 1), s);
+    EXPECT_EQ(downsample(s, 3), (std::vector<double>{0, 3, 6, 9}));
+    EXPECT_EQ(downsample(s, 15), (std::vector<double>{0}));
+}
+
+TEST(downsample_fn, rejects_factor_zero) {
+    EXPECT_THROW(downsample({1.0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcppred::core

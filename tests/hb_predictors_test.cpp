@@ -1,0 +1,138 @@
+#include "core/hb_predictors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tcppred::core {
+namespace {
+
+TEST(moving_average, predicts_nan_before_first_sample) {
+    moving_average ma(5);
+    EXPECT_TRUE(std::isnan(ma.predict()));
+}
+
+TEST(moving_average, averages_last_n) {
+    moving_average ma(3);
+    for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) ma.observe(x);
+    EXPECT_DOUBLE_EQ(ma.predict(), 4.0);  // mean of {3,4,5}
+}
+
+TEST(moving_average, short_history_averages_what_exists) {
+    moving_average ma(10);
+    ma.observe(2.0);
+    ma.observe(4.0);
+    EXPECT_DOUBLE_EQ(ma.predict(), 3.0);
+}
+
+TEST(moving_average, order_one_is_last_value) {
+    moving_average ma(1);
+    for (const double x : {7.0, 3.0, 9.0}) ma.observe(x);
+    EXPECT_DOUBLE_EQ(ma.predict(), 9.0);
+}
+
+TEST(moving_average, reset_clears_history) {
+    moving_average ma(3);
+    ma.observe(5.0);
+    ma.reset();
+    EXPECT_TRUE(std::isnan(ma.predict()));
+    EXPECT_EQ(ma.history_size(), 0u);
+}
+
+TEST(moving_average, rejects_order_zero) {
+    EXPECT_THROW(moving_average(0), std::invalid_argument);
+}
+
+TEST(moving_average, clone_empty_preserves_order) {
+    moving_average ma(4);
+    ma.observe(1.0);
+    auto clone = ma.clone_empty();
+    EXPECT_TRUE(std::isnan(clone->predict()));
+    EXPECT_EQ(clone->name(), "4-MA");
+}
+
+TEST(ewma_predictor, first_observation_seeds_forecast) {
+    ewma e(0.5);
+    e.observe(10.0);
+    EXPECT_DOUBLE_EQ(e.predict(), 10.0);
+}
+
+TEST(ewma_predictor, recurrence_matches_paper) {
+    // X̂_{i+1} = α X_i + (1-α) X̂_i.
+    ewma e(0.25);
+    e.observe(10.0);
+    e.observe(20.0);
+    EXPECT_DOUBLE_EQ(e.predict(), 0.25 * 20.0 + 0.75 * 10.0);
+    e.observe(0.0);
+    EXPECT_DOUBLE_EQ(e.predict(), 0.75 * 12.5);
+}
+
+TEST(ewma_predictor, high_alpha_tracks_recent_values) {
+    ewma fast(0.9), slow(0.1);
+    for (const double x : {1.0, 1.0, 1.0, 10.0}) {
+        fast.observe(x);
+        slow.observe(x);
+    }
+    EXPECT_GT(fast.predict(), slow.predict());
+}
+
+TEST(ewma_predictor, rejects_alpha_outside_unit_interval) {
+    EXPECT_THROW(ewma(0.0), std::invalid_argument);
+    EXPECT_THROW(ewma(1.0), std::invalid_argument);
+}
+
+TEST(holt_winters_predictor, needs_two_samples_for_trend) {
+    holt_winters hw(0.5, 0.2);
+    EXPECT_TRUE(std::isnan(hw.predict()));
+    hw.observe(10.0);
+    EXPECT_DOUBLE_EQ(hw.predict(), 10.0);  // no trend yet
+}
+
+TEST(holt_winters_predictor, extrapolates_linear_trend) {
+    // On a perfectly linear series HW with any (α, β) must converge to
+    // one-step-ahead exactness.
+    holt_winters hw(0.5, 0.5);
+    for (int i = 0; i < 50; ++i) hw.observe(100.0 + 5.0 * i);
+    EXPECT_NEAR(hw.predict(), 100.0 + 5.0 * 50, 0.5);
+}
+
+TEST(holt_winters_predictor, tracks_constant_series_exactly) {
+    holt_winters hw(0.8, 0.2);
+    for (int i = 0; i < 20; ++i) hw.observe(42.0);
+    EXPECT_NEAR(hw.predict(), 42.0, 1e-9);
+}
+
+TEST(holt_winters_predictor, rejects_bad_parameters) {
+    EXPECT_THROW(holt_winters(0.0, 0.2), std::invalid_argument);
+    EXPECT_THROW(holt_winters(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(holt_winters_predictor, name_includes_alpha) {
+    holt_winters hw(0.8, 0.2);
+    EXPECT_EQ(hw.name(), "0.8-HW");
+}
+
+// Property sweep: on a constant series every predictor forecasts the
+// constant once seeded, for all parameterizations.
+class constant_series
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(constant_series, all_predictors_learn_the_constant) {
+    const auto [value, n] = GetParam();
+    std::vector<std::unique_ptr<hb_predictor>> predictors;
+    predictors.push_back(std::make_unique<moving_average>(n));
+    predictors.push_back(std::make_unique<ewma>(0.3));
+    predictors.push_back(std::make_unique<holt_winters>(0.5, 0.2));
+    for (auto& p : predictors) {
+        for (int i = 0; i < 30; ++i) p->observe(value);
+        EXPECT_NEAR(p->predict(), value, std::abs(value) * 1e-9 + 1e-12) << p->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(sweep, constant_series,
+                         ::testing::Combine(::testing::Values(0.5, 42.0, 3e6),
+                                            ::testing::Values(1u, 5u, 10u, 20u)));
+
+}  // namespace
+}  // namespace tcppred::core

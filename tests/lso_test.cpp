@@ -1,0 +1,164 @@
+#include "core/lso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/hb_evaluation.hpp"
+
+namespace tcppred::core {
+namespace {
+
+std::vector<double> with_level_shift() {
+    std::vector<double> s(10, 10.0);
+    s.insert(s.end(), 10, 20.0);  // +100% shift at index 10
+    return s;
+}
+
+TEST(lso_filter, detects_increasing_level_shift) {
+    lso_filter f;
+    for (const double x : with_level_shift()) f.observe(x);
+    ASSERT_EQ(f.shift_indices().size(), 1u);
+    EXPECT_EQ(f.shift_indices()[0], 10u);
+    // Cleaned history only contains post-shift samples.
+    for (const auto& s : f.cleaned()) EXPECT_DOUBLE_EQ(s.value, 20.0);
+}
+
+TEST(lso_filter, detects_decreasing_level_shift) {
+    lso_filter f;
+    for (int i = 0; i < 10; ++i) f.observe(30.0);
+    for (int i = 0; i < 10; ++i) f.observe(15.0);
+    ASSERT_EQ(f.shift_indices().size(), 1u);
+    EXPECT_EQ(f.shift_indices()[0], 10u);
+}
+
+TEST(lso_filter, small_shift_below_gamma_is_ignored) {
+    lso_filter f(lso_config{0.3, 0.4, 3});
+    for (int i = 0; i < 10; ++i) f.observe(10.0);
+    for (int i = 0; i < 10; ++i) f.observe(11.0);  // +10% < gamma
+    EXPECT_TRUE(f.shift_indices().empty());
+}
+
+TEST(lso_filter, isolated_spike_is_outlier_not_shift) {
+    lso_filter f;
+    std::vector<double> s(10, 10.0);
+    s.push_back(30.0);  // spike
+    s.insert(s.end(), 5, 10.0);
+    for (const double x : s) f.observe(x);
+    EXPECT_TRUE(f.shift_indices().empty());
+    ASSERT_EQ(f.outlier_indices().size(), 1u);
+    EXPECT_EQ(f.outlier_indices()[0], 10u);
+}
+
+TEST(lso_filter, shift_needs_confirmation_samples) {
+    // Immediately after a jump there are too few new-level samples: the
+    // paper's condition 3 (k + 2 <= n) defers the shift decision.
+    lso_filter f;
+    for (int i = 0; i < 10; ++i) f.observe(10.0);
+    f.observe(20.0);
+    EXPECT_TRUE(f.shift_indices().empty());
+    f.observe(20.0);
+    f.observe(20.0);
+    EXPECT_EQ(f.shift_indices().size(), 1u);
+}
+
+TEST(lso_filter, noisy_stationary_series_has_no_detections) {
+    lso_filter f;
+    // +/-5% alternation around 100: well below both thresholds.
+    for (int i = 0; i < 50; ++i) f.observe(100.0 + (i % 2 == 0 ? 5.0 : -5.0));
+    EXPECT_TRUE(f.shift_indices().empty());
+    EXPECT_TRUE(f.outlier_indices().empty());
+}
+
+TEST(lso_filter, multiple_shifts_all_detected) {
+    lso_filter f;
+    for (int i = 0; i < 8; ++i) f.observe(10.0);
+    for (int i = 0; i < 8; ++i) f.observe(20.0);
+    for (int i = 0; i < 8; ++i) f.observe(8.0);
+    EXPECT_EQ(f.shift_indices().size(), 2u);
+}
+
+TEST(lso_filter, scale_invariance) {
+    // Detections depend only on relative differences: scaling the whole
+    // series must not change them.
+    std::vector<double> base = with_level_shift();
+    base[5] = 25.0;  // an outlier in the low segment
+    lso_filter a, b;
+    for (const double x : base) a.observe(x);
+    for (const double x : base) b.observe(x * 1e6);
+    EXPECT_EQ(a.shift_indices(), b.shift_indices());
+    EXPECT_EQ(a.outlier_indices(), b.outlier_indices());
+}
+
+TEST(lso_predictor, recovers_fast_after_level_shift) {
+    // 10 samples at the old level, then only 4 at the new one: a plain
+    // 10-MA still averages across the shift, the LSO wrapper has restarted.
+    std::vector<double> series(10, 10.0);
+    series.insert(series.end(), 4, 20.0);
+
+    lso_predictor with_lso(std::make_unique<moving_average>(10));
+    moving_average no_lso(10);
+    for (const double x : series) {
+        with_lso.observe(x);
+        no_lso.observe(x);
+    }
+    EXPECT_NEAR(with_lso.predict(), 20.0, 1e-9);
+    EXPECT_LT(no_lso.predict(), 16.0);
+}
+
+TEST(lso_predictor, ignores_outliers_in_forecast) {
+    lso_predictor p(std::make_unique<moving_average>(5));
+    std::vector<double> s(8, 10.0);
+    s.push_back(100.0);
+    s.insert(s.end(), 4, 10.0);
+    for (const double x : s) p.observe(x);
+    EXPECT_NEAR(p.predict(), 10.0, 1e-9);
+}
+
+TEST(lso_predictor, name_appends_suffix) {
+    lso_predictor p(std::make_unique<holt_winters>(0.8, 0.2));
+    EXPECT_EQ(p.name(), "0.8-HW-LSO");
+}
+
+TEST(lso_predictor, clone_empty_preserves_structure) {
+    lso_predictor p(std::make_unique<moving_average>(7), lso_config{0.2, 0.3, 3});
+    auto clone = p.clone_empty();
+    EXPECT_EQ(clone->name(), "7-MA-LSO");
+    EXPECT_TRUE(std::isnan(clone->predict()));
+}
+
+TEST(lso_scan_fn, reports_segments_and_outliers) {
+    std::vector<double> s(10, 10.0);
+    s.push_back(40.0);  // outlier
+    s.insert(s.end(), 9, 10.0);
+    s.insert(s.end(), 10, 25.0);  // shift
+    const lso_scan_result r = lso_scan(s);
+    EXPECT_TRUE(r.is_outlier[10]);
+    ASSERT_EQ(r.segment_starts.size(), 2u);
+    EXPECT_EQ(r.segment_starts[0], 0u);
+    EXPECT_EQ(r.segment_starts[1], 20u);
+}
+
+// Parameter sweep: higher psi tolerates bigger spikes.
+class psi_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(psi_sweep, spike_detection_threshold_scales_with_psi) {
+    const double psi = GetParam();
+    lso_filter f(lso_config{0.3, psi, 3});
+    for (int i = 0; i < 10; ++i) f.observe(10.0);
+    f.observe(10.0 * (1.0 + psi + 0.2));  // just above threshold
+    for (int i = 0; i < 5; ++i) f.observe(10.0);
+    EXPECT_EQ(f.outlier_indices().size(), 1u) << "psi=" << psi;
+
+    lso_filter g(lso_config{0.3, psi, 3});
+    for (int i = 0; i < 10; ++i) g.observe(10.0);
+    g.observe(10.0 * (1.0 + psi * 0.5));  // below threshold
+    for (int i = 0; i < 5; ++i) g.observe(10.0);
+    EXPECT_TRUE(g.outlier_indices().empty()) << "psi=" << psi;
+}
+
+INSTANTIATE_TEST_SUITE_P(sweep, psi_sweep, ::testing::Values(0.3, 0.4, 0.6, 1.0));
+
+}  // namespace
+}  // namespace tcppred::core

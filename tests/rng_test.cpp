@@ -1,0 +1,106 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcppred::sim {
+namespace {
+
+TEST(rng, deterministic_for_same_seed) {
+    rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(rng, different_seeds_differ) {
+    rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform()) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(rng, uniform_respects_bounds) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform(3.0, 5.0);
+        EXPECT_GE(x, 3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(rng, uniform_int_inclusive) {
+    rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = r.uniform_int(1, 4);
+        EXPECT_GE(x, 1);
+        EXPECT_LE(x, 4);
+        saw_lo |= (x == 1);
+        saw_hi |= (x == 4);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(rng, exponential_mean_converges) {
+    rng r(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(rng, pareto_respects_minimum) {
+    rng r(13);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(1.5, 0.4), 0.4);
+}
+
+TEST(rng, pareto_mean_converges_for_shape_above_one) {
+    // mean = alpha * xmin / (alpha - 1); use a tame shape for convergence.
+    rng r(17);
+    const double alpha = 3.0, xmin = 1.0;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += r.pareto(alpha, xmin);
+    EXPECT_NEAR(sum / n, alpha * xmin / (alpha - 1.0), 0.03);
+}
+
+TEST(rng, chance_probability_converges) {
+    rng r(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(rng, derive_seed_varies_with_every_input) {
+    const std::uint64_t base = derive_seed(1, "x", 0, 0, 0);
+    EXPECT_NE(base, derive_seed(2, "x", 0, 0, 0));
+    EXPECT_NE(base, derive_seed(1, "y", 0, 0, 0));
+    EXPECT_NE(base, derive_seed(1, "x", 1, 0, 0));
+    EXPECT_NE(base, derive_seed(1, "x", 0, 1, 0));
+    EXPECT_NE(base, derive_seed(1, "x", 0, 0, 1));
+}
+
+TEST(rng, derive_seed_is_pure) {
+    EXPECT_EQ(derive_seed(99, "tag", 1, 2, 3), derive_seed(99, "tag", 1, 2, 3));
+}
+
+TEST(rng, normal_moments) {
+    rng r(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal(1.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0, 0.03);
+    EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.03);
+}
+
+}  // namespace
+}  // namespace tcppred::sim

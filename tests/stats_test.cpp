@@ -1,0 +1,99 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tcppred::analysis {
+namespace {
+
+TEST(stats, mean_median_stddev) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(stats, quantile_interpolates) {
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(stats, quantile_rejects_bad_q) {
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+    EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(stats, pearson_perfect_correlation) {
+    const std::vector<double> xs{1, 2, 3, 4};
+    const std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    const std::vector<double> zs{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(stats, pearson_degenerate_is_zero) {
+    const std::vector<double> xs{1, 1, 1};
+    const std::vector<double> ys{1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(stats, cov_is_relative_spread) {
+    const std::vector<double> xs{90.0, 110.0};
+    EXPECT_NEAR(cov(xs), 10.0 / 100.0, 1e-12);
+}
+
+TEST(weighted_cov_fn, equals_plain_cov_for_stationary_series) {
+    std::vector<double> s;
+    for (int i = 0; i < 40; ++i) s.push_back(100.0 + (i % 2 == 0 ? 3.0 : -3.0));
+    EXPECT_NEAR(weighted_cov(s), cov(s), 1e-9);
+}
+
+TEST(weighted_cov_fn, shift_does_not_inflate_cov) {
+    // Two perfectly flat levels: a naive CoV over the whole series is large,
+    // the stationarity-weighted CoV is ~0.
+    std::vector<double> s(20, 10.0);
+    s.insert(s.end(), 20, 30.0);
+    EXPECT_GT(cov(s), 0.3);
+    EXPECT_NEAR(weighted_cov(s), 0.0, 1e-9);
+}
+
+TEST(weighted_cov_fn, outliers_are_excluded) {
+    std::vector<double> s(30, 10.0);
+    s[7] = 100.0;
+    EXPECT_NEAR(weighted_cov(s), 0.0, 1e-9);
+}
+
+TEST(ecdf_class, fraction_below_threshold) {
+    ecdf e({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(e.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+}
+
+TEST(ecdf_class, quantile_inverts_cdf) {
+    ecdf e({5.0, 1.0, 3.0});
+    EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+}
+
+TEST(ecdf_class, curve_is_monotone) {
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i) samples.push_back(std::sin(i * 0.7) * 10.0);
+    ecdf e(std::move(samples));
+    const auto pts = e.curve(20);
+    ASSERT_EQ(pts.size(), 20u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].first, pts[i - 1].first);
+        EXPECT_GT(pts[i].second, pts[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+}  // namespace
+}  // namespace tcppred::analysis

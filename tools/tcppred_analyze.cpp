@@ -1,0 +1,84 @@
+// tcppred_analyze — summarize a campaign dataset CSV: FB accuracy, HB
+// accuracy per predictor, and per-path predictability classes. The
+// command-line counterpart of the per-figure benches for ad-hoc datasets.
+//
+//   tcppred_analyze DATASET.csv [--predictors SPEC,SPEC,...]
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/fb_analysis.hpp"
+#include "analysis/hb_analysis.hpp"
+#include "analysis/stats.hpp"
+#include "testbed/dataset.hpp"
+
+using namespace tcppred;
+
+int main(int argc, char** argv) {
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+        std::fprintf(stderr,
+                     "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
+                     "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n",
+                     argv[0]);
+        return argc < 2 ? 2 : 0;
+    }
+
+    std::vector<std::string> specs{"10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO", "NWS"};
+    for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--predictors") == 0) {
+            specs.clear();
+            std::stringstream ss(argv[i + 1]);
+            std::string item;
+            while (std::getline(ss, item, ',')) specs.push_back(item);
+        }
+    }
+
+    const testbed::dataset data = testbed::load_csv(argv[1]);
+    std::printf("dataset: %zu epochs, %zu paths, %zu traces\n\n", data.records.size(),
+                data.paths.size(), data.traces().size());
+
+    // ---- FB summary
+    const auto evals = analysis::evaluate_fb(data);
+    const auto errors = analysis::errors_of(evals);
+    std::size_t over = 0, over2 = 0, under2 = 0;
+    for (const double e : errors) {
+        over += e > 0;
+        over2 += e >= 1;
+        under2 += e <= -1;
+    }
+    std::printf("formula-based (Eq. 3) over %zu epochs:\n", errors.size());
+    std::printf("  median E %+.2f | overestimates %zu%% | off by >2x: over %zu%%, "
+                "under %zu%%\n\n",
+                analysis::median(errors), over * 100 / errors.size(),
+                over2 * 100 / errors.size(), under2 * 100 / errors.size());
+
+    // ---- HB summary per predictor
+    std::printf("history-based, per-trace RMSRE:\n");
+    std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
+    for (const auto& spec : specs) {
+        const auto pred = analysis::make_predictor(spec);
+        const auto rmsres = analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
+        const analysis::ecdf cdf{std::vector<double>(rmsres)};
+        std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
+                    analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
+                    100.0 * cdf.at(0.4));
+    }
+
+    // ---- per-path classes (HW-LSO)
+    const auto hw = analysis::make_predictor("0.8-HW-LSO");
+    const auto per_trace = analysis::hb_rmsre_per_trace(data, *hw);
+    std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
+    std::map<int, std::vector<double>> per_path;
+    for (const auto& t : per_trace) per_path[t.path_id].push_back(t.rmsre);
+    for (const auto& [path, rs] : per_path) {
+        const double mean_err = analysis::mean(rs);
+        const char* klass = mean_err < 0.2   ? "predictable"
+                            : mean_err < 0.5 ? "moderate"
+                                             : "unpredictable";
+        std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass, mean_err,
+                    rs.size());
+    }
+    return 0;
+}

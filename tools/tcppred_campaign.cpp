@@ -1,0 +1,90 @@
+// tcppred_campaign — run a measurement campaign from the command line and
+// write the dataset CSV. The operational entry point for producing new
+// datasets without writing C++.
+//
+//   tcppred_campaign --out data/my.csv [--paths N] [--traces N]
+//                    [--epochs N] [--seed S] [--transfer-s T] [--second-set]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testbed/campaign.hpp"
+
+using namespace tcppred::testbed;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s --out FILE [options]\n"
+                 "  --out FILE        output CSV (required)\n"
+                 "  --paths N         number of paths        (default 35)\n"
+                 "  --traces N        traces per path        (default 2)\n"
+                 "  --epochs N        epochs per trace       (default 120)\n"
+                 "  --seed S          campaign seed          (default 20040501)\n"
+                 "  --transfer-s T    target transfer length (default 10)\n"
+                 "  --second-set      use the campaign-2 catalogue & plan\n",
+                 argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    campaign_config cfg;
+    std::string out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out = next();
+        } else if (arg == "--paths") {
+            cfg.paths = std::atoi(next());
+        } else if (arg == "--traces") {
+            cfg.traces_per_path = std::atoi(next());
+        } else if (arg == "--epochs") {
+            cfg.epochs_per_trace = std::atoi(next());
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--transfer-s") {
+            cfg.epoch.transfer_s = std::atof(next());
+        } else if (arg == "--second-set") {
+            cfg = campaign2_config(campaign_scale::normal);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (out.empty() || cfg.paths <= 0 || cfg.traces_per_path <= 0 ||
+        cfg.epochs_per_trace <= 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu)...\n",
+                 cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
+                 static_cast<unsigned long long>(cfg.seed));
+    int last = -1;
+    const dataset data = run_campaign(cfg, [&](int done, int total) {
+        const int pct = done * 100 / total;
+        if (pct / 10 != last / 10) {
+            std::fprintf(stderr, "  %d%%\n", pct);
+            last = pct;
+        }
+    });
+    save_csv(data, out);
+    std::fprintf(stderr, "wrote %zu epoch records to %s\n", data.records.size(),
+                 out.c_str());
+    return 0;
+}
