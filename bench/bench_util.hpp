@@ -1,5 +1,14 @@
 // Shared helpers for the figure-reproduction benches: consistent table
 // formatting and access to the cached measurement campaigns.
+//
+// Cache bootstrap: the first bench to call testbed::ensure_campaign1() /
+// ensure_campaign2() runs the measurement campaign and caches the CSV under
+// $REPRO_DATA_DIR (default data/); every later bench loads the cache. The
+// bootstrap honors the full environment contract (README "Configuration"):
+// $REPRO_SCALE sizes the sweep, $REPRO_JOBS parallelizes it (default: all
+// cores), and the resulting CSV is byte-identical for any job count
+// (DESIGN.md §6), so cached datasets are interchangeable across machines
+// with different core counts.
 #pragma once
 
 #include <cstdio>

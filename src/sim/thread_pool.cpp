@@ -1,0 +1,117 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+namespace tcppred::sim {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+    if (requested > 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+thread_pool::thread_pool(unsigned threads) {
+    const unsigned n = resolve_threads(threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void thread_pool::wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+    if (first_error_) {
+        const std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void thread_pool::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard<std::mutex> err_lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        lock.lock();
+        --busy_;
+        if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+    }
+}
+
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(resolve_threads(jobs), n));
+    thread_pool pool(workers);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([&] {
+            for (;;) {
+                if (abort.load(std::memory_order_relaxed)) return;
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) return;
+                try {
+                    body(i);
+                } catch (...) {
+                    abort.store(true, std::memory_order_relaxed);
+                    throw;  // captured by the pool, rethrown from wait()
+                }
+            }
+        });
+    }
+    pool.wait();
+}
+
+unsigned jobs_from_env() {
+    if (const char* env = std::getenv("REPRO_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<unsigned>(v);
+    }
+    return resolve_threads(0);
+}
+
+}  // namespace tcppred::sim

@@ -1,0 +1,76 @@
+// A small fixed-size thread pool / work queue for embarrassingly parallel
+// campaign work (one task per worker pulling indices off a shared counter).
+//
+// Determinism note: the pool itself imposes no ordering — callers that need
+// reproducible output must write results into pre-sized slots keyed by work
+// index, never in completion order (see testbed::run_campaign and the
+// determinism contract in DESIGN.md §6).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcppred::sim {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+///
+/// Exceptions thrown by tasks are captured (first one wins) and rethrown
+/// from the next wait() call; remaining tasks still run to completion so
+/// every submitted task executes exactly once.
+class thread_pool {
+public:
+    /// Spawn `threads` workers (0 selects std::thread::hardware_concurrency,
+    /// with a floor of 1).
+    explicit thread_pool(unsigned threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Enqueue a task. Thread-safe; may be called from worker tasks.
+    void submit(std::function<void()> task);
+
+    /// Block until the queue is empty and every worker is idle, then rethrow
+    /// the first exception any task raised (if any). The pool is reusable
+    /// after wait() returns or throws.
+    void wait();
+
+    [[nodiscard]] unsigned thread_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::exception_ptr first_error_;
+    unsigned busy_{0};
+    bool stopping_{false};
+};
+
+/// Run body(i) for every i in [0, n), spread across `jobs` threads.
+///
+/// jobs <= 1 runs inline on the calling thread (no pool, no locking) — the
+/// serial fallback used when REPRO_JOBS=1. Otherwise `jobs` pool workers
+/// pull indices from a shared atomic counter, so no index is run twice and
+/// no index is skipped. If body throws, draining stops early (indices not
+/// yet claimed may be skipped), in-flight indices finish, and the first
+/// exception is rethrown on the calling thread.
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& body);
+
+/// Worker-thread count for parallel campaign work: $REPRO_JOBS if set and a
+/// positive integer, otherwise std::thread::hardware_concurrency (floor 1).
+[[nodiscard]] unsigned jobs_from_env();
+
+}  // namespace tcppred::sim

@@ -1,12 +1,31 @@
 #include "testbed/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <vector>
 
 #include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
 #include "testbed/load_process.hpp"
 
 namespace tcppred::testbed {
+
+namespace {
+
+/// Worker count for a campaign: explicit cfg.jobs wins, otherwise
+/// $REPRO_JOBS / hardware_concurrency, never more than one per epoch.
+unsigned effective_jobs(const campaign_config& cfg, int total_epochs) {
+    const unsigned requested =
+        cfg.jobs > 0 ? static_cast<unsigned>(cfg.jobs) : sim::jobs_from_env();
+    const unsigned cap = total_epochs > 0 ? static_cast<unsigned>(total_epochs) : 1u;
+    return std::min(requested, cap);
+}
+
+}  // namespace
 
 dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
     dataset data;
@@ -14,31 +33,62 @@ dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
                                 : ron_like_catalog(cfg.paths, cfg.seed);
 
     const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
-    int completed = 0;
-    data.records.reserve(static_cast<std::size_t>(total));
 
-    for (const auto& profile : data.paths) {
+    // Per-trace load trajectories are cheap; generate them up front so the
+    // parallel sweep below is a pure fan-out over independent epochs.
+    const std::size_t n_traces =
+        data.paths.size() * static_cast<std::size_t>(cfg.traces_per_path);
+    std::vector<std::vector<load_state>> loads(n_traces);
+    for (std::size_t p = 0; p < data.paths.size(); ++p) {
         for (int trace = 0; trace < cfg.traces_per_path; ++trace) {
-            const std::uint64_t trace_seed =
-                sim::derive_seed(cfg.seed, "trace", static_cast<std::uint64_t>(profile.id),
-                                 static_cast<std::uint64_t>(trace));
-            const auto loads = load_trajectory(profile, trace_seed, cfg.epochs_per_trace);
-            for (int epoch = 0; epoch < cfg.epochs_per_trace; ++epoch) {
-                const std::uint64_t epoch_seed = sim::derive_seed(
-                    cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
-                    static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
-                epoch_record rec;
-                rec.path_id = profile.id;
-                rec.trace_id = trace;
-                rec.epoch_index = epoch;
-                rec.m = run_epoch(profile, loads[static_cast<std::size_t>(epoch)],
-                                  epoch_seed, cfg.epoch);
-                data.records.push_back(std::move(rec));
-                ++completed;
-                if (progress) progress(completed, total);
-            }
+            const std::uint64_t trace_seed = sim::derive_seed(
+                cfg.seed, "trace", static_cast<std::uint64_t>(data.paths[p].id),
+                static_cast<std::uint64_t>(trace));
+            loads[p * static_cast<std::size_t>(cfg.traces_per_path) +
+                  static_cast<std::size_t>(trace)] =
+                load_trajectory(data.paths[p], trace_seed, cfg.epochs_per_trace);
         }
     }
+
+    // Records are pre-sized and indexed by the linearized (path, trace,
+    // epoch) — identical to the serial iteration order — so completion order
+    // never shows in the output and save_csv is byte-identical for any job
+    // count (the determinism contract, DESIGN.md §6).
+    data.records.resize(static_cast<std::size_t>(total));
+
+    // Progress: atomic completion counter, emission serialized by a mutex so
+    // the user callback sees strictly increasing counts and never runs
+    // concurrently with itself.
+    std::atomic<int> completed{0};
+    std::mutex progress_mutex;
+    const auto run_one = [&](std::size_t idx) {
+        const int per_path = cfg.traces_per_path * cfg.epochs_per_trace;
+        const std::size_t p = idx / static_cast<std::size_t>(per_path);
+        const int rem = static_cast<int>(idx % static_cast<std::size_t>(per_path));
+        const int trace = rem / cfg.epochs_per_trace;
+        const int epoch = rem % cfg.epochs_per_trace;
+        const path_profile& profile = data.paths[p];
+
+        const std::uint64_t epoch_seed = sim::derive_seed(
+            cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
+            static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
+        epoch_record& rec = data.records[idx];
+        rec.path_id = profile.id;
+        rec.trace_id = trace;
+        rec.epoch_index = epoch;
+        rec.m = run_epoch(
+            profile,
+            loads[p * static_cast<std::size_t>(cfg.traces_per_path) +
+                  static_cast<std::size_t>(trace)][static_cast<std::size_t>(epoch)],
+            epoch_seed, cfg.epoch);
+        if (progress) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(++completed, total);
+        }
+    };
+
+    sim::parallel_for(static_cast<std::size_t>(total), effective_jobs(cfg, total),
+                      run_one);
     return data;
 }
 
@@ -106,10 +156,13 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
     if (std::filesystem::exists(file)) {
         return load_csv(file);
     }
+    const unsigned jobs =
+        effective_jobs(cfg, cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace);
     std::cerr << "[campaign] dataset " << file
-              << " not found; running measurement campaign (this is done once"
-                 " and cached)...\n";
+              << " not found; running measurement campaign on " << jobs
+              << " thread(s) (this is done once and cached)...\n";
     int last_percent = -1;
+    const auto t0 = std::chrono::steady_clock::now();
     dataset data = run_campaign(cfg, [&](int done, int total) {
         const int percent = done * 100 / total;
         if (percent / 5 != last_percent / 5) {
@@ -118,10 +171,15 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
             last_percent = percent;
         }
     });
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     std::filesystem::create_directories(file.parent_path().empty() ? "."
                                                                    : file.parent_path());
     save_csv(data, file);
-    std::cerr << "[campaign] saved " << data.records.size() << " epochs to " << file << "\n";
+    std::cerr << "[campaign] " << data.records.size() << " epochs in " << wall_s
+              << " s (" << (wall_s > 0 ? static_cast<double>(data.records.size()) / wall_s
+                                       : 0.0)
+              << " epochs/s, " << jobs << " jobs); saved to " << file << "\n";
     return data;
 }
 

@@ -21,12 +21,27 @@ struct campaign_config {
     std::uint64_t seed{20040501};  ///< May 2004, the paper's first set
     epoch_config epoch{};
     bool second_set{false};  ///< use the campaign-2 catalogue & transfer plan
+    /// Worker threads for the epoch sweep. 0 = auto ($REPRO_JOBS if set,
+    /// else hardware_concurrency); 1 = serial, bypassing the pool entirely.
+    /// The dataset is byte-identical for every value (DESIGN.md §6).
+    int jobs{0};
 };
 
 /// Progress callback: (epochs completed, total epochs).
+///
+/// Threading guarantees: invocations are serialized under an internal mutex
+/// and `completed` is strictly increasing (1..total), regardless of how many
+/// worker threads run the campaign — the callback itself needs no locking.
+/// With jobs > 1 it is invoked from worker threads (never concurrently), and
+/// epochs complete out of record order, so `completed` is a count, not an
+/// index. It must not re-enter run_campaign.
 using progress_fn = std::function<void(int, int)>;
 
-/// Run a campaign from scratch (deterministic in cfg).
+/// Run a campaign from scratch. Deterministic in cfg alone: the records
+/// vector (and hence the CSV) is identical for any cfg.jobs / $REPRO_JOBS,
+/// because every epoch is independently seeded via
+/// derive_seed(seed, "epoch", path, trace, epoch) and results are written
+/// into pre-sized slots in (path, trace, epoch) order, never push order.
 [[nodiscard]] dataset run_campaign(const campaign_config& cfg, progress_fn progress = nullptr);
 
 /// Pre-canned sizes, selectable with REPRO_SCALE=tiny|default|paper.

@@ -1,0 +1,141 @@
+// Cross-thread-count determinism of the campaign engine: the dataset (and
+// its CSV serialization) must be byte-identical for any number of worker
+// threads, because every epoch is independently seeded and records land in
+// pre-sized (path, trace, epoch)-ordered slots (DESIGN.md §6). This test is
+// the acceptance bar for the parallel engine and runs under TSan in CI.
+#include "testbed/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testbed/dataset.hpp"
+
+using namespace tcppred::testbed;
+
+namespace {
+
+campaign_config tiny_config() {
+    campaign_config cfg;
+    cfg.paths = 3;
+    cfg.traces_per_path = 2;
+    cfg.epochs_per_trace = 3;
+    cfg.epoch.warmup_s = 0.5;
+    cfg.epoch.prior_ping.count = 80;
+    cfg.epoch.transfer_s = 1.5;
+    return cfg;
+}
+
+std::string csv_bytes(const dataset& data) {
+    const auto file = std::filesystem::temp_directory_path() /
+                      ("tcppred_determinism_" + std::to_string(::getpid()) + ".csv");
+    save_csv(data, file);
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::filesystem::remove(file);
+    return buf.str();
+}
+
+void expect_identical(const dataset& a, const dataset& b, const char* label) {
+    ASSERT_EQ(a.records.size(), b.records.size()) << label;
+    ASSERT_EQ(a.paths.size(), b.paths.size()) << label;
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        const auto& ra = a.records[i];
+        const auto& rb = b.records[i];
+        EXPECT_EQ(ra.path_id, rb.path_id) << label << " record " << i;
+        EXPECT_EQ(ra.trace_id, rb.trace_id) << label << " record " << i;
+        EXPECT_EQ(ra.epoch_index, rb.epoch_index) << label << " record " << i;
+        // Bitwise equality: identical seeds must give identical simulations,
+        // independent of which thread ran the epoch.
+        EXPECT_EQ(ra.m.r_large_bps, rb.m.r_large_bps) << label << " record " << i;
+        EXPECT_EQ(ra.m.r_small_bps, rb.m.r_small_bps) << label << " record " << i;
+        EXPECT_EQ(ra.m.avail_bw_bps, rb.m.avail_bw_bps) << label << " record " << i;
+        EXPECT_EQ(ra.m.phat, rb.m.phat) << label << " record " << i;
+        EXPECT_EQ(ra.m.that_s, rb.m.that_s) << label << " record " << i;
+        EXPECT_EQ(ra.m.ptilde, rb.m.ptilde) << label << " record " << i;
+        EXPECT_EQ(ra.m.ttilde_s, rb.m.ttilde_s) << label << " record " << i;
+        EXPECT_EQ(ra.m.events, rb.m.events) << label << " record " << i;
+    }
+}
+
+}  // namespace
+
+TEST(campaign_determinism, identical_dataset_for_1_2_and_4_jobs) {
+    campaign_config cfg = tiny_config();
+
+    cfg.jobs = 1;
+    const dataset serial = run_campaign(cfg);
+    cfg.jobs = 2;
+    const dataset two = run_campaign(cfg);
+    cfg.jobs = 4;
+    const dataset four = run_campaign(cfg);
+
+    ASSERT_EQ(serial.records.size(),
+              static_cast<std::size_t>(cfg.paths * cfg.traces_per_path *
+                                       cfg.epochs_per_trace));
+    expect_identical(serial, two, "jobs=2 vs jobs=1");
+    expect_identical(serial, four, "jobs=4 vs jobs=1");
+
+    const std::string csv1 = csv_bytes(serial);
+    EXPECT_EQ(csv1, csv_bytes(two)) << "CSV differs between 1 and 2 jobs";
+    EXPECT_EQ(csv1, csv_bytes(four)) << "CSV differs between 1 and 4 jobs";
+}
+
+TEST(campaign_determinism, records_are_in_serial_iteration_order) {
+    campaign_config cfg = tiny_config();
+    cfg.jobs = 4;
+    const dataset data = run_campaign(cfg);
+    std::size_t i = 0;
+    for (const auto& profile : data.paths) {
+        for (int trace = 0; trace < cfg.traces_per_path; ++trace) {
+            for (int epoch = 0; epoch < cfg.epochs_per_trace; ++epoch, ++i) {
+                ASSERT_LT(i, data.records.size());
+                EXPECT_EQ(data.records[i].path_id, profile.id);
+                EXPECT_EQ(data.records[i].trace_id, trace);
+                EXPECT_EQ(data.records[i].epoch_index, epoch);
+            }
+        }
+    }
+    EXPECT_EQ(i, data.records.size());
+}
+
+TEST(campaign_determinism, progress_is_serialized_and_strictly_increasing) {
+    campaign_config cfg = tiny_config();
+    cfg.jobs = 4;
+    const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
+    // The documented contract (campaign.hpp): invocations never overlap, so
+    // an unsynchronized vector is safe to mutate from the callback.
+    std::vector<int> seen;
+    const dataset data = run_campaign(cfg, [&](int done, int t) {
+        EXPECT_EQ(t, total);
+        seen.push_back(done);
+    });
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i + 1);
+    EXPECT_EQ(data.records.size(), static_cast<std::size_t>(total));
+}
+
+TEST(campaign_determinism, repro_jobs_env_matches_explicit_jobs) {
+    campaign_config cfg = tiny_config();
+    cfg.paths = 2;
+    cfg.traces_per_path = 1;
+
+    cfg.jobs = 1;
+    const dataset serial = run_campaign(cfg);
+
+    ::setenv("REPRO_JOBS", "4", 1);
+    cfg.jobs = 0;  // auto: pick up the environment
+    const dataset from_env = run_campaign(cfg);
+    ::unsetenv("REPRO_JOBS");
+
+    expect_identical(serial, from_env, "REPRO_JOBS=4 vs jobs=1");
+    EXPECT_EQ(csv_bytes(serial), csv_bytes(from_env));
+}

@@ -1,0 +1,108 @@
+// Unit tests for the campaign thread pool (sim/thread_pool): every submitted
+// task runs exactly once, exceptions propagate to the waiter, parallel_for
+// covers [0, n) exactly, and the serial fallback bypasses the pool.
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace tcppred::sim;
+
+TEST(thread_pool, runs_every_task_exactly_once) {
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (auto& r : runs) r.store(0);
+
+    thread_pool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&runs, i] { runs[static_cast<std::size_t>(i)].fetch_add(1); });
+    }
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(runs[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+}
+
+TEST(thread_pool, wait_rethrows_first_task_exception) {
+    thread_pool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 5) throw std::runtime_error("boom");
+            completed.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure does not poison the pool: non-throwing tasks all ran and
+    // the pool is reusable afterwards.
+    EXPECT_EQ(completed.load(), 15);
+    pool.submit([&completed] { completed.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(thread_pool, wait_with_no_work_returns_immediately) {
+    thread_pool pool(3);
+    pool.wait();  // must not deadlock
+    pool.wait();
+}
+
+TEST(parallel_for, covers_every_index_exactly_once) {
+    constexpr std::size_t kN = 1000;
+    for (const unsigned jobs : {1u, 2u, 4u, 13u}) {
+        std::vector<std::atomic<int>> runs(kN);
+        for (auto& r : runs) r.store(0);
+        parallel_for(kN, jobs, [&](std::size_t i) { runs[i].fetch_add(1); });
+        for (std::size_t i = 0; i < kN; ++i) {
+            EXPECT_EQ(runs[i].load(), 1) << "index " << i << " jobs " << jobs;
+        }
+    }
+}
+
+TEST(parallel_for, serial_fallback_runs_in_order_on_calling_thread) {
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallel_for(10, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);  // no locking needed: single-threaded by contract
+    });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(parallel_for, propagates_body_exception) {
+    EXPECT_THROW(
+        parallel_for(100, 4,
+                     [](std::size_t i) {
+                         if (i == 42) throw std::runtime_error("epoch failed");
+                     }),
+        std::runtime_error);
+    // Serial fallback propagates directly too.
+    EXPECT_THROW(
+        parallel_for(100, 1,
+                     [](std::size_t i) {
+                         if (i == 3) throw std::runtime_error("epoch failed");
+                     }),
+        std::runtime_error);
+}
+
+TEST(parallel_for, zero_items_is_a_no_op) {
+    parallel_for(0, 4, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(jobs_from_env, parses_repro_jobs_and_defaults_to_hardware) {
+    ::setenv("REPRO_JOBS", "3", 1);
+    EXPECT_EQ(jobs_from_env(), 3u);
+    ::setenv("REPRO_JOBS", "0", 1);        // non-positive -> auto
+    EXPECT_GE(jobs_from_env(), 1u);
+    ::setenv("REPRO_JOBS", "garbage", 1);  // unparsable -> auto
+    EXPECT_GE(jobs_from_env(), 1u);
+    ::unsetenv("REPRO_JOBS");
+    EXPECT_GE(jobs_from_env(), 1u);
+}

@@ -4,6 +4,8 @@
 //
 //   tcppred_campaign --out data/my.csv [--paths N] [--traces N]
 //                    [--epochs N] [--seed S] [--transfer-s T] [--second-set]
+//                    [--jobs N]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +26,9 @@ void usage(const char* argv0) {
                  "  --epochs N        epochs per trace       (default 120)\n"
                  "  --seed S          campaign seed          (default 20040501)\n"
                  "  --transfer-s T    target transfer length (default 10)\n"
-                 "  --second-set      use the campaign-2 catalogue & plan\n",
+                 "  --second-set      use the campaign-2 catalogue & plan\n"
+                 "  --jobs N          worker threads; 1 = serial\n"
+                 "                    (default $REPRO_JOBS, else all cores)\n",
                  argv0);
 }
 
@@ -33,6 +37,7 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
     campaign_config cfg;
     std::string out;
+    int jobs = 0;  // applied after parsing so --second-set cannot reset it
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
             cfg.epoch.transfer_s = std::atof(next());
         } else if (arg == "--second-set") {
             cfg = campaign2_config(campaign_scale::normal);
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -71,11 +78,13 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
     }
+    cfg.jobs = jobs;
 
     std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu)...\n",
                  cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
                  static_cast<unsigned long long>(cfg.seed));
     int last = -1;
+    const auto t0 = std::chrono::steady_clock::now();
     const dataset data = run_campaign(cfg, [&](int done, int total) {
         const int pct = done * 100 / total;
         if (pct / 10 != last / 10) {
@@ -83,8 +92,13 @@ int main(int argc, char** argv) {
             last = pct;
         }
     });
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     save_csv(data, out);
     std::fprintf(stderr, "wrote %zu epoch records to %s\n", data.records.size(),
                  out.c_str());
+    std::fprintf(stderr, "%zu epochs in %.2f s (%.1f epochs/s)\n", data.records.size(),
+                 wall_s, wall_s > 0 ? static_cast<double>(data.records.size()) / wall_s
+                                    : 0.0);
     return 0;
 }
