@@ -47,8 +47,10 @@ int main() {
         for (std::size_t i = 0; i < recs.size() && i < horizon; ++i) {
             const auto& m = recs[i]->m;
             if (m.that_s <= 0 || m.r_large_bps <= 0) continue;
-            core::path_measurement meas{m.phat, m.that_s, m.avail_bw_bps};
-            const double fb = core::fb_predict(flow, meas).throughput_bps;
+            core::path_measurement meas{core::probability{m.phat},
+                                        core::seconds{m.that_s},
+                                        core::bits_per_second{m.avail_bw_bps}};
+            const double fb = core::fb_predict(flow, meas).throughput.value();
             hybrid.set_formula_prediction(fb);
 
             fb_err.push_back(core::relative_error(fb, m.r_large_bps));

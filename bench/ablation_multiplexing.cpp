@@ -28,7 +28,7 @@ double throughput_cov(const path_profile& base, double utilization, int elastic,
     cfg.run_pathload = false;   // only the transfer matters here
     cfg.run_small_window = false;
     cfg.prior_ping.count = 50;
-    cfg.transfer_s = 8.0;
+    cfg.transfer = core::seconds{8.0};
     std::vector<double> rs;
     for (int e = 0; e < epochs; ++e) {
         rs.push_back(run_epoch(p, load, 5000 + static_cast<std::uint64_t>(e), cfg)

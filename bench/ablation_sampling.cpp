@@ -31,9 +31,12 @@ int main() {
         tcp_loss.push_back(m.tcp_loss_rate);
         tcp_events.push_back(m.tcp_event_rate);
         // p' implied by inverting PFTK on the achieved rate.
-        implied.push_back(core::pftk_implied_loss(flow, m.tcp_mean_rtt_s > 0 ? m.tcp_mean_rtt_s
-                                                                             : m.that_s,
-                                                  1.0, m.r_large_bps));
+        implied.push_back(
+            core::pftk_implied_loss(
+                flow,
+                core::seconds{m.tcp_mean_rtt_s > 0 ? m.tcp_mean_rtt_s : m.that_s},
+                core::seconds{1.0}, core::bits_per_second{m.r_large_bps})
+                .value());
         if (m.tcp_event_rate > 0) {
             r_ping_event.push_back(m.ptilde / m.tcp_event_rate);
             r_loss_event.push_back(m.tcp_loss_rate / m.tcp_event_rate);

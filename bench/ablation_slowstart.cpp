@@ -19,8 +19,10 @@ namespace {
 /// Bernoulli random loss.
 double simulate_short_transfer(double loss, std::uint64_t segments) {
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{50e6, 0.040, 256}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, 0.040, 256}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{50e6}, core::seconds{0.040}, 256}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{0.040}, 256}};
     net::duplex_path path(sched, fwd, rev);
     if (loss > 0) path.forward_link(0).set_random_loss(loss, 99);
     net::path_conduit conduit(path);
@@ -54,9 +56,13 @@ int main() {
                 "short-model (Mbps)", "simulated (Mbps)");
     for (const double p : {0.001, 0.01}) {
         for (const std::uint64_t d : {50ull, 200ull, 1000ull, 5000ull}) {
-            const double dss = core::expected_slow_start_segments(p, static_cast<double>(d));
+            const double dss = core::expected_slow_start_segments(
+                core::probability{p}, static_cast<double>(d));
             const double model =
-                core::short_transfer_throughput(flow, rtt, p, t0, static_cast<double>(d));
+                core::short_transfer_throughput(flow, core::seconds{rtt},
+                                                core::probability{p}, core::seconds{t0},
+                                                static_cast<double>(d))
+                    .value();
             const double sim = simulate_short_transfer(p, d);
             std::printf("%-10llu %-12.3f %-18.1f %-20.2f %-16.2f\n",
                         static_cast<unsigned long long>(d), p, dss, model / 1e6, sim / 1e6);

@@ -31,8 +31,10 @@ struct outcome {
 outcome run(tcp::tcp_variant variant, double cap, double rtt, std::size_t buffer,
             double cross_load, std::uint64_t seed) {
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{cap, rtt / 2, buffer}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, rtt / 2, 512}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{cap}, core::seconds{rtt / 2}, buffer}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{rtt / 2}, 512}};
     net::duplex_path path(sched, fwd, rev);
     net::poisson_source cross(sched, path, 0, 99, seed, cross_load * cap);
     cross.start();
@@ -110,9 +112,13 @@ int main() {
             rtt /= reps;
             // PFTK fed TCP's own event rate and RTT ("posthumous" fit as in
             // the original PFTK validation).
-            const double pftk = events > 0
-                                    ? core::pftk_throughput(flow, rtt, events, 1.0)
-                                    : flow.max_window_bytes * 8.0 / rtt;
+            const double pftk =
+                events > 0
+                    ? core::pftk_throughput(flow, core::seconds{rtt},
+                                            core::probability{events},
+                                            core::seconds{1.0})
+                          .value()
+                    : flow.max_window.value() * 8.0 / rtt;
             std::printf("%-10.2f %-9s %10.2f %10.4f %10.4f %10llu %9.1f %+12.2f\n",
                         load, name_of(v), r / 1e6, loss, events,
                         static_cast<unsigned long long>(to), rtt * 1e3,

@@ -26,21 +26,22 @@ int main() {
     const epoch_measurement m = run_epoch(p, load, 42, cfg);
 
     std::printf("path %s: bottleneck %.2f Mbps, base RTT %.1f ms, buffer %zu pkts\n\n",
-                p.name.c_str(), p.bottleneck_bps() / 1e6, p.base_rtt_s() * 1e3,
+                p.name.c_str(), p.bottleneck_capacity().value() / 1e6,
+                p.base_rtt().value() * 1e3,
                 p.forward[p.bottleneck].buffer_packets);
     std::printf("phase plan (simulated seconds):\n");
-    std::printf("  [0.0 .. %.1f]  cross-traffic warmup\n", cfg.warmup_s);
+    std::printf("  [0.0 .. %.1f]  cross-traffic warmup\n", cfg.warmup.value());
     std::printf("  then          pathload avail-bw estimation     -> A-hat = %.2f Mbps\n",
                 m.avail_bw_bps / 1e6);
     std::printf("  then          %llu probes @ %.0f ms              -> p-hat = %.4f, T-hat = %.1f ms\n",
                 static_cast<unsigned long long>(cfg.prior_ping.count),
-                cfg.prior_ping.interval_s * 1e3, m.phat, m.that_s * 1e3);
+                cfg.prior_ping.interval.value() * 1e3, m.phat, m.that_s * 1e3);
     std::printf("  then          %.0f s bulk transfer (W = 1 MB)    -> R = %.2f Mbps\n",
-                cfg.transfer_s, m.r_large_bps / 1e6);
+                cfg.transfer.value(), m.r_large_bps / 1e6);
     std::printf("                ... with concurrent probing       -> p-tilde = %.4f, T-tilde = %.1f ms\n",
                 m.ptilde, m.ttilde_s * 1e3);
     std::printf("  then          %.0f s companion transfer (W=20KB) -> R = %.2f Mbps\n",
-                cfg.transfer_s, m.r_small_bps / 1e6);
+                cfg.transfer.value(), m.r_small_bps / 1e6);
     std::printf("\nepoch simulated time: %.1f s, events: %llu\n", m.sim_time_s,
                 static_cast<unsigned long long>(m.events));
     std::printf("(paper timeline: 60 s ping + 50 s transfer per epoch; this build keeps\n"

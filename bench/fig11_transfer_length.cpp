@@ -24,9 +24,11 @@ int main() {
     for (const auto& r : data.records) {
         const auto& m = r.m;
         if (m.that_s <= 0) continue;
-        core::path_measurement meas{m.phat, m.that_s, m.avail_bw_bps};
+        core::path_measurement meas{core::probability{m.phat},
+                                    core::seconds{m.that_s},
+                                    core::bits_per_second{m.avail_bw_bps}};
         core::tcp_flow_params flow;
-        const double pred = core::fb_predict(flow, meas).throughput_bps;
+        const double pred = core::fb_predict(flow, meas).throughput.value();
         for (std::size_t i = 0; i < m.prefix_goodputs.size(); ++i) {
             if (errors.size() <= i) {
                 errors.emplace_back();

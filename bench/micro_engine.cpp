@@ -52,8 +52,10 @@ void bm_tcp_transfer_second(benchmark::State& state) {
     // Cost of simulating one second of a saturating TCP flow at 10 Mbps.
     for (auto _ : state) {
         sim::scheduler sched;
-        std::vector<net::hop_config> fwd{net::hop_config{10e6, 0.020, 100}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, 0.020, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{10e6}, core::seconds{0.020}, 100}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{0.020}, 512}};
         net::duplex_path path(sched, fwd, rev);
         net::path_conduit conduit(path);
         tcp::tcp_config cfg;
@@ -71,8 +73,10 @@ void bm_loaded_path_second(benchmark::State& state) {
     // One second of TCP + Poisson cross traffic: the campaign's hot loop.
     for (auto _ : state) {
         sim::scheduler sched;
-        std::vector<net::hop_config> fwd{net::hop_config{10e6, 0.020, 100}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, 0.020, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{10e6}, core::seconds{0.020}, 100}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{0.020}, 512}};
         net::duplex_path path(sched, fwd, rev);
         net::poisson_source cross(sched, path, 0, 99, 7, 5e6);
         cross.start();

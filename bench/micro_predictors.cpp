@@ -76,7 +76,8 @@ void bm_pftk_formula(benchmark::State& state) {
     const core::tcp_flow_params flow;
     double p = 1e-4;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::pftk_throughput(flow, 0.06, p, 1.0));
+        benchmark::DoNotOptimize(core::pftk_throughput(
+            flow, core::seconds{0.06}, core::probability{p}, core::seconds{1.0}));
         p = p < 0.4 ? p * 1.01 : 1e-4;
     }
 }
@@ -86,7 +87,8 @@ void bm_pftk_full_formula(benchmark::State& state) {
     const core::tcp_flow_params flow;
     double p = 1e-4;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::pftk_full_throughput(flow, 0.06, p, 1.0));
+        benchmark::DoNotOptimize(core::pftk_full_throughput(
+            flow, core::seconds{0.06}, core::probability{p}, core::seconds{1.0}));
         p = p < 0.4 ? p * 1.01 : 1e-4;
     }
 }
@@ -95,7 +97,8 @@ BENCHMARK(bm_pftk_full_formula);
 void bm_pftk_inversion(benchmark::State& state) {
     const core::tcp_flow_params flow;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::pftk_implied_loss(flow, 0.06, 1.0, 2e6));
+        benchmark::DoNotOptimize(core::pftk_implied_loss(
+            flow, core::seconds{0.06}, core::seconds{1.0}, core::bits_per_second{2e6}));
     }
 }
 BENCHMARK(bm_pftk_inversion);

@@ -127,8 +127,10 @@ int main() {
     const double cap = 10e6;
     for (const bool window_limited : {false, true}) {
         sim::scheduler sched;
-        std::vector<net::hop_config> fwd{net::hop_config{cap, 0.03, 60}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, 0.03, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{cap}, core::seconds{0.03}, 60}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{0.03}, 512}};
         net::duplex_path path(sched, fwd, rev);
         net::poisson_source cross(sched, path, 0, 999, 11, 0.3 * cap);
         net::pareto_onoff_config bcfg;

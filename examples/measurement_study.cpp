@@ -23,7 +23,7 @@ int main() {
     cfg.traces_per_path = 1;
     cfg.epochs_per_trace = 40;
     cfg.seed = 424242;
-    cfg.epoch.transfer_s = 8.0;
+    cfg.epoch.transfer = core::seconds{8.0};
 
     // --- 2. Collect (prints nothing; takes a few seconds of CPU).
     const dataset data = run_campaign(cfg);

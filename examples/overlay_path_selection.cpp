@@ -41,10 +41,11 @@ double run_transfer(sim::scheduler& sched, candidate& c, double duration) {
     net::path_conduit conduit(*c.path);
     tcp::tcp_config cfg;
     cfg.initial_ssthresh_segments = 128;
-    probe::bulk_transfer xfer(sched, conduit, c.next_flow++, duration, cfg);
+    probe::bulk_transfer xfer(sched, conduit, c.next_flow++, core::seconds{duration},
+                              cfg);
     xfer.start();
     while (!xfer.done()) sched.step();
-    return xfer.result().goodput_bps();
+    return xfer.result().goodput().value();
 }
 
 double fb_cold_start(sim::scheduler& sched, candidate& c) {
@@ -54,10 +55,10 @@ double fb_cold_start(sim::scheduler& sched, candidate& c) {
     pinger.start();
     while (!pinger.done()) sched.step();
     core::path_measurement m;
-    m.rtt_s = pinger.result().mean_rtt();
+    m.rtt = pinger.result().mean_rtt();
     m.loss_rate = pinger.result().loss_rate();
-    m.avail_bw_bps = 0.0;  // no avail-bw probe in this app: window bound fallback
-    return core::fb_predict(core::tcp_flow_params{}, m).throughput_bps;
+    m.avail_bw = core::bits_per_second{0.0};  // no avail-bw probe: window bound fallback
+    return core::fb_predict(core::tcp_flow_params{}, m).throughput.value();
 }
 
 }  // namespace
@@ -76,8 +77,10 @@ int main() {
     const double loads[] = {0.55, 0.25, 0.40};
     for (int i = 0; i < 3; ++i) {
         candidate c;
-        std::vector<net::hop_config> fwd{net::hop_config{caps[i], rtts[i] / 2, 80}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtts[i] / 2, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{caps[i]}, core::seconds{rtts[i] / 2}, 80}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtts[i] / 2}, 512}};
         c.path = std::make_unique<net::duplex_path>(sched, fwd, rev);
         c.cross = std::make_unique<net::poisson_source>(
             sched, *c.path, 0, 9000 + static_cast<net::flow_id>(i),

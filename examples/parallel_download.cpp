@@ -58,8 +58,10 @@ int main() {
     const double loads[] = {0.5, 0.2, 0.3, 0.6};
     for (int i = 0; i < 4; ++i) {
         mirror m;
-        std::vector<net::hop_config> fwd{net::hop_config{caps[i], rtts[i] / 2, 64}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtts[i] / 2, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{caps[i]}, core::seconds{rtts[i] / 2}, 64}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtts[i] / 2}, 512}};
         m.path = std::make_unique<net::duplex_path>(sched, fwd, rev);
         m.cross = std::make_unique<net::poisson_source>(
             sched, *m.path, 0, 900 + static_cast<net::flow_id>(i),
@@ -113,7 +115,7 @@ int main() {
         pred_finish = std::max(pred_finish, took);
         std::printf("  mirror %zu: predicted %.2f Mbps -> %5.1f MB chunk, fetched at "
                     "%.2f Mbps in %.1f s\n",
-                    i, preds[i] / 1e6, chunk / 1e6, bps / 1e6, took);
+                    i, preds[i] / 1e6, static_cast<double>(chunk) / 1e6, bps / 1e6, took);
         sched.run_until(sched.now() + 1.0);
     }
 

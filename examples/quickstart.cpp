@@ -26,10 +26,12 @@ int main() {
     // --- 1. A simulated Internet path: 10 Mbps bottleneck, 60 ms RTT, and
     //        ~40%% background load.
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{100e6, 0.006, 512},
-                                     net::hop_config{10e6, 0.018, 60},
-                                     net::hop_config{100e6, 0.006, 512}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, 0.030, 512}};
+    std::vector<net::hop_config> fwd{
+        net::hop_config{core::bits_per_second{100e6}, core::seconds{0.006}, 512},
+        net::hop_config{core::bits_per_second{10e6}, core::seconds{0.018}, 60},
+        net::hop_config{core::bits_per_second{100e6}, core::seconds{0.006}, 512}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{0.030}, 512}};
     net::duplex_path path(sched, fwd, rev);
     net::poisson_source cross(sched, path, 1, /*flow=*/99, /*seed=*/7, 4e6);
     cross.start();
@@ -38,7 +40,7 @@ int main() {
     // --- 2. Formula-based prediction: measure avail-bw, RTT and loss rate
     //        non-intrusively, then apply Eq. 3 of the paper.
     probe::pathload_config plc;
-    plc.max_rate_bps = 13e6;
+    plc.max_rate = core::bits_per_second{13e6};
     probe::pathload availbw(sched, path, /*flow=*/2, plc);
     availbw.start();
     while (!availbw.done()) sched.step();
@@ -48,16 +50,17 @@ int main() {
     while (!pinger.done()) sched.step();
 
     core::path_measurement meas;
-    meas.avail_bw_bps = availbw.result().estimate_bps();
-    meas.rtt_s = pinger.result().mean_rtt();
+    meas.avail_bw = availbw.result().estimate();
+    meas.rtt = pinger.result().mean_rtt();
     meas.loss_rate = pinger.result().loss_rate();
     std::printf("measured a priori: avail-bw %.2f Mbps, RTT %.1f ms, loss %.4f\n",
-                meas.avail_bw_bps / 1e6, meas.rtt_s * 1e3, meas.loss_rate);
+                meas.avail_bw.value() / 1e6, meas.rtt.value() * 1e3,
+                meas.loss_rate.value());
 
     core::tcp_flow_params flow;  // MSS 1460, b = 2, W = 1 MB
     const core::fb_prediction fb = core::fb_predict(flow, meas);
     std::printf("FB prediction (Eq. 3): %.2f Mbps  [branch: %s]\n\n",
-                fb.throughput_bps / 1e6,
+                fb.throughput.value() / 1e6,
                 fb.branch == core::fb_branch::model_based ? "PFTK on (T^, p^)"
                 : fb.branch == core::fb_branch::avail_bw  ? "avail-bw"
                                                           : "window bound W/T^");
@@ -75,13 +78,13 @@ int main() {
         const double hb_forecast = hb.predict();
 
         net::path_conduit conduit(path);
-        probe::bulk_transfer xfer(sched, conduit, /*flow=*/100 + run, /*duration=*/10.0,
-                                  tcp_cfg);
+        probe::bulk_transfer xfer(sched, conduit, /*flow=*/100 + run,
+                                  /*duration=*/core::seconds{10.0}, tcp_cfg);
         xfer.start();
         while (!xfer.done()) sched.step();
-        const double actual = xfer.result().goodput_bps();
+        const double actual = xfer.result().goodput().value();
 
-        std::printf("%-6d %14.2f", run, fb.throughput_bps / 1e6);
+        std::printf("%-6d %14.2f", run, fb.throughput.value() / 1e6);
         if (hb_forecast == hb_forecast) {  // not NaN
             std::printf(" %14.2f %14.2f %+9.2f\n", hb_forecast / 1e6, actual / 1e6,
                         core::relative_error(hb_forecast, actual));

@@ -9,7 +9,7 @@ namespace tcppred::analysis {
 
 std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options opts) {
     core::tcp_flow_params flow = opts.flow;
-    flow.max_window_bytes = static_cast<double>(opts.window_bytes);
+    flow.max_window = core::bytes{static_cast<double>(opts.window_bytes)};
 
     // For input smoothing we need per-trace history of (p̂, T̂) in epoch
     // order; build an index once.
@@ -23,15 +23,17 @@ std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options 
             const auto& m = rec->m;
             const double actual = opts.small_window ? m.r_small_bps : m.r_large_bps;
 
-            core::path_measurement meas;
+            // Smoothing and branching happen on the raw doubles; the strong
+            // types are applied once, at the fb_predict boundary below.
+            double loss_in = 0.0;
+            double rtt_in = 0.0;
             if (opts.use_during_flow) {
-                meas.loss_rate = m.ptilde;
-                meas.rtt_s = m.ttilde_s;
+                loss_in = m.ptilde;
+                rtt_in = m.ttilde_s;
             } else {
-                meas.loss_rate = opts.use_event_loss ? m.phat_events : m.phat;
-                meas.rtt_s = m.that_s;
+                loss_in = opts.use_event_loss ? m.phat_events : m.phat;
+                rtt_in = m.that_s;
             }
-            meas.avail_bw_bps = m.avail_bw_bps;
 
             if (opts.smooth_inputs) {
                 // One-step-ahead moving average over the previous epochs'
@@ -44,20 +46,24 @@ std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options 
                         ps += p_hist[k];
                         ts += t_hist[k];
                     }
-                    meas.loss_rate = ps / static_cast<double>(n);
-                    meas.rtt_s = ts / static_cast<double>(n);
+                    loss_in = ps / static_cast<double>(n);
+                    rtt_in = ts / static_cast<double>(n);
                 }
                 p_hist.push_back(opts.use_during_flow ? m.ptilde : m.phat);
                 t_hist.push_back(opts.use_during_flow ? m.ttilde_s : m.that_s);
             }
 
-            if (actual <= 0.0 || meas.rtt_s <= 0.0) continue;
+            if (actual <= 0.0 || rtt_in <= 0.0) continue;
+
+            const core::path_measurement meas{
+                core::probability{loss_in}, core::seconds{rtt_in},
+                core::bits_per_second{m.avail_bw_bps}};
 
             fb_epoch_eval e;
             e.rec = rec;
             e.pred = core::fb_predict(flow, meas, opts.formula);
             e.actual_bps = actual;
-            e.error = core::relative_error(e.pred.throughput_bps, actual);
+            e.error = core::relative_error(e.pred.throughput.value(), actual);
             out.push_back(e);
         }
     }

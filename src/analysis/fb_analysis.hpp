@@ -28,7 +28,7 @@ struct fb_options {
     /// Predict/score the W=20KB companion transfer instead of the W=1MB
     /// target (Fig. 12).
     bool small_window{false};
-    core::tcp_flow_params flow{};  ///< max_window_bytes is overridden below
+    core::tcp_flow_params flow{};  ///< max_window is overridden by window_bytes
     std::uint64_t window_bytes{1 << 20};
 };
 

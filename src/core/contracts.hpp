@@ -1,0 +1,62 @@
+// Runtime contract checks for the domain invariants the paper states:
+// p ∈ [0,1], T > 0, non-negative rates, scheduler event-time monotonicity,
+// smoothing-weight ranges. Violations indicate a programming error, never a
+// recoverable condition, so the macros throw tcppred::contract_violation
+// (a std::logic_error) where tests can observe it.
+//
+// The checks are compiled in when TCPPRED_CHECKS is 1: that is the default
+// in Debug builds (no NDEBUG) and is forced in any build type by the
+// REPRO_CHECKS=ON CMake option. Release builds without REPRO_CHECKS compile
+// every check out entirely; the hot paths carry zero overhead (see
+// DESIGN.md "Units & contracts" for how this interacts with the §6
+// determinism contract — the checks only observe values, never alter them,
+// so a campaign CSV is byte-identical with checks on or off).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#if !defined(TCPPRED_CHECKS)
+#if defined(NDEBUG)
+#define TCPPRED_CHECKS 0
+#else
+#define TCPPRED_CHECKS 1
+#endif
+#endif
+
+namespace tcppred {
+
+/// Thrown by a violated TCPPRED_* contract when checks are enabled.
+class contract_violation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw contract_violation(std::string(kind) + " violated: (" + expr + ") at " +
+                             file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace tcppred
+
+#if TCPPRED_CHECKS
+#define TCPPRED_CONTRACT_(kind, expr)                \
+    ((expr) ? static_cast<void>(0)                   \
+            : ::tcppred::detail::contract_fail(kind, #expr, __FILE__, __LINE__))
+#else
+// The sizeof keeps the expression syntactically checked (and its operands
+// "used", so -Wunused-parameter stays quiet) without ever evaluating it.
+#define TCPPRED_CONTRACT_(kind, expr) \
+    static_cast<void>(sizeof((expr) ? 1 : 0))
+#endif
+
+/// Precondition on a function's arguments / object state at entry.
+#define TCPPRED_EXPECTS(expr) TCPPRED_CONTRACT_("precondition", expr)
+/// Postcondition on a function's result / object state at exit.
+#define TCPPRED_ENSURES(expr) TCPPRED_CONTRACT_("postcondition", expr)
+/// Internal invariant anywhere in a function body.
+#define TCPPRED_ASSERT(expr) TCPPRED_CONTRACT_("invariant", expr)

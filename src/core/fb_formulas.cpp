@@ -2,22 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace tcppred::core {
 
 namespace {
 
-void check_inputs(const tcp_flow_params& f, double rtt_s, double p) {
-    if (f.mss_bytes <= 0 || f.segs_per_ack <= 0 || f.max_window_bytes <= 0) {
-        throw std::invalid_argument("tcp_flow_params must be positive");
-    }
-    if (rtt_s <= 0) throw std::invalid_argument("rtt must be positive");
-    if (p < 0 || p > 1) throw std::invalid_argument("loss rate must be in [0,1]");
+// Strong types make an out-of-domain probability unrepresentable upstream;
+// what remains to check here are the invariants the types cannot carry.
+void check_inputs(const tcp_flow_params& f, seconds rtt) {
+    TCPPRED_EXPECTS(f.mss.value() > 0.0);
+    TCPPRED_EXPECTS(f.segs_per_ack > 0.0);
+    TCPPRED_EXPECTS(f.max_window.value() > 0.0);
+    TCPPRED_EXPECTS(rtt.value() > 0.0);
 }
 
 [[nodiscard]] double window_bound_bps(const tcp_flow_params& f, double rtt_s) {
-    return f.max_window_bytes * 8.0 / rtt_s;
+    return f.max_window.value() * 8.0 / rtt_s;
 }
 
 /// Probability Q(p, w) that a loss indication ends in a timeout (full PFTK).
@@ -45,34 +47,45 @@ void check_inputs(const tcp_flow_params& f, double rtt_s, double p) {
 
 }  // namespace
 
-double square_root_throughput(const tcp_flow_params& f, double rtt_s, double p) {
-    check_inputs(f, rtt_s, p);
+bits_per_second square_root_throughput(const tcp_flow_params& f, seconds rtt,
+                                       probability loss) {
+    check_inputs(f, rtt);
+    const double rtt_s = rtt.value();
+    const double p = loss.value();
     const double bound = window_bound_bps(f, rtt_s);
-    if (p <= 0.0) return bound;
-    const double rate = f.mss_bytes * 8.0 / (rtt_s * std::sqrt(2.0 * f.segs_per_ack * p / 3.0));
-    return std::min(rate, bound);
+    if (p <= 0.0) return bits_per_second{bound};
+    const double rate =
+        f.mss.value() * 8.0 / (rtt_s * std::sqrt(2.0 * f.segs_per_ack * p / 3.0));
+    return bits_per_second{std::min(rate, bound)};
 }
 
-double pftk_throughput(const tcp_flow_params& f, double rtt_s, double p, double t0_s) {
-    check_inputs(f, rtt_s, p);
+bits_per_second pftk_throughput(const tcp_flow_params& f, seconds rtt,
+                                probability loss, seconds t0) {
+    check_inputs(f, rtt);
+    TCPPRED_EXPECTS(t0.value() > 0.0);
+    const double rtt_s = rtt.value();
+    const double p = loss.value();
     const double bound = window_bound_bps(f, rtt_s);
-    if (p <= 0.0) return bound;
+    if (p <= 0.0) return bits_per_second{bound};
     const double b = f.segs_per_ack;
     const double denom = rtt_s * std::sqrt(2.0 * b * p / 3.0) +
-                         t0_s * std::min(1.0, std::sqrt(3.0 * b * p / 8.0)) * p *
+                         t0.value() * std::min(1.0, std::sqrt(3.0 * b * p / 8.0)) * p *
                              (1.0 + 32.0 * p * p);
-    const double rate = f.mss_bytes * 8.0 / denom;
-    return std::min(rate, bound);
+    const double rate = f.mss.value() * 8.0 / denom;
+    return bits_per_second{std::min(rate, bound)};
 }
 
-double pftk_full_throughput(const tcp_flow_params& f, double rtt_s, double p, double t0_s) {
-    check_inputs(f, rtt_s, p);
+bits_per_second pftk_full_throughput(const tcp_flow_params& f, seconds rtt,
+                                     probability loss, seconds t0) {
+    check_inputs(f, rtt);
+    TCPPRED_EXPECTS(t0.value() > 0.0);
+    const double rtt_s = rtt.value();
     const double bound = window_bound_bps(f, rtt_s);
-    if (p <= 0.0) return bound;
-    p = std::min(p, 0.99);
+    if (loss.value() <= 0.0) return bits_per_second{bound};
+    const double p = std::min(loss.value(), 0.99);
 
     const double b = f.segs_per_ack;
-    const double wm = std::max(1.0, f.max_window_bytes / f.mss_bytes);
+    const double wm = std::max(1.0, f.max_window.value() / f.mss.value());
     const double c = (2.0 + b) / (3.0 * b);
     const double w_unconstrained =
         c + std::sqrt(8.0 * (1.0 - p) / (3.0 * b * p) + c * c);
@@ -82,63 +95,68 @@ double pftk_full_throughput(const tcp_flow_params& f, double rtt_s, double p, do
         const double w = w_unconstrained;
         const double q = pftk_q(p, w);
         const double num = (1.0 - p) / p + w + q / (1.0 - p);
-        const double den = rtt_s * (b / 2.0 * w + 1.0) + q * pftk_g(p) * t0_s / (1.0 - p);
+        const double den =
+            rtt_s * (b / 2.0 * w + 1.0) + q * pftk_g(p) * t0.value() / (1.0 - p);
         segments_per_second = num / den;
     } else {
         const double q = pftk_q(p, wm);
         const double num = (1.0 - p) / p + wm + q / (1.0 - p);
         const double den = rtt_s * (b / 8.0 * wm + (1.0 - p) / (p * wm) + 2.0) +
-                           q * pftk_g(p) * t0_s / (1.0 - p);
+                           q * pftk_g(p) * t0.value() / (1.0 - p);
         segments_per_second = num / den;
     }
-    return std::min(segments_per_second * f.mss_bytes * 8.0, bound);
+    return bits_per_second{std::min(segments_per_second * f.mss.value() * 8.0, bound)};
 }
 
-double expected_slow_start_segments(double p, double d) {
-    if (p < 0 || p > 1 || d < 0) throw std::invalid_argument("bad slow-start inputs");
+double expected_slow_start_segments(probability loss, double d) {
+    TCPPRED_EXPECTS(d >= 0.0);
+    const double p = loss.value();
     if (p == 0.0) return d + 1.0;  // limit of the expression as p -> 0 is d + 1
     return (1.0 - std::pow(1.0 - p, d)) * (1.0 - p) / p + 1.0;
 }
 
-double short_transfer_throughput(const tcp_flow_params& f, double rtt_s, double p,
-                                 double t0_s, double d_segments,
-                                 double init_window_segments) {
-    check_inputs(f, rtt_s, p);
-    if (d_segments <= 0) return 0.0;
+bits_per_second short_transfer_throughput(const tcp_flow_params& f, seconds rtt,
+                                          probability loss, seconds t0,
+                                          double d_segments,
+                                          double init_window_segments) {
+    check_inputs(f, rtt);
+    if (d_segments <= 0) return bits_per_second{0.0};
 
-    const double d_ss = std::min(expected_slow_start_segments(p, d_segments), d_segments);
+    const double d_ss = std::min(expected_slow_start_segments(loss, d_segments),
+                                 d_segments);
     // Slow-start duration: window grows by factor gamma = 1 + 1/b per RTT;
     // cumulative segments after r rounds: w1 (gamma^r - 1)/(gamma - 1).
     const double gamma = 1.0 + 1.0 / f.segs_per_ack;
     const double rounds =
         std::log(d_ss * (gamma - 1.0) / init_window_segments + 1.0) / std::log(gamma);
-    const double t_ss = rounds * rtt_s;
+    const double t_ss = rounds * rtt.value();
 
-    const double steady_bps = pftk_throughput(f, rtt_s, p, t0_s);
+    const double steady_bps = pftk_throughput(f, rtt, loss, t0).value();
     const double remaining_segments = d_segments - d_ss;
-    const double t_steady = remaining_segments * f.mss_bytes * 8.0 / steady_bps;
+    const double t_steady = remaining_segments * f.mss.value() * 8.0 / steady_bps;
     const double total_time = t_ss + t_steady;
-    if (total_time <= 0.0) return steady_bps;
-    return d_segments * f.mss_bytes * 8.0 / total_time;
+    if (total_time <= 0.0) return bits_per_second{steady_bps};
+    return bits_per_second{d_segments * f.mss.value() * 8.0 / total_time};
 }
 
-double pftk_implied_loss(const tcp_flow_params& f, double rtt_s, double t0_s,
-                         double throughput_bps) {
-    check_inputs(f, rtt_s, 0.0);
-    if (throughput_bps <= 0.0) return 1.0;
-    if (throughput_bps >= window_bound_bps(f, rtt_s)) return 0.0;
+probability pftk_implied_loss(const tcp_flow_params& f, seconds rtt, seconds t0,
+                              bits_per_second throughput) {
+    check_inputs(f, rtt);
+    const double throughput_bps = throughput.value();
+    if (throughput_bps <= 0.0) return probability{1.0};
+    if (throughput_bps >= window_bound_bps(f, rtt.value())) return probability{0.0};
 
     // pftk_throughput is strictly decreasing in p: bisection.
     double lo = 1e-9, hi = 1.0;
     for (int i = 0; i < 80; ++i) {
         const double mid = 0.5 * (lo + hi);
-        if (pftk_throughput(f, rtt_s, mid, t0_s) > throughput_bps) {
+        if (pftk_throughput(f, rtt, probability{mid}, t0).value() > throughput_bps) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    return 0.5 * (lo + hi);
+    return probability{0.5 * (lo + hi)};
 }
 
 }  // namespace tcppred::core

@@ -5,51 +5,57 @@
 // inverse mapping from observed throughput to the congestion-event
 // probability p' (Goyal et al., §3.3).
 //
-// All formulas are pure functions of path characteristics; rates are in
-// bits per second, times in seconds, p in [0, 1].
+// All formulas are pure functions of path characteristics. Every input and
+// output carries its unit in the type (core/units.hpp): rates are
+// `bits_per_second`, times `seconds`, loss rates `probability` — swapping
+// two differently-united arguments is a compile error. Domain invariants
+// the types cannot express (T > 0, positive flow parameters) are contract
+// preconditions (core/contracts.hpp).
 #pragma once
 
-#include <cstdint>
+#include "core/units.hpp"
 
 namespace tcppred::core {
 
 /// Flow parameters every formula needs.
 struct tcp_flow_params {
-    double mss_bytes{1460};       ///< M: segment size
-    double segs_per_ack{2};       ///< b: segments acknowledged per ACK
-    double max_window_bytes{1 << 20};  ///< W: maximum (receiver) window
+    bytes mss{1460.0};             ///< M: segment size
+    double segs_per_ack{2.0};      ///< b: segments acknowledged per ACK
+    bytes max_window{1048576.0};   ///< W: maximum (receiver) window, 1 MB
 };
 
 /// Mathis et al. "square-root" model (Eq. 1):
 ///   E[R] = M / (T * sqrt(2bp/3)), capped at W/T.
-/// Returns bits/second. For p == 0 returns the window bound W/T.
-[[nodiscard]] double square_root_throughput(const tcp_flow_params& f, double rtt_s, double p);
+/// For p == 0 returns the window bound W/T.
+[[nodiscard]] bits_per_second square_root_throughput(const tcp_flow_params& f,
+                                                     seconds rtt, probability p);
 
 /// PFTK approximate model (Eq. 2):
 ///   E[R] = min( M / (T sqrt(2bp/3) + T0 min(1, sqrt(3bp/8)) p (1+32p^2)), W/T ).
-/// Returns bits/second. For p == 0 returns the window bound W/T.
-[[nodiscard]] double pftk_throughput(const tcp_flow_params& f, double rtt_s, double p,
-                                     double t0_s);
+/// For p == 0 returns the window bound W/T.
+[[nodiscard]] bits_per_second pftk_throughput(const tcp_flow_params& f, seconds rtt,
+                                              probability p, seconds t0);
 
 /// Full PFTK model (Padhye et al., "full" equation with timeout-probability
 /// term Q and window limitation), used here as the revised/corrected PFTK
-/// variant evaluated in §4.2.9. Returns bits/second.
-[[nodiscard]] double pftk_full_throughput(const tcp_flow_params& f, double rtt_s, double p,
-                                          double t0_s);
+/// variant evaluated in §4.2.9.
+[[nodiscard]] bits_per_second pftk_full_throughput(const tcp_flow_params& f,
+                                                   seconds rtt, probability p,
+                                                   seconds t0);
 
 /// Expected number of segments delivered by the initial slow start for a
 /// d-segment transfer under loss rate p (Cardwell et al., quoted in §4.2.7):
 ///   E[d_ss] = (1 - (1-p)^d)(1-p)/p + 1.
-[[nodiscard]] double expected_slow_start_segments(double p, double d);
+[[nodiscard]] double expected_slow_start_segments(probability p, double d);
 
 /// Approximate goodput of a *short* transfer of `d` segments: slow-start
 /// phase (exponential window growth from `init_window` segments, growth
 /// factor gamma = 1 + 1/b) followed by steady-state at the PFTK rate. The
 /// documented extension predictor for short flows (paper future work /
 /// Arlitt et al. approach).
-[[nodiscard]] double short_transfer_throughput(const tcp_flow_params& f, double rtt_s,
-                                               double p, double t0_s, double d_segments,
-                                               double init_window_segments = 2.0);
+[[nodiscard]] bits_per_second short_transfer_throughput(
+    const tcp_flow_params& f, seconds rtt, probability p, seconds t0,
+    double d_segments, double init_window_segments = 2.0);
 
 /// Invert the PFTK approximate model: find the loss probability p' that
 /// would make PFTK output the observed throughput. This is the
@@ -57,13 +63,13 @@ struct tcp_flow_params {
 /// comparing ping-measured loss rates with what TCP actually experienced.
 /// Returns a value in [1e-9, 1]; returns 0 when the throughput is at or
 /// above the window bound W/T.
-[[nodiscard]] double pftk_implied_loss(const tcp_flow_params& f, double rtt_s, double t0_s,
-                                       double throughput_bps);
+[[nodiscard]] probability pftk_implied_loss(const tcp_flow_params& f, seconds rtt,
+                                            seconds t0, bits_per_second throughput);
 
 /// Retransmission-timeout estimate the FB predictor uses (§3.1):
 ///   T0_hat = max(1 s, 2 * SRTT), with SRTT taken as the a-priori RTT.
-[[nodiscard]] inline double estimate_t0(double rtt_s) {
-    return rtt_s * 2.0 > 1.0 ? rtt_s * 2.0 : 1.0;
+[[nodiscard]] inline seconds estimate_t0(seconds rtt) {
+    return rtt.value() * 2.0 > 1.0 ? seconds{rtt.value() * 2.0} : seconds{1.0};
 }
 
 }  // namespace tcppred::core

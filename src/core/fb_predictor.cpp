@@ -1,39 +1,41 @@
 #include "core/fb_predictor.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace tcppred::core {
 
 fb_prediction fb_predict(const tcp_flow_params& flow, const path_measurement& m,
-                         fb_formula formula, double t0_s) {
-    if (m.rtt_s <= 0.0) throw std::invalid_argument("fb_predict: rtt must be positive");
-    if (t0_s <= 0.0) t0_s = estimate_t0(m.rtt_s);
+                         fb_formula formula, seconds t0) {
+    TCPPRED_EXPECTS(m.rtt.value() > 0.0);
+    TCPPRED_EXPECTS(m.avail_bw.value() >= 0.0);
+    if (t0.value() <= 0.0) t0 = estimate_t0(m.rtt);
 
     fb_prediction out;
-    if (m.loss_rate > 0.0) {
+    if (m.loss_rate.value() > 0.0) {
         out.branch = fb_branch::model_based;
         switch (formula) {
             case fb_formula::square_root:
-                out.throughput_bps = square_root_throughput(flow, m.rtt_s, m.loss_rate);
+                out.throughput = square_root_throughput(flow, m.rtt, m.loss_rate);
                 break;
             case fb_formula::pftk:
-                out.throughput_bps = pftk_throughput(flow, m.rtt_s, m.loss_rate, t0_s);
+                out.throughput = pftk_throughput(flow, m.rtt, m.loss_rate, t0);
                 break;
             case fb_formula::pftk_full:
-                out.throughput_bps = pftk_full_throughput(flow, m.rtt_s, m.loss_rate, t0_s);
+                out.throughput = pftk_full_throughput(flow, m.rtt, m.loss_rate, t0);
                 break;
         }
         return out;
     }
 
-    const double window_bound = flow.max_window_bytes * 8.0 / m.rtt_s;
-    if (m.avail_bw_bps > 0.0 && m.avail_bw_bps < window_bound) {
+    const double window_bound = flow.max_window.value() * 8.0 / m.rtt.value();
+    if (m.avail_bw.value() > 0.0 && m.avail_bw.value() < window_bound) {
         out.branch = fb_branch::avail_bw;
-        out.throughput_bps = m.avail_bw_bps;
+        out.throughput = m.avail_bw;
     } else {
         out.branch = fb_branch::window_bound;
-        out.throughput_bps = window_bound;
+        out.throughput = bits_per_second{window_bound};
     }
     return out;
 }

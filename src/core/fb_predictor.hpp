@@ -4,14 +4,17 @@
 #pragma once
 
 #include "core/fb_formulas.hpp"
+#include "core/units.hpp"
 
 namespace tcppred::core {
 
 /// A-priori (or during-flow) path characteristics feeding the predictor.
+/// Field types carry the units (core/units.hpp); construct from raw record
+/// doubles only at the serialization boundary.
 struct path_measurement {
-    double loss_rate{0.0};   ///< p̂ (or p̃): fraction of probes lost
-    double rtt_s{0.0};       ///< T̂ (or T̃): mean probe RTT, seconds
-    double avail_bw_bps{0.0};///< Â: available bandwidth estimate, bits/s
+    probability loss_rate{};   ///< p̂ (or p̃): fraction of probes lost
+    seconds rtt{};             ///< T̂ (or T̃): mean probe RTT
+    bits_per_second avail_bw{};///< Â: available bandwidth estimate
 };
 
 /// Which throughput model the lossy branch uses.
@@ -31,15 +34,15 @@ enum class fb_branch {
 /// A prediction plus which branch made it (the paper analyzes lossy vs
 /// lossless predictions separately, e.g. Fig. 2).
 struct fb_prediction {
-    double throughput_bps{0.0};  ///< R̂
+    bits_per_second throughput{};  ///< R̂
     fb_branch branch{fb_branch::model_based};
 };
 
-/// Eq. 3 of the paper. `t0_s` defaults to the paper's estimate
+/// Eq. 3 of the paper. `t0` defaults to the paper's estimate
 /// max(1 s, 2 T̂) when passed as 0.
 [[nodiscard]] fb_prediction fb_predict(const tcp_flow_params& flow,
                                        const path_measurement& m,
                                        fb_formula formula = fb_formula::pftk,
-                                       double t0_s = 0.0);
+                                       seconds t0 = seconds{0.0});
 
 }  // namespace tcppred::core

@@ -2,23 +2,36 @@
 // the Root Mean Square Relative Error over a series (Eq. 5).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <span>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
 
 namespace tcppred::core {
 
 /// Relative prediction error (Eq. 4):
 ///   E = (R̂ − R) / min(R̂, R).
 /// Symmetric in over/under-estimation: predicting w·R or R/w both yield
-/// |E| = w − 1. Both arguments must be positive; a tiny floor guards
+/// |E| = w − 1. Both arguments must be non-negative; a tiny floor guards
 /// degenerate zero measurements.
-[[nodiscard]] inline double relative_error(double predicted, double actual) noexcept {
+[[nodiscard]] inline double relative_error(double predicted, double actual) {
+    TCPPRED_EXPECTS(predicted >= 0.0);
+    TCPPRED_EXPECTS(actual >= 0.0);
     constexpr double floor = 1e-12;
     const double denom = std::max(std::min(predicted, actual), floor);
     return (predicted - actual) / denom;
 }
 
+/// Relative prediction error of a throughput forecast (typed overload).
+[[nodiscard]] inline double relative_error(bits_per_second predicted,
+                                           bits_per_second actual) {
+    return relative_error(predicted.value(), actual.value());
+}
+
 /// Root Mean Square Relative Error (Eq. 5) over a series of relative errors.
+/// An empty series has zero error by convention (no forecasts were scored).
 [[nodiscard]] inline double rmsre(std::span<const double> errors) noexcept {
     if (errors.empty()) return 0.0;
     double sum = 0.0;

@@ -1,0 +1,109 @@
+// Compile-time unit safety for every quantity the predictors consume: RTT
+// T̂ in seconds, loss rate p̂ in [0,1], available bandwidth Â and throughput
+// R in bits per second, MSS and windows in bytes.
+//
+// Each unit is a zero-overhead strong wrapper over a double — construction
+// is explicit, so passing a `seconds` where a `probability` is expected (or
+// swapping any two differently-united arguments) is a compile error, which
+// is exactly the class of silent corruption a bare-double API invites (see
+// tests/compile_fail/). Arithmetic is restricted to what the formulas need:
+// same-unit sums, dimensionless scaling, and same-unit ratios. Anything
+// dimensionally novel goes through a named helper (`rate_of`,
+// `transfer_time`) so the 8×-bits-per-byte conversion lives in one place.
+//
+// Conventions (DESIGN.md "Units & contracts"):
+//  - compute-layer APIs (fb_formulas, fb_predictor, probe results, path
+//    configuration) trade in strong types;
+//  - serialization records (epoch_measurement, CSV rows) stay suffixed raw
+//    doubles (`*_bps`, `*_s`) and are re-wrapped — validated where the data
+//    is untrusted — at the boundary.
+#pragma once
+
+#include <compare>
+#include <stdexcept>
+
+#include "core/contracts.hpp"
+
+namespace tcppred::core {
+
+/// Strong typedef over double; `Tag` only distinguishes units.
+template <class Tag>
+class quantity {
+public:
+    constexpr quantity() noexcept = default;
+    constexpr explicit quantity(double v) noexcept : v_(v) {}
+
+    [[nodiscard]] constexpr double value() const noexcept { return v_; }
+
+    constexpr auto operator<=>(const quantity&) const noexcept = default;
+
+    friend constexpr quantity operator+(quantity a, quantity b) noexcept {
+        return quantity{a.v_ + b.v_};
+    }
+    friend constexpr quantity operator-(quantity a, quantity b) noexcept {
+        return quantity{a.v_ - b.v_};
+    }
+    friend constexpr quantity operator*(quantity q, double s) noexcept {
+        return quantity{q.v_ * s};
+    }
+    friend constexpr quantity operator*(double s, quantity q) noexcept {
+        return quantity{s * q.v_};
+    }
+    friend constexpr quantity operator/(quantity q, double s) noexcept {
+        return quantity{q.v_ / s};
+    }
+    /// The ratio of two same-unit quantities is dimensionless.
+    friend constexpr double operator/(quantity a, quantity b) noexcept {
+        return a.v_ / b.v_;
+    }
+
+private:
+    double v_{0.0};
+};
+
+using seconds = quantity<struct seconds_unit>;
+using bits_per_second = quantity<struct bits_per_second_unit>;
+using bytes = quantity<struct bytes_unit>;
+
+/// A probability (loss rate, smoothing weight): a double carrying the
+/// invariant value ∈ [0,1]. The constructor asserts the invariant as a
+/// contract (Debug / REPRO_CHECKS builds, zero overhead otherwise); use
+/// `probability::checked` for untrusted inputs (CSV fields, CLI arguments),
+/// which always validates and throws std::invalid_argument.
+class probability {
+public:
+    constexpr probability() noexcept = default;
+    constexpr explicit probability(double v) : v_(v) {
+        TCPPRED_EXPECTS(v >= 0.0 && v <= 1.0);
+    }
+
+    /// Always-on validating factory for data crossing a trust boundary.
+    [[nodiscard]] static constexpr probability checked(double v) {
+        if (!(v >= 0.0 && v <= 1.0)) {
+            throw std::invalid_argument("probability: value outside [0,1]");
+        }
+        return probability{v};
+    }
+
+    [[nodiscard]] constexpr double value() const noexcept { return v_; }
+
+    constexpr auto operator<=>(const probability&) const noexcept = default;
+
+private:
+    double v_{0.0};
+};
+
+/// Average rate at which `amount` moves in `elapsed` (bytes → bits here,
+/// nowhere else).
+[[nodiscard]] constexpr bits_per_second rate_of(bytes amount, seconds elapsed) {
+    TCPPRED_EXPECTS(elapsed.value() > 0.0);
+    return bits_per_second{amount.value() * 8.0 / elapsed.value()};
+}
+
+/// Time to move `amount` at `rate`.
+[[nodiscard]] constexpr seconds transfer_time(bytes amount, bits_per_second rate) {
+    TCPPRED_EXPECTS(rate.value() > 0.0);
+    return seconds{amount.value() * 8.0 / rate.value()};
+}
+
+}  // namespace tcppred::core

@@ -1,5 +1,7 @@
 #include "net/path.hpp"
 
+#include "core/contracts.hpp"
+
 namespace tcppred::net {
 
 duplex_path::duplex_path(sim::scheduler& sched, std::span<const hop_config> forward,
@@ -11,18 +13,20 @@ duplex_path::duplex_path(sim::scheduler& sched, std::span<const hop_config> forw
     forward_.reserve(forward.size());
     for (std::size_t i = 0; i < forward.size(); ++i) {
         const auto& h = forward[i];
-        forward_.push_back(std::make_unique<link>(sched, h.capacity_bps, h.prop_delay_s,
+        forward_.push_back(std::make_unique<link>(sched, h.capacity.value(),
+                                                  h.prop_delay.value(),
                                                   h.buffer_packets));
-        base_rtt_ += h.prop_delay_s;
-        if (h.capacity_bps < forward[bottleneck_].capacity_bps) bottleneck_ = i;
+        base_rtt_ += h.prop_delay.value();
+        if (h.capacity < forward[bottleneck_].capacity) bottleneck_ = i;
         forward_[i]->set_sink([this, i](packet p) { route_forward(i + 1, p); });
     }
     reverse_.reserve(reverse.size());
     for (std::size_t i = 0; i < reverse.size(); ++i) {
         const auto& h = reverse[i];
-        reverse_.push_back(std::make_unique<link>(sched, h.capacity_bps, h.prop_delay_s,
+        reverse_.push_back(std::make_unique<link>(sched, h.capacity.value(),
+                                                  h.prop_delay.value(),
                                                   h.buffer_packets));
-        base_rtt_ += h.prop_delay_s;
+        base_rtt_ += h.prop_delay.value();
         reverse_[i]->set_sink([this, i](packet p) { route_reverse(i + 1, p); });
     }
 }
@@ -72,15 +76,17 @@ void duplex_path::deliver_reverse(packet p) {
 
 shared_link_conduit::shared_link_conduit(sim::scheduler& sched, duplex_path& path,
                                          std::size_t link_index, flow_id flow,
-                                         double access_delay, double egress_delay,
-                                         double ack_delay)
+                                         core::seconds access_delay,
+                                         core::seconds egress_delay,
+                                         core::seconds ack_delay)
     : sched_(&sched),
       path_(&path),
       link_index_(link_index),
       flow_(flow),
-      access_delay_(access_delay),
-      egress_delay_(egress_delay),
-      ack_delay_(ack_delay) {
+      access_delay_(access_delay.value()),
+      egress_delay_(egress_delay.value()),
+      ack_delay_(ack_delay.value()) {
+    TCPPRED_EXPECTS(access_delay_ >= 0.0 && egress_delay_ >= 0.0 && ack_delay_ >= 0.0);
     path_->on_cross_exit(flow_, [this](packet p) {
         sched_->schedule_in(egress_delay_, [this, p] {
             if (data_handler_) data_handler_(p);

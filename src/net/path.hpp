@@ -11,16 +11,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tcppred::net {
 
-/// Static description of one hop of a path.
+/// Static description of one hop of a path. Capacity and delay carry their
+/// units in the type, so swapping them at a construction site is a compile
+/// error (tests/compile_fail/); the packet-level hot path below this
+/// boundary runs on raw doubles.
 struct hop_config {
-    double capacity_bps{10e6};
-    double prop_delay_s{0.010};
+    core::bits_per_second capacity{10e6};
+    core::seconds prop_delay{0.010};
     std::size_t buffer_packets{64};
 };
 
@@ -89,7 +93,9 @@ public:
 
     /// Sum of forward+reverse propagation delays: the no-load RTT floor
     /// (excluding serialization).
-    [[nodiscard]] double base_rtt() const noexcept { return base_rtt_; }
+    [[nodiscard]] core::seconds base_rtt() const noexcept {
+        return core::seconds{base_rtt_};
+    }
 
 private:
     void route_forward(std::size_t link_index, packet p);
@@ -152,16 +158,16 @@ private:
 class shared_link_conduit final : public conduit {
 public:
     shared_link_conduit(sim::scheduler& sched, duplex_path& path, std::size_t link_index,
-                        flow_id flow, double access_delay, double egress_delay,
-                        double ack_delay);
+                        flow_id flow, core::seconds access_delay,
+                        core::seconds egress_delay, core::seconds ack_delay);
 
     void send_data(packet p) override;
     void send_ack(packet p) override;
     void on_deliver_data(flow_id flow, delivery_handler h) override;
     void on_deliver_ack(flow_id flow, delivery_handler h) override;
 
-    [[nodiscard]] double round_trip_floor() const noexcept {
-        return access_delay_ + egress_delay_ + ack_delay_;
+    [[nodiscard]] core::seconds round_trip_floor() const noexcept {
+        return core::seconds{access_delay_ + egress_delay_ + ack_delay_};
     }
 
 private:

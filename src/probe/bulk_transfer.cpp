@@ -1,12 +1,17 @@
 #include "probe/bulk_transfer.hpp"
 
+#include "core/contracts.hpp"
+
 namespace tcppred::probe {
 
 bulk_transfer::bulk_transfer(sim::scheduler& sched, net::conduit& conduit,
-                             net::flow_id flow, double duration_s, tcp::tcp_config cfg)
+                             net::flow_id flow, core::seconds duration,
+                             tcp::tcp_config cfg)
     : sched_(&sched),
-      duration_s_(duration_s),
-      conn_(std::make_unique<tcp::tcp_connection>(sched, conduit, flow, cfg)) {}
+      duration_s_(duration.value()),
+      conn_(std::make_unique<tcp::tcp_connection>(sched, conduit, flow, cfg)) {
+    TCPPRED_EXPECTS(duration_s_ > 0.0);
+}
 
 bulk_transfer::~bulk_transfer() {
     for (const auto h : pending_events_) sched_->cancel(h);

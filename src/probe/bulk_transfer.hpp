@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/path.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp.hpp"
@@ -22,8 +23,10 @@ struct transfer_result {
     std::vector<std::pair<double, double>> prefix_goodput_bps;
     tcp::sender_stats tcp_stats;
 
-    [[nodiscard]] double goodput_bps() const noexcept {
-        return duration_s > 0.0 ? static_cast<double>(bytes) * 8.0 / duration_s : 0.0;
+    /// Average goodput over the whole transfer (R in the paper).
+    [[nodiscard]] core::bits_per_second goodput() const noexcept {
+        return core::bits_per_second{
+            duration_s > 0.0 ? static_cast<double>(bytes) * 8.0 / duration_s : 0.0};
     }
 };
 
@@ -31,7 +34,7 @@ struct transfer_result {
 class bulk_transfer {
 public:
     bulk_transfer(sim::scheduler& sched, net::conduit& conduit, net::flow_id flow,
-                  double duration_s, tcp::tcp_config cfg = {});
+                  core::seconds duration, tcp::tcp_config cfg = {});
 
     /// Cancels the checkpoint/end events: safe to destroy mid-transfer.
     ~bulk_transfer();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace tcppred::probe {
 
 namespace {
@@ -68,8 +70,11 @@ pathload::pathload(sim::scheduler& sched, net::duplex_path& path, net::flow_id f
       path_(&path),
       flow_(flow),
       cfg_(cfg),
-      low_(cfg.min_rate_bps),
-      high_(cfg.max_rate_bps) {
+      low_(cfg.min_rate.value()),
+      high_(cfg.max_rate.value()) {
+    TCPPRED_EXPECTS(cfg_.min_rate.value() > 0.0);
+    TCPPRED_EXPECTS(cfg_.max_rate >= cfg_.min_rate);
+    TCPPRED_EXPECTS(cfg_.inter_stream_gap.value() >= 0.0);
     path_->on_deliver_forward(flow_, [this](net::packet p) {
         ++stream_received_;
         stream_owds_.push_back(sched_->now() - p.sent_at);
@@ -110,7 +115,7 @@ void pathload::emit_packet(std::uint32_t index, std::uint32_t total, double spac
         });
     } else {
         // Allow the tail of the stream (and any queue we built) to land.
-        chain_event_ = sched_->schedule_in(cfg_.inter_stream_gap_s + 4.0 * spacing,
+        chain_event_ = sched_->schedule_in(cfg_.inter_stream_gap.value() + 4.0 * spacing,
                                            [this] { conclude_stream(); });
     }
 }

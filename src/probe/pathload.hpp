@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/path.hpp"
 #include "sim/scheduler.hpp"
@@ -30,19 +31,21 @@ struct pathload_result {
     int streams_used{0};
 
     /// Point estimate Â: the bracket midpoint.
-    [[nodiscard]] double estimate_bps() const noexcept { return 0.5 * (low_bps + high_bps); }
+    [[nodiscard]] core::bits_per_second estimate() const noexcept {
+        return core::bits_per_second{0.5 * (low_bps + high_bps)};
+    }
 };
 
 /// Iterative SLoPS measurement over a duplex path.
 /// SLoPS measurement parameters.
 struct pathload_config {
-    double min_rate_bps{50e3};
-    double max_rate_bps{12e6};      ///< upper bound of the search bracket
+    core::bits_per_second min_rate{50e3};
+    core::bits_per_second max_rate{12e6};  ///< upper bound of the search bracket
     std::uint32_t stream_packets{60};
     std::uint32_t packet_bytes{600};
     int max_streams{10};
     double resolution_fraction{0.08};///< stop when (high-low)/high below this
-    double inter_stream_gap_s{0.10}; ///< drain time between streams
+    core::seconds inter_stream_gap{0.10};  ///< drain time between streams
     double loss_fraction_increasing{0.10};///< stream loss that implies rate > avail-bw
 };
 

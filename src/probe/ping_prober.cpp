@@ -1,10 +1,14 @@
 #include "probe/ping_prober.hpp"
 
+#include "core/contracts.hpp"
+
 namespace tcppred::probe {
 
 ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flow_id flow,
                          ping_config cfg)
     : sched_(&sched), path_(&path), flow_(flow), cfg_(cfg) {
+    TCPPRED_EXPECTS(cfg_.interval.value() > 0.0);
+    TCPPRED_EXPECTS(cfg_.reply_timeout.value() > 0.0);
     // Far end: echo every probe back over the reverse path.
     path_->on_deliver_forward(flow_, [this](net::packet p) {
         net::packet echo = p;
@@ -56,13 +60,13 @@ void ping_prober::send_probe() {
     if (result_.outcomes.size() <= seq) result_.outcomes.resize(seq + 1, 0);
     path_->send_forward(p);
 
-    entry.timeout = sched_->schedule_in(cfg_.reply_timeout_s, [this, seq] {
+    entry.timeout = sched_->schedule_in(cfg_.reply_timeout.value(), [this, seq] {
         if (outstanding_.erase(seq) > 0) {
             ++resolved_;  // timed out: lost
             check_done();
         }
     });
-    next_probe_event_ = sched_->schedule_in(cfg_.interval_s, [this] { send_probe(); });
+    next_probe_event_ = sched_->schedule_in(cfg_.interval.value(), [this] { send_probe(); });
 }
 
 void ping_prober::check_done() {

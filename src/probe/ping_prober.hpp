@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/path.hpp"
 #include "sim/scheduler.hpp"
@@ -24,15 +25,17 @@ struct ping_result {
     std::vector<std::uint8_t> outcomes;
 
     /// Loss fraction among probes sent (p̂ or p̃ in the paper).
-    [[nodiscard]] double loss_rate() const noexcept {
-        return sent == 0 ? 0.0 : 1.0 - static_cast<double>(received) / static_cast<double>(sent);
+    [[nodiscard]] core::probability loss_rate() const {
+        return core::probability{
+            sent == 0 ? 0.0
+                      : 1.0 - static_cast<double>(received) / static_cast<double>(sent)};
     }
-    /// Mean RTT of answered probes (T̂ or T̃), seconds.
-    [[nodiscard]] double mean_rtt() const noexcept {
-        if (rtts.empty()) return 0.0;
+    /// Mean RTT of answered probes (T̂ or T̃).
+    [[nodiscard]] core::seconds mean_rtt() const noexcept {
+        if (rtts.empty()) return core::seconds{0.0};
         double s = 0.0;
         for (const double r : rtts) s += r;
-        return s / static_cast<double>(rtts.size());
+        return core::seconds{s / static_cast<double>(rtts.size())};
     }
 };
 
@@ -41,9 +44,9 @@ struct ping_result {
 /// fires once the last probe is either answered or timed out.
 /// Probing-session parameters.
 struct ping_config {
-    double interval_s{0.015};
+    core::seconds interval{0.015};
     std::uint64_t count{400};
-    double reply_timeout_s{2.0};
+    core::seconds reply_timeout{2.0};
     std::uint32_t probe_bytes{net::ping_probe_bytes};
 };
 

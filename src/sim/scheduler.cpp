@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace tcppred::sim {
 
 event_handle scheduler::schedule_at(time_point when, callback cb) {
@@ -44,6 +46,9 @@ bool scheduler::step() {
         }
         callback cb = std::move(const_cast<entry&>(top).cb);
         queue_.pop();
+        // Dispatch must never move simulated time backwards: schedule_at
+        // clamps, so a violation here means the queue ordering itself broke.
+        TCPPRED_ASSERT(when >= now_);
         now_ = when;
         ++fired_;
         cb();

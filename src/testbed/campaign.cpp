@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
 #include "testbed/load_process.hpp"
@@ -28,6 +29,9 @@ unsigned effective_jobs(const campaign_config& cfg, int total_epochs) {
 }  // namespace
 
 dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
+    TCPPRED_EXPECTS(cfg.paths > 0 && cfg.traces_per_path > 0 &&
+                    cfg.epochs_per_trace > 0);
+    TCPPRED_EXPECTS(cfg.jobs >= 0);
     dataset data;
     data.paths = cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
                                 : ron_like_catalog(cfg.paths, cfg.seed);
@@ -129,7 +133,7 @@ campaign_config campaign2_config(campaign_scale scale) {
     cfg.seed = 20060301;  // March 2006, the paper's second set
     // Longer target transfers with goodput checkpoints at 1/4, 1/2 and the
     // full length (the paper's 30/60/120 s of a 120 s transfer).
-    cfg.epoch.transfer_s = 24.0;
+    cfg.epoch.transfer = core::seconds{24.0};
     cfg.epoch.prefix_s = {6.0, 12.0, 24.0};
     cfg.epoch.run_small_window = false;
     switch (scale) {

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/units.hpp"
+
 namespace tcppred::testbed {
 
 namespace {
@@ -81,7 +83,7 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
     // Catalogue summary lines: what post-hoc analysis needs about each path.
     for (const auto& p : data.paths) {
         out << "#path," << p.id << ',' << p.name << ',' << to_string(p.klass) << ','
-            << p.bottleneck_bps() << ',' << p.base_rtt_s() << ','
+            << p.bottleneck_capacity().value() << ',' << p.base_rtt().value() << ','
             << p.forward.at(p.bottleneck).buffer_packets << ',' << p.base_utilization << ','
             << p.elastic_flows << '\n';
     }
@@ -132,8 +134,10 @@ dataset load_csv(const std::filesystem::path& file) {
             const double cap = std::stod(f[3]);
             const double rtt = std::stod(f[4]);
             const auto buffer = static_cast<std::size_t>(std::stoul(f[5]));
-            p.forward = {net::hop_config{cap, rtt / 2.0, buffer}};
-            p.reverse = {net::hop_config{100e6, rtt / 2.0, 512}};
+            p.forward = {net::hop_config{core::bits_per_second{cap},
+                                         core::seconds{rtt / 2.0}, buffer}};
+            p.reverse = {net::hop_config{core::bits_per_second{100e6},
+                                         core::seconds{rtt / 2.0}, 512}};
             p.bottleneck = 0;
             p.base_utilization = std::stod(f[6]);
             p.elastic_flows = std::stoi(f[7]);
@@ -151,10 +155,13 @@ dataset load_csv(const std::filesystem::path& file) {
         r.trace_id = std::stoi(f[1]);
         r.epoch_index = std::stoi(f[2]);
         r.m.avail_bw_bps = std::stod(f[3]);
-        r.m.phat = std::stod(f[4]);
-        r.m.phat_events = std::stod(f[5]);
+        // Loss-rate columns come from an untrusted file: validate the [0,1]
+        // domain on the way in (core::probability::checked throws on bad data
+        // in every build mode, unlike the debug-only contracts).
+        r.m.phat = core::probability::checked(std::stod(f[4])).value();
+        r.m.phat_events = core::probability::checked(std::stod(f[5])).value();
         r.m.that_s = std::stod(f[6]);
-        r.m.ptilde = std::stod(f[7]);
+        r.m.ptilde = core::probability::checked(std::stod(f[7])).value();
         r.m.ttilde_s = std::stod(f[8]);
         r.m.r_large_bps = std::stod(f[9]);
         r.m.r_small_bps = std::stod(f[10]);

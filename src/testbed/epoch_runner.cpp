@@ -77,7 +77,7 @@ private:
 };
 
 void epoch_world::build_cross_traffic(std::uint64_t seed) {
-    const double cap = profile_.bottleneck_bps();
+    const double cap = profile_.bottleneck_capacity().value();
     const std::size_t bn = profile_.bottleneck;
     const double open_loop_bps = load_.utilization * cap;
 
@@ -101,14 +101,15 @@ void epoch_world::build_cross_traffic(std::uint64_t seed) {
         const double rtt = profile_.elastic_rtt_s * er.uniform(0.7, 1.3);
         const net::flow_id id = k_flow_elastic_base + static_cast<net::flow_id>(i);
         elastic_conduits_.push_back(std::make_unique<net::shared_link_conduit>(
-            sched_, path_, bn, id, rtt * 0.25, rtt * 0.25, rtt * 0.5));
+            sched_, path_, bn, id, core::seconds{rtt * 0.25}, core::seconds{rtt * 0.25},
+            core::seconds{rtt * 0.5}));
         tcp::tcp_config ecfg = cfg_.tcp;
         ecfg.max_window_bytes = profile_.elastic_window_bytes;
         elastic_flows_.push_back(std::make_unique<tcp::tcp_connection>(
             sched_, *elastic_conduits_.back(), id, ecfg));
         // Staggered starts so the elastic population does not slow-start in
         // lockstep.
-        const double start_at = er.uniform(0.0, cfg_.warmup_s * 0.5);
+        const double start_at = er.uniform(0.0, cfg_.warmup.value() * 0.5);
         auto* conn = elastic_flows_.back().get();
         sched_.schedule_in(start_at, [conn] { conn->start(); });
     }
@@ -119,16 +120,17 @@ void epoch_world::build_cross_traffic(std::uint64_t seed) {
 
 void epoch_world::build_tools() {
     probe::pathload_config plc;
-    plc.max_rate_bps = profile_.bottleneck_bps() * cfg_.pathload_max_rate_factor;
+    plc.max_rate = core::bits_per_second{profile_.bottleneck_capacity().value() *
+                                        cfg_.pathload_max_rate_factor};
     pathload_ = std::make_unique<probe::pathload>(sched_, path_, k_flow_pathload, plc);
 
     prior_ping_ = std::make_unique<probe::ping_prober>(sched_, path_, k_flow_ping_prior,
                                                        cfg_.prior_ping);
 
     probe::ping_config during_cfg = cfg_.prior_ping;
-    during_cfg.interval_s = cfg_.during_ping_interval_s;
-    during_cfg.count = static_cast<std::uint64_t>(cfg_.transfer_s /
-                                                  cfg_.during_ping_interval_s);
+    during_cfg.interval = cfg_.during_ping_interval;
+    during_cfg.count = static_cast<std::uint64_t>(cfg_.transfer.value() /
+                                                  cfg_.during_ping_interval.value());
     during_ping_ = std::make_unique<probe::ping_prober>(sched_, path_, k_flow_ping_during,
                                                         during_cfg);
 
@@ -136,7 +138,7 @@ void epoch_world::build_tools() {
     tcp::tcp_config big = cfg_.tcp;
     big.max_window_bytes = cfg_.large_window_bytes;
     target_transfer_ = std::make_unique<probe::bulk_transfer>(
-        sched_, *target_conduit_, k_flow_target, cfg_.transfer_s, big);
+        sched_, *target_conduit_, k_flow_target, cfg_.transfer, big);
     if (!cfg_.prefix_s.empty()) target_transfer_->add_prefix_checkpoints(cfg_.prefix_s);
 
     if (cfg_.run_small_window) {
@@ -144,7 +146,7 @@ void epoch_world::build_tools() {
         tcp::tcp_config small = cfg_.tcp;
         small.max_window_bytes = cfg_.small_window_bytes;
         small_transfer_ = std::make_unique<probe::bulk_transfer>(
-            sched_, *small_conduit_, k_flow_small, cfg_.transfer_s, small);
+            sched_, *small_conduit_, k_flow_small, cfg_.transfer, small);
     }
 }
 
@@ -154,16 +156,16 @@ void epoch_world::start_pathload() {
         return;
     }
     pathload_->start([this](const probe::pathload_result& r) {
-        out_.avail_bw_bps = r.estimate_bps();
+        out_.avail_bw_bps = r.estimate().value();
         start_prior_ping();
     });
 }
 
 void epoch_world::start_prior_ping() {
     prior_ping_->start([this](const probe::ping_result& r) {
-        out_.phat = r.loss_rate();
+        out_.phat = r.loss_rate().value();
         out_.phat_events = core::loss_event_rate(r.outcomes);
-        out_.that_s = r.mean_rtt();
+        out_.that_s = r.mean_rtt().value();
         start_transfer_phase();
     });
 }
@@ -171,7 +173,7 @@ void epoch_world::start_prior_ping() {
 void epoch_world::start_transfer_phase() {
     if (load_.intra_epoch_drift != 1.0) {
         // The background load has drifted since the a-priori measurements.
-        const double cap = profile_.bottleneck_bps();
+        const double cap = profile_.bottleneck_capacity().value();
         const double drifted = std::min(load_.utilization * load_.intra_epoch_drift, 0.95);
         poisson_->set_rate(drifted * cap * (1.0 - profile_.burstiness));
         for (auto& src : pareto_) {
@@ -181,7 +183,7 @@ void epoch_world::start_transfer_phase() {
     }
     during_ping_->start();
     target_transfer_->start([this](const probe::transfer_result& r) {
-        out_.r_large_bps = r.goodput_bps();
+        out_.r_large_bps = r.goodput().value();
         for (const auto& pg : r.prefix_goodput_bps) out_.prefix_goodputs.push_back(pg);
         const auto& st = r.tcp_stats;
         if (st.segments_sent > 0) {
@@ -202,11 +204,11 @@ void epoch_world::start_transfer_phase() {
 void epoch_world::collect_during_view_and_continue() {
     // Give the last concurrent probes their full reply-timeout before
     // reading the during-flow loss/RTT view.
-    const double grace = cfg_.prior_ping.reply_timeout_s + 0.1;
+    const double grace = cfg_.prior_ping.reply_timeout.value() + 0.1;
     sched_.schedule_in(grace, [this] {
         const probe::ping_result& r = during_ping_->result();
-        out_.ptilde = r.loss_rate();
-        out_.ttilde_s = r.mean_rtt();
+        out_.ptilde = r.loss_rate().value();
+        out_.ttilde_s = r.mean_rtt().value();
         if (cfg_.run_small_window) {
             start_small_transfer();
         } else {
@@ -217,14 +219,14 @@ void epoch_world::collect_during_view_and_continue() {
 
 void epoch_world::start_small_transfer() {
     small_transfer_->start([this](const probe::transfer_result& r) {
-        out_.r_small_bps = r.goodput_bps();
+        out_.r_small_bps = r.goodput().value();
         finished_ = true;
     });
 }
 
 epoch_measurement epoch_world::run() {
-    sched_.schedule_in(cfg_.warmup_s, [this] { start_pathload(); });
-    while (!finished_ && sched_.now() < cfg_.hard_cap_s) {
+    sched_.schedule_in(cfg_.warmup.value(), [this] { start_pathload(); });
+    while (!finished_ && sched_.now() < cfg_.hard_cap.value()) {
         if (!sched_.step()) break;
     }
     out_.sim_time_s = sched_.now();

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/units.hpp"
 #include "probe/ping_prober.hpp"
 #include "tcp/tcp.hpp"
 #include "testbed/load_process.hpp"
@@ -19,12 +20,14 @@
 
 namespace tcppred::testbed {
 
-/// Epoch phase parameters.
+/// Epoch phase parameters. Durations carry their unit in the type
+/// (core/units.hpp); window sizes stay raw byte counts because they feed
+/// tcp_config directly.
 struct epoch_config {
-    double warmup_s{2.0};  ///< let cross traffic reach steady state
+    core::seconds warmup{2.0};  ///< let cross traffic reach steady state
     probe::ping_config prior_ping{};  ///< p̂/T̂ measurement (defaults: 400 x 15 ms)
-    double during_ping_interval_s{0.015};
-    double transfer_s{10.0};          ///< target-flow duration
+    core::seconds during_ping_interval{0.015};
+    core::seconds transfer{10.0};     ///< target-flow duration
     std::uint64_t large_window_bytes{1 << 20};  ///< W = 1 MB (congestion-limited)
     std::uint64_t small_window_bytes{20 * 1024};///< W = 20 KB (window-limited)
     bool run_small_window{true};
@@ -44,7 +47,7 @@ struct epoch_config {
         c.max_rto_backoff = 2;
         return c;
     }();
-    double hard_cap_s{240.0};  ///< watchdog on simulated time
+    core::seconds hard_cap{240.0};  ///< watchdog on simulated time
 };
 
 /// Everything one epoch measures.

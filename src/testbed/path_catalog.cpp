@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/units.hpp"
 #include "sim/rng.hpp"
 
 namespace tcppred::testbed {
@@ -11,7 +12,7 @@ namespace {
 
 /// A fast, uncongested edge link on either side of the bottleneck.
 net::hop_config edge_hop(double delay_s) {
-    return net::hop_config{100e6, delay_s, 512};
+    return net::hop_config{core::bits_per_second{100e6}, core::seconds{delay_s}, 512};
 }
 
 /// Assemble the common 3-hop forward / 1-hop reverse topology around a
@@ -19,7 +20,8 @@ net::hop_config edge_hop(double delay_s) {
 void build_hops(path_profile& p, double cap_bps, double rtt_s, std::size_t buffer_pkts) {
     const double one_way = rtt_s / 2.0;
     p.forward = {edge_hop(one_way * 0.2),
-                 net::hop_config{cap_bps, one_way * 0.6, buffer_pkts},
+                 net::hop_config{core::bits_per_second{cap_bps},
+                                 core::seconds{one_way * 0.6}, buffer_pkts},
                  edge_hop(one_way * 0.2)};
     p.bottleneck = 1;
     p.reverse = {edge_hop(one_way)};

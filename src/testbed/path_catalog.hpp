@@ -57,12 +57,14 @@ struct path_profile {
     double regime_util_min{0.1};      ///< regime utilization range
     double regime_util_max{0.7};
 
-    [[nodiscard]] double bottleneck_bps() const { return forward.at(bottleneck).capacity_bps; }
-    [[nodiscard]] double base_rtt_s() const {
+    [[nodiscard]] core::bits_per_second bottleneck_capacity() const {
+        return forward.at(bottleneck).capacity;
+    }
+    [[nodiscard]] core::seconds base_rtt() const {
         double r = 0.0;
-        for (const auto& h : forward) r += h.prop_delay_s;
-        for (const auto& h : reverse) r += h.prop_delay_s;
-        return r;
+        for (const auto& h : forward) r += h.prop_delay.value();
+        for (const auto& h : reverse) r += h.prop_delay.value();
+        return core::seconds{r};
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/units.hpp"
 #include "analysis/fb_analysis.hpp"
 #include "analysis/hb_analysis.hpp"
 #include "analysis/stats.hpp"
@@ -19,9 +20,12 @@ dataset synthetic_dataset() {
     for (int path = 0; path < 2; ++path) {
         testbed::path_profile p;
         p.id = path;
-        p.name = "p" + std::to_string(path);
-        p.forward = {net::hop_config{10e6, 0.02, 64}};
-        p.reverse = {net::hop_config{100e6, 0.02, 64}};
+        // Built up in two steps: GCC 12's -Wrestrict false-fires on
+        // `const char* + std::string&&` at -O2.
+        p.name = "p";
+        p.name += std::to_string(path);
+        p.forward = {net::hop_config{core::bits_per_second{10e6}, core::seconds{0.02}, 64}};
+        p.reverse = {net::hop_config{core::bits_per_second{100e6}, core::seconds{0.02}, 64}};
         data.paths.push_back(p);
         for (int e = 0; e < 6; ++e) {
             epoch_record r;
@@ -57,9 +61,9 @@ TEST(fb_analysis, branches_follow_loss_state) {
 TEST(fb_analysis, error_sign_matches_prediction_direction) {
     const auto data = synthetic_dataset();
     for (const auto& e : evaluate_fb(data)) {
-        if (e.pred.throughput_bps > e.actual_bps) {
+        if (e.pred.throughput.value() > e.actual_bps) {
             EXPECT_GT(e.error, 0.0);
-        } else if (e.pred.throughput_bps < e.actual_bps) {
+        } else if (e.pred.throughput.value() < e.actual_bps) {
             EXPECT_LT(e.error, 0.0);
         }
     }
@@ -72,7 +76,8 @@ TEST(fb_analysis, during_flow_option_changes_inputs) {
     const auto prior_evals = evaluate_fb(data);
     const auto during_evals = evaluate_fb(data, during);
     // Lossy path: double loss rate and higher RTT => lower prediction.
-    EXPECT_LT(during_evals[0].pred.throughput_bps, prior_evals[0].pred.throughput_bps);
+    EXPECT_LT(during_evals[0].pred.throughput.value(),
+              prior_evals[0].pred.throughput.value());
 }
 
 TEST(fb_analysis, small_window_option_scores_companion_flow) {
@@ -83,7 +88,7 @@ TEST(fb_analysis, small_window_option_scores_companion_flow) {
     for (const auto& e : evaluate_fb(data, small)) {
         EXPECT_DOUBLE_EQ(e.actual_bps, 1e6);
         // W/T = 20KB*8/0.05 = 3.27 Mbps bounds every branch.
-        EXPECT_LE(e.pred.throughput_bps, 20 * 1024 * 8 / 0.05 + 1);
+        EXPECT_LE(e.pred.throughput.value(), 20 * 1024 * 8 / 0.05 + 1);
     }
 }
 
@@ -106,7 +111,8 @@ TEST(fb_analysis, smoothing_uses_previous_epochs_only) {
         }
         throw std::runtime_error("missing epoch");
     };
-    EXPECT_LT(find(evals, 1).pred.throughput_bps, find(raw, 1).pred.throughput_bps);
+    EXPECT_LT(find(evals, 1).pred.throughput.value(),
+              find(raw, 1).pred.throughput.value());
 }
 
 TEST(fb_analysis, per_trace_rmsre_groups_correctly) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "testbed/dataset.hpp"
 
 using namespace tcppred::testbed;
@@ -27,9 +28,9 @@ campaign_config tiny_config() {
     cfg.paths = 3;
     cfg.traces_per_path = 2;
     cfg.epochs_per_trace = 3;
-    cfg.epoch.warmup_s = 0.5;
+    cfg.epoch.warmup = tcppred::core::seconds{0.5};
     cfg.epoch.prior_ping.count = 80;
-    cfg.epoch.transfer_s = 1.5;
+    cfg.epoch.transfer = tcppred::core::seconds{1.5};
     return cfg;
 }
 

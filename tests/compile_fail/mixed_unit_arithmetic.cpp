@@ -1,0 +1,21 @@
+// Compile-fail test: cross-unit arithmetic (adding seconds to a rate,
+// assigning a bare double to a strong type) must not compile. Compiled
+// twice by tests/CMakeLists.txt: once as-is (must succeed), once with
+// -DTCPPRED_EXPECT_COMPILE_FAIL (must fail).
+#include "core/units.hpp"
+
+namespace tcppred::core {
+
+double use() {
+    const seconds rtt{0.06};
+    const bits_per_second abw{5e6};
+#ifdef TCPPRED_EXPECT_COMPILE_FAIL
+    const auto nonsense = rtt + abw;  // seconds + bits_per_second: no such operator
+    return nonsense.value();
+#else
+    const seconds doubled = rtt + rtt;
+    return doubled.value() + abw.value();
+#endif
+}
+
+}  // namespace tcppred::core

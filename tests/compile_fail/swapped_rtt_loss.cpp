@@ -1,0 +1,19 @@
+// Compile-fail test: passing the loss rate where the RTT belongs (and vice
+// versa) must not compile. The build system compiles this file twice: once
+// as-is (must succeed) and once with -DTCPPRED_EXPECT_COMPILE_FAIL (must
+// fail), see tests/CMakeLists.txt.
+#include "core/fb_formulas.hpp"
+
+namespace tcppred::core {
+
+bits_per_second use() {
+    const tcp_flow_params flow;
+#ifdef TCPPRED_EXPECT_COMPILE_FAIL
+    // Arguments swapped: probability where seconds belongs and vice versa.
+    return pftk_throughput(flow, probability{0.01}, seconds{0.06}, seconds{1.0});
+#else
+    return pftk_throughput(flow, seconds{0.06}, probability{0.01}, seconds{1.0});
+#endif
+}
+
+}  // namespace tcppred::core

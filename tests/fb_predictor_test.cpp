@@ -2,61 +2,74 @@
 
 #include <gtest/gtest.h>
 
+#include "core/contracts.hpp"
 #include "core/metrics.hpp"
 
 namespace tcppred::core {
 namespace {
 
-const tcp_flow_params k_flow{1460, 2, 1 << 20};
+const tcp_flow_params k_flow{bytes{1460.0}, 2, bytes{1 << 20}};
+
+path_measurement measurement(double p, double rtt_s, double abw_bps) {
+    return path_measurement{probability{p}, seconds{rtt_s}, bits_per_second{abw_bps}};
+}
 
 TEST(fb_predict, lossy_path_uses_model_branch) {
-    path_measurement m{0.01, 0.060, 5e6};
+    const path_measurement m = measurement(0.01, 0.060, 5e6);
     const fb_prediction pred = fb_predict(k_flow, m);
     EXPECT_EQ(pred.branch, fb_branch::model_based);
-    EXPECT_NEAR(pred.throughput_bps, pftk_throughput(k_flow, 0.060, 0.01, 1.0), 1.0);
+    EXPECT_NEAR(
+        pred.throughput.value(),
+        pftk_throughput(k_flow, seconds{0.060}, probability{0.01}, seconds{1.0}).value(),
+        1.0);
 }
 
 TEST(fb_predict, lossless_path_uses_availbw_when_below_window_bound) {
-    path_measurement m{0.0, 0.060, 5e6};  // W/T ~ 140 Mbps >> Â
+    const path_measurement m = measurement(0.0, 0.060, 5e6);  // W/T ~ 140 Mbps >> Â
     const fb_prediction pred = fb_predict(k_flow, m);
     EXPECT_EQ(pred.branch, fb_branch::avail_bw);
-    EXPECT_DOUBLE_EQ(pred.throughput_bps, 5e6);
+    EXPECT_DOUBLE_EQ(pred.throughput.value(), 5e6);
 }
 
 TEST(fb_predict, lossless_window_limited_uses_window_bound) {
     tcp_flow_params f = k_flow;
-    f.max_window_bytes = 20 * 1024;  // W/T ~ 2.7 Mbps < Â
-    path_measurement m{0.0, 0.060, 5e6};
+    f.max_window = bytes{20.0 * 1024.0};  // W/T ~ 2.7 Mbps < Â
+    const path_measurement m = measurement(0.0, 0.060, 5e6);
     const fb_prediction pred = fb_predict(f, m);
     EXPECT_EQ(pred.branch, fb_branch::window_bound);
-    EXPECT_DOUBLE_EQ(pred.throughput_bps, 20 * 1024 * 8.0 / 0.060);
+    EXPECT_DOUBLE_EQ(pred.throughput.value(), 20 * 1024 * 8.0 / 0.060);
 }
 
 TEST(fb_predict, missing_availbw_falls_back_to_window_bound) {
-    path_measurement m{0.0, 0.060, 0.0};
+    const path_measurement m = measurement(0.0, 0.060, 0.0);
     const fb_prediction pred = fb_predict(k_flow, m);
     EXPECT_EQ(pred.branch, fb_branch::window_bound);
 }
 
 TEST(fb_predict, custom_t0_is_respected) {
-    path_measurement m{0.02, 0.060, 0.0};
-    const double with_default = fb_predict(k_flow, m).throughput_bps;   // T0 = 1 s
-    const double with_longer = fb_predict(k_flow, m, fb_formula::pftk, 3.0).throughput_bps;
+    const path_measurement m = measurement(0.02, 0.060, 0.0);
+    const double with_default = fb_predict(k_flow, m).throughput.value();  // T0 = 1 s
+    const double with_longer =
+        fb_predict(k_flow, m, fb_formula::pftk, seconds{3.0}).throughput.value();
     EXPECT_GT(with_default, with_longer);
 }
 
 TEST(fb_predict, formula_selector_switches_models) {
-    path_measurement m{0.05, 0.080, 0.0};
-    const double sq = fb_predict(k_flow, m, fb_formula::square_root).throughput_bps;
-    const double pftk = fb_predict(k_flow, m, fb_formula::pftk).throughput_bps;
-    const double full = fb_predict(k_flow, m, fb_formula::pftk_full).throughput_bps;
+    const path_measurement m = measurement(0.05, 0.080, 0.0);
+    const double sq = fb_predict(k_flow, m, fb_formula::square_root).throughput.value();
+    const double pftk = fb_predict(k_flow, m, fb_formula::pftk).throughput.value();
+    const double full = fb_predict(k_flow, m, fb_formula::pftk_full).throughput.value();
     EXPECT_GT(sq, pftk);  // square-root ignores timeouts
     EXPECT_NE(pftk, full);
 }
 
-TEST(fb_predict, rejects_nonpositive_rtt) {
-    path_measurement m{0.01, 0.0, 0.0};
-    EXPECT_THROW((void)fb_predict(k_flow, m), std::invalid_argument);
+TEST(fb_predict, contract_rejects_nonpositive_rtt) {
+#if TCPPRED_CHECKS
+    const path_measurement m = measurement(0.01, 0.0, 0.0);
+    EXPECT_THROW((void)fb_predict(k_flow, m), contract_violation);
+#else
+    GTEST_SKIP() << "contract checks compiled out (Release without REPRO_CHECKS)";
+#endif
 }
 
 TEST(relative_error, zero_for_exact_prediction) {

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "core/units.hpp"
 #include "core/loss_events.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
@@ -22,9 +23,13 @@ struct world {
     std::unique_ptr<net::duplex_path> path;
 
     world(double cap_bps, double rtt_s, std::size_t buffer) {
-        std::vector<net::hop_config> fwd{net::hop_config{100e6, rtt_s * 0.1, 512},
-                                         net::hop_config{cap_bps, rtt_s * 0.4, buffer}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtt_s * 0.5, 512}};
+        std::vector<net::hop_config> fwd{
+            net::hop_config{core::bits_per_second{100e6}, core::seconds{rtt_s * 0.1},
+                            512},
+            net::hop_config{core::bits_per_second{cap_bps}, core::seconds{rtt_s * 0.4},
+                            buffer}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtt_s * 0.5}, 512}};
         path = std::make_unique<net::duplex_path>(sched, fwd, rev);
     }
 };
@@ -37,7 +42,8 @@ TEST(elastic_flows, compete_for_the_bottleneck_and_make_progress) {
     std::vector<std::unique_ptr<tcp::tcp_connection>> elastic;
     for (int i = 0; i < 2; ++i) {
         conduits.push_back(std::make_unique<net::shared_link_conduit>(
-            w.sched, *w.path, 1, 500 + static_cast<net::flow_id>(i), 0.01, 0.01, 0.02));
+            w.sched, *w.path, 1, 500 + static_cast<net::flow_id>(i), core::seconds{0.01},
+            core::seconds{0.01}, core::seconds{0.02}));
         tcp::tcp_config cfg;
         cfg.max_window_bytes = 32 * 1024;
         elastic.push_back(std::make_unique<tcp::tcp_connection>(
@@ -78,7 +84,7 @@ TEST(concurrent_measurement, prober_and_transfer_coexist) {
     tcp::tcp_config tcfg;
     tcfg.variant = tcp::tcp_variant::sack;
     tcfg.initial_ssthresh_segments = 128;
-    probe::bulk_transfer xfer(w.sched, conduit, 1, 6.0, tcfg);
+    probe::bulk_transfer xfer(w.sched, conduit, 1, core::seconds{6.0}, tcfg);
 
     prober.start();
     xfer.start();
@@ -88,8 +94,8 @@ TEST(concurrent_measurement, prober_and_transfer_coexist) {
     ASSERT_TRUE(xfer.done());
     // The probe RTT during the transfer reflects the queue the transfer
     // builds: above the 50 ms propagation floor.
-    EXPECT_GT(prober.result().mean_rtt(), 0.050);
-    EXPECT_GT(xfer.result().goodput_bps(), 2e6);
+    EXPECT_GT(prober.result().mean_rtt().value(), 0.050);
+    EXPECT_GT(xfer.result().goodput().value(), 2e6);
     // Probe outcomes exist for every probe sent.
     EXPECT_EQ(prober.result().outcomes.size(), 200u);
     EXPECT_LE(core::loss_event_rate(prober.result().outcomes),
@@ -103,7 +109,7 @@ TEST(concurrent_measurement, pathload_then_transfer_sequence) {
     w.sched.run_until(1.0);
 
     probe::pathload_config plc;
-    plc.max_rate_bps = 13e6;
+    plc.max_rate = core::bits_per_second{13e6};
     probe::pathload pl(w.sched, *w.path, 8, plc);
     bool transfer_done = false;
     double availbw = 0, goodput = 0;
@@ -112,12 +118,12 @@ TEST(concurrent_measurement, pathload_then_transfer_sequence) {
     tcp::tcp_config tcfg;
     tcfg.variant = tcp::tcp_variant::sack;
     tcfg.initial_ssthresh_segments = 128;
-    probe::bulk_transfer xfer(w.sched, conduit, 1, 6.0, tcfg);
+    probe::bulk_transfer xfer(w.sched, conduit, 1, core::seconds{6.0}, tcfg);
 
     pl.start([&](const probe::pathload_result& r) {
-        availbw = r.estimate_bps();
+        availbw = r.estimate().value();
         xfer.start([&](const probe::transfer_result& t) {
-            goodput = t.goodput_bps();
+            goodput = t.goodput().value();
             transfer_done = true;
         });
     });
@@ -164,8 +170,10 @@ TEST(rto_backoff, cap_limits_stall_length) {
 
 TEST(receiver_edges, duplicate_and_stale_segments_are_reacked) {
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{10e6, 0.01, 64}};
-    std::vector<net::hop_config> rev{net::hop_config{10e6, 0.01, 64}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{10e6}, core::seconds{0.01}, 64}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{10e6}, core::seconds{0.01}, 64}};
     net::duplex_path path(sched, fwd, rev);
     net::path_conduit conduit(path);
 

@@ -1,0 +1,65 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace tcppred::core {
+namespace {
+
+// Eq. 4's design property: over-predicting by a factor w and
+// under-predicting by the same factor score the same magnitude.
+TEST(relative_error_metric, overprediction_and_underprediction_score_equal) {
+    const double r = 7.5e6;
+    for (const double w : {1.01, 1.5, 2.0, 3.0, 10.0, 100.0}) {
+        const double over = relative_error(w * r, r);
+        const double under = relative_error(r / w, r);
+        EXPECT_NEAR(over, w - 1.0, 1e-9) << "w=" << w;
+        EXPECT_NEAR(std::abs(under), std::abs(over), 1e-9) << "w=" << w;
+        EXPECT_LT(under, 0.0) << "w=" << w;
+    }
+}
+
+TEST(relative_error_metric, typed_overload_matches_raw) {
+    EXPECT_DOUBLE_EQ(relative_error(bits_per_second{3e6}, bits_per_second{2e6}),
+                     relative_error(3e6, 2e6));
+}
+
+TEST(relative_error_metric, zero_measurement_floor_keeps_error_finite) {
+    // A dead transfer (R = 0) against any finite prediction must produce a
+    // large-but-finite error, not a division by zero.
+    const double e = relative_error(1e6, 0.0);
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_GT(e, 0.0);
+    // Both-zero is exactly zero error.
+    EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(relative_error_metric, contract_rejects_negative_arguments) {
+#if TCPPRED_CHECKS
+    EXPECT_THROW((void)relative_error(-1.0, 2e6), contract_violation);
+    EXPECT_THROW((void)relative_error(2e6, -1.0), contract_violation);
+#else
+    GTEST_SKIP() << "contract checks compiled out (Release without REPRO_CHECKS)";
+#endif
+}
+
+TEST(rmsre_metric, empty_series_is_zero_by_convention) {
+    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{}), 0.0);
+}
+
+TEST(rmsre_metric, single_element_is_its_magnitude) {
+    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{2.5}), 2.5);
+    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{-2.5}), 2.5);
+}
+
+TEST(rmsre_metric, is_the_root_mean_square) {
+    const std::vector<double> errors{0.5, -0.5, 1.0, -2.0};
+    EXPECT_NEAR(rmsre(errors), std::sqrt((0.25 + 0.25 + 1.0 + 4.0) / 4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tcppred::core

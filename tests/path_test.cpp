@@ -4,14 +4,19 @@
 
 #include <vector>
 
+#include "core/units.hpp"
+
 namespace tcppred::net {
 namespace {
 
 std::vector<hop_config> two_hops() {
-    return {hop_config{100e6, 0.005, 64}, hop_config{10e6, 0.010, 32}};
+    return {hop_config{core::bits_per_second{100e6}, core::seconds{0.005}, 64},
+            hop_config{core::bits_per_second{10e6}, core::seconds{0.010}, 32}};
 }
 
-std::vector<hop_config> one_hop() { return {hop_config{100e6, 0.015, 64}}; }
+std::vector<hop_config> one_hop() {
+    return {hop_config{core::bits_per_second{100e6}, core::seconds{0.015}, 64}};
+}
 
 packet data_packet(flow_id flow, std::uint64_t seq = 0, std::uint32_t size = 1500) {
     packet p;
@@ -87,7 +92,7 @@ TEST(duplex_path, base_rtt_sums_both_directions) {
     const auto fwd = two_hops();
     const auto rev = one_hop();
     duplex_path path(s, fwd, rev);
-    EXPECT_NEAR(path.base_rtt(), 0.005 + 0.010 + 0.015, 1e-12);
+    EXPECT_NEAR(path.base_rtt().value(), 0.005 + 0.010 + 0.015, 1e-12);
 }
 
 TEST(duplex_path, cross_traffic_exits_after_its_link) {
@@ -109,7 +114,8 @@ TEST(duplex_path, cross_traffic_exits_after_its_link) {
 
 TEST(duplex_path, cross_and_end_to_end_share_the_bottleneck_queue) {
     sim::scheduler s;
-    std::vector<hop_config> fwd{hop_config{1e6, 0.0, 1}};  // tiny buffer
+    std::vector<hop_config> fwd{
+        hop_config{core::bits_per_second{1e6}, core::seconds{0.0}, 1}};  // tiny buffer
     const auto rev = one_hop();
     duplex_path path(s, fwd, rev);
     int delivered = 0;
@@ -138,8 +144,9 @@ TEST(shared_link_conduit, round_trip_covers_all_delays) {
     const auto fwd = two_hops();
     const auto rev = one_hop();
     duplex_path path(s, fwd, rev);
-    shared_link_conduit conduit(s, path, 1, 60, 0.010, 0.010, 0.020);
-    EXPECT_NEAR(conduit.round_trip_floor(), 0.040, 1e-12);
+    shared_link_conduit conduit(s, path, 1, 60, core::seconds{0.010},
+                                core::seconds{0.010}, core::seconds{0.020});
+    EXPECT_NEAR(conduit.round_trip_floor().value(), 0.040, 1e-12);
 
     double data_at = -1.0, ack_at = -1.0;
     conduit.on_deliver_data(60, [&](packet) { data_at = s.now(); });

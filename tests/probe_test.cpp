@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/units.hpp"
 #include "net/cross_traffic.hpp"
 #include "probe/pathload.hpp"
 #include "probe/ping_prober.hpp"
@@ -14,8 +15,10 @@ struct world {
     std::unique_ptr<net::duplex_path> path;
 
     world(double cap_bps, double rtt_s, std::size_t buffer) {
-        std::vector<net::hop_config> fwd{net::hop_config{cap_bps, rtt_s / 2.0, buffer}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtt_s / 2.0, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{cap_bps}, core::seconds{rtt_s / 2.0}, buffer}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtt_s / 2.0}, 512}};
         path = std::make_unique<net::duplex_path>(sched, fwd, rev);
     }
 };
@@ -31,8 +34,8 @@ TEST(ping_prober, measures_base_rtt_on_idle_path) {
     const auto& r = prober.result();
     EXPECT_EQ(r.sent, 100u);
     EXPECT_EQ(r.received, 100u);
-    EXPECT_DOUBLE_EQ(r.loss_rate(), 0.0);
-    EXPECT_NEAR(r.mean_rtt(), 0.050, 0.002);
+    EXPECT_DOUBLE_EQ(r.loss_rate().value(), 0.0);
+    EXPECT_NEAR(r.mean_rtt().value(), 0.050, 0.002);
 }
 
 TEST(ping_prober, sees_queueing_delay_under_load) {
@@ -46,7 +49,7 @@ TEST(ping_prober, sees_queueing_delay_under_load) {
     prober.start();
     w.sched.run_until(20.0);
     ASSERT_TRUE(prober.done());
-    EXPECT_GT(prober.result().mean_rtt(), 0.045);
+    EXPECT_GT(prober.result().mean_rtt().value(), 0.045);
 }
 
 TEST(ping_prober, counts_losses_on_saturated_path) {
@@ -60,8 +63,8 @@ TEST(ping_prober, counts_losses_on_saturated_path) {
     prober.start();
     w.sched.run_until(30.0);
     ASSERT_TRUE(prober.done());
-    EXPECT_GT(prober.result().loss_rate(), 0.05);
-    EXPECT_LT(prober.result().loss_rate(), 1.0);
+    EXPECT_GT(prober.result().loss_rate().value(), 0.05);
+    EXPECT_LT(prober.result().loss_rate().value(), 1.0);
 }
 
 TEST(ping_prober, completion_callback_fires_once) {
@@ -97,15 +100,15 @@ TEST(classify_trend, too_few_samples_is_ambiguous) {
 TEST(pathload, estimates_capacity_on_idle_path) {
     world w(10e6, 0.040, 100);
     pathload_config cfg;
-    cfg.max_rate_bps = 13e6;
+    cfg.max_rate = core::bits_per_second{13e6};
     pathload pl(w.sched, *w.path, 1, cfg);
     pl.start();
     w.sched.run_until(30.0);
     ASSERT_TRUE(pl.done());
     // Idle path: avail-bw ~ capacity (10 Mbps). Allow generous tolerance
     // for the binary-search bracket.
-    EXPECT_GT(pl.result().estimate_bps(), 7e6);
-    EXPECT_LT(pl.result().estimate_bps(), 13e6);
+    EXPECT_GT(pl.result().estimate().value(), 7e6);
+    EXPECT_LT(pl.result().estimate().value(), 13e6);
 }
 
 TEST(pathload, estimates_leftover_bandwidth_under_load) {
@@ -113,15 +116,15 @@ TEST(pathload, estimates_leftover_bandwidth_under_load) {
     net::poisson_source cross(w.sched, *w.path, 0, 99, 7, 6e6);  // 60% load
     cross.start();
     pathload_config cfg;
-    cfg.max_rate_bps = 13e6;
+    cfg.max_rate = core::bits_per_second{13e6};
     pathload pl(w.sched, *w.path, 1, cfg);
     w.sched.run_until(1.0);
     pl.start();
     w.sched.run_until(60.0);
     ASSERT_TRUE(pl.done());
     // Avail-bw ~ 4 Mbps; accept the bracket being within a factor ~2.
-    EXPECT_GT(pl.result().estimate_bps(), 1.5e6);
-    EXPECT_LT(pl.result().estimate_bps(), 8e6);
+    EXPECT_GT(pl.result().estimate().value(), 1.5e6);
+    EXPECT_LT(pl.result().estimate().value(), 8e6);
 }
 
 TEST(pathload, respects_stream_budget) {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/units.hpp"
 #include "core/hb_evaluation.hpp"
 #include "core/lso.hpp"
 #include "core/metrics.hpp"
@@ -85,8 +86,10 @@ TEST_P(tcp_invariants, accounting_is_consistent) {
     sim::scheduler sched;
     const double cap = r.uniform(1e6, 15e6);
     std::vector<net::hop_config> fwd{net::hop_config{
-        cap, r.uniform(0.005, 0.08), static_cast<std::size_t>(r.uniform_int(8, 120))}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, r.uniform(0.005, 0.08), 512}};
+        core::bits_per_second{cap}, core::seconds{r.uniform(0.005, 0.08)},
+        static_cast<std::size_t>(r.uniform_int(8, 120))}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{r.uniform(0.005, 0.08)}, 512}};
     net::duplex_path path(sched, fwd, rev);
     if (r.chance(0.5)) path.forward_link(0).set_random_loss(r.uniform(0.0, 0.02), 5);
     net::poisson_source cross(sched, path, 0, 99, r.uniform_int(1, 1 << 30),
@@ -129,8 +132,10 @@ TEST_P(prober_bounds, results_within_physical_bounds) {
     sim::scheduler sched;
     const double rtt = r.uniform(0.01, 0.2);
     std::vector<net::hop_config> fwd{net::hop_config{
-        r.uniform(1e6, 10e6), rtt / 2, static_cast<std::size_t>(r.uniform_int(4, 64))}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, rtt / 2, 512}};
+        core::bits_per_second{r.uniform(1e6, 10e6)}, core::seconds{rtt / 2},
+        static_cast<std::size_t>(r.uniform_int(4, 64))}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{rtt / 2}, 512}};
     net::duplex_path path(sched, fwd, rev);
     net::poisson_source cross(sched, path, 0, 99, 11, r.uniform(0.3, 1.1) * 5e6);
     cross.start();
@@ -146,8 +151,8 @@ TEST_P(prober_bounds, results_within_physical_bounds) {
     ASSERT_TRUE(prober.done());
     const auto& res = prober.result();
     EXPECT_EQ(res.sent, 150u);
-    EXPECT_GE(res.loss_rate(), 0.0);
-    EXPECT_LE(res.loss_rate(), 1.0);
+    EXPECT_GE(res.loss_rate().value(), 0.0);
+    EXPECT_LE(res.loss_rate().value(), 1.0);
     EXPECT_EQ(res.rtts.size(), res.received);
     for (const double sample : res.rtts) EXPECT_GE(sample, rtt - 1e-9);
 }
@@ -161,14 +166,16 @@ TEST_P(pathload_bracket, bracket_invariants) {
     sim::rng r(GetParam());
     sim::scheduler sched;
     const double cap = r.uniform(2e6, 12e6);
-    std::vector<net::hop_config> fwd{net::hop_config{cap, 0.02, 100}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, 0.02, 512}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{cap}, core::seconds{0.02}, 100}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{0.02}, 512}};
     net::duplex_path path(sched, fwd, rev);
     net::poisson_source cross(sched, path, 0, 99, 3, r.uniform(0.0, 0.7) * cap);
     cross.start();
 
     probe::pathload_config cfg;
-    cfg.max_rate_bps = cap * 1.3;
+    cfg.max_rate = core::bits_per_second{cap * 1.3};
     probe::pathload pl(sched, path, 1, cfg);
     sched.run_until(1.0);
     pl.start();
@@ -176,8 +183,8 @@ TEST_P(pathload_bracket, bracket_invariants) {
     ASSERT_TRUE(pl.done());
     const auto& res = pl.result();
     EXPECT_LE(res.low_bps, res.high_bps);
-    EXPECT_GE(res.low_bps, cfg.min_rate_bps - 1.0);
-    EXPECT_LE(res.high_bps, cfg.max_rate_bps + 1.0);
+    EXPECT_GE(res.low_bps, cfg.min_rate.value() - 1.0);
+    EXPECT_LE(res.high_bps, cfg.max_rate.value() + 1.0);
     EXPECT_GE(res.streams_used, 1);
     EXPECT_LE(res.streams_used, cfg.max_streams);
 }
@@ -239,8 +246,10 @@ INSTANTIATE_TEST_SUITE_P(seeds, lso_forecast_bounds, ::testing::Values(5, 50, 50
 //     for the dangling-callback class of bugs).
 TEST(lifetime_safety, components_can_die_mid_simulation) {
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{5e6, 0.02, 30}};
-    std::vector<net::hop_config> rev{net::hop_config{100e6, 0.02, 512}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{5e6}, core::seconds{0.02}, 30}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{100e6}, core::seconds{0.02}, 512}};
     net::duplex_path path(sched, fwd, rev);
     net::poisson_source cross(sched, path, 0, 99, 1, 3e6);
     cross.start();

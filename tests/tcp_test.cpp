@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/units.hpp"
 #include "net/cross_traffic.hpp"
 #include "probe/bulk_transfer.hpp"
 
@@ -16,8 +17,10 @@ struct world {
     std::unique_ptr<net::path_conduit> conduit;
 
     world(double cap_bps, double rtt_s, std::size_t buffer) {
-        std::vector<net::hop_config> fwd{net::hop_config{cap_bps, rtt_s / 2.0, buffer}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtt_s / 2.0, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{cap_bps}, core::seconds{rtt_s / 2.0}, buffer}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtt_s / 2.0}, 512}};
         path = std::make_unique<net::duplex_path>(sched, fwd, rev);
         conduit = std::make_unique<net::path_conduit>(*path);
     }
@@ -186,13 +189,13 @@ TEST(bulk_transfer, reports_goodput_and_prefix_checkpoints) {
     world w(10e6, 0.030, 100);
     tcp_config cfg;
     cfg.initial_ssthresh_segments = 128;
-    probe::bulk_transfer xfer(w.sched, *w.conduit, 1, 4.0, cfg);
+    probe::bulk_transfer xfer(w.sched, *w.conduit, 1, core::seconds{4.0}, cfg);
     xfer.add_prefix_checkpoints({1.0, 2.0});
     bool called = false;
     xfer.start([&](const probe::transfer_result& r) {
         called = true;
         EXPECT_NEAR(r.duration_s, 4.0, 1e-9);
-        EXPECT_GT(r.goodput_bps(), 4e6);
+        EXPECT_GT(r.goodput().value(), 4e6);
         ASSERT_EQ(r.prefix_goodput_bps.size(), 2u);
         EXPECT_DOUBLE_EQ(r.prefix_goodput_bps[0].first, 1.0);
         EXPECT_GT(r.prefix_goodput_bps[1].second, 0.0);

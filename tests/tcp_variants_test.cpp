@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "core/units.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "sim/scheduler.hpp"
@@ -19,8 +20,10 @@ struct world {
     std::unique_ptr<net::path_conduit> conduit;
 
     world(double cap_bps, double rtt_s, std::size_t buffer) {
-        std::vector<net::hop_config> fwd{net::hop_config{cap_bps, rtt_s / 2.0, buffer}};
-        std::vector<net::hop_config> rev{net::hop_config{100e6, rtt_s / 2.0, 512}};
+        std::vector<net::hop_config> fwd{net::hop_config{
+            core::bits_per_second{cap_bps}, core::seconds{rtt_s / 2.0}, buffer}};
+        std::vector<net::hop_config> rev{net::hop_config{
+            core::bits_per_second{100e6}, core::seconds{rtt_s / 2.0}, 512}};
         path = std::make_unique<net::duplex_path>(sched, fwd, rev);
         conduit = std::make_unique<net::path_conduit>(*path);
     }
@@ -96,8 +99,10 @@ TEST(sack_receiver, acks_carry_the_out_of_order_block) {
     // Deliver segments 0,1 then 4,5 directly through a conduit and check
     // the SACK block on the dupacks.
     sim::scheduler sched;
-    std::vector<net::hop_config> fwd{net::hop_config{10e6, 0.01, 64}};
-    std::vector<net::hop_config> rev{net::hop_config{10e6, 0.01, 64}};
+    std::vector<net::hop_config> fwd{net::hop_config{
+        core::bits_per_second{10e6}, core::seconds{0.01}, 64}};
+    std::vector<net::hop_config> rev{net::hop_config{
+        core::bits_per_second{10e6}, core::seconds{0.01}, 64}};
     net::duplex_path path(sched, fwd, rev);
     net::path_conduit conduit(path);
 

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "core/units.hpp"
 #include "testbed/campaign.hpp"
 #include "testbed/epoch_runner.hpp"
 #include "testbed/load_process.hpp"
@@ -29,13 +30,13 @@ TEST(path_catalog, is_deterministic_in_seed) {
     const auto b = ron_like_catalog(10, 42);
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].name, b[i].name);
-        EXPECT_DOUBLE_EQ(a[i].bottleneck_bps(), b[i].bottleneck_bps());
+        EXPECT_DOUBLE_EQ(a[i].bottleneck_capacity().value(), b[i].bottleneck_capacity().value());
         EXPECT_DOUBLE_EQ(a[i].base_utilization, b[i].base_utilization);
     }
     const auto c = ron_like_catalog(10, 43);
     bool any_differ = false;
     for (std::size_t i = 0; i < a.size(); ++i) {
-        any_differ |= a[i].bottleneck_bps() != c[i].bottleneck_bps();
+        any_differ |= a[i].bottleneck_capacity() != c[i].bottleneck_capacity();
     }
     EXPECT_TRUE(any_differ);
 }
@@ -43,15 +44,15 @@ TEST(path_catalog, is_deterministic_in_seed) {
 TEST(path_catalog, class_parameters_in_range) {
     for (const auto& p : ron_like_catalog(35, 7)) {
         if (p.klass == path_class::dsl) {
-            EXPECT_LT(p.bottleneck_bps(), 3.5e6);
+            EXPECT_LT(p.bottleneck_capacity().value(), 3.5e6);
         } else {
-            EXPECT_GE(p.bottleneck_bps(), 9e6);
+            EXPECT_GE(p.bottleneck_capacity().value(), 9e6);
         }
         if (p.klass == path_class::transatlantic) {
-            EXPECT_GE(p.base_rtt_s(), 0.09);
+            EXPECT_GE(p.base_rtt().value(), 0.09);
         }
         if (p.klass == path_class::transpacific) {
-            EXPECT_GE(p.base_rtt_s(), 0.2);
+            EXPECT_GE(p.base_rtt().value(), 0.2);
         }
         EXPECT_GT(p.forward.at(p.bottleneck).buffer_packets, 8u);
     }
@@ -88,9 +89,9 @@ class epoch_fixture : public ::testing::Test {
 protected:
     static epoch_config fast_epoch() {
         epoch_config cfg;
-        cfg.warmup_s = 0.5;
+        cfg.warmup = core::seconds{0.5};
         cfg.prior_ping.count = 150;
-        cfg.transfer_s = 4.0;
+        cfg.transfer = core::seconds{4.0};
         return cfg;
     }
 };
@@ -111,10 +112,10 @@ TEST_F(epoch_fixture, lightly_loaded_path_yields_sane_measurements) {
     load.elastic_flows = 0;
 
     const epoch_measurement m = run_epoch(*us, load, 7, fast_epoch());
-    const double cap = us->bottleneck_bps();
+    const double cap = us->bottleneck_capacity().value();
 
-    EXPECT_GT(m.that_s, us->base_rtt_s() * 0.9);
-    EXPECT_LT(m.that_s, us->base_rtt_s() + 0.05);
+    EXPECT_GT(m.that_s, us->base_rtt().value() * 0.9);
+    EXPECT_LT(m.that_s, us->base_rtt().value() + 0.05);
     EXPECT_LT(m.phat, 0.05);
     EXPECT_GT(m.avail_bw_bps, cap * 0.4);
     EXPECT_LT(m.avail_bw_bps, cap * 1.4);
@@ -167,7 +168,7 @@ TEST_F(epoch_fixture, prefix_checkpoints_recorded_for_campaign2_plan) {
     load_state load;
     load.utilization = 0.3;
     epoch_config cfg = fast_epoch();
-    cfg.transfer_s = 3.0;
+    cfg.transfer = core::seconds{3.0};
     cfg.prefix_s = {1.0, 2.0, 3.0};
     cfg.run_small_window = false;
     const epoch_measurement m = run_epoch(paths[1], load, 9, cfg);
@@ -182,9 +183,9 @@ TEST(dataset_io, csv_roundtrip_preserves_records) {
     cfg.paths = 2;
     cfg.traces_per_path = 1;
     cfg.epochs_per_trace = 3;
-    cfg.epoch.warmup_s = 0.5;
+    cfg.epoch.warmup = core::seconds{0.5};
     cfg.epoch.prior_ping.count = 80;
-    cfg.epoch.transfer_s = 1.5;
+    cfg.epoch.transfer = core::seconds{1.5};
     const dataset data = run_campaign(cfg);
     ASSERT_EQ(data.records.size(), 6u);
 

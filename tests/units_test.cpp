@@ -1,0 +1,89 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tcppred::core {
+namespace {
+
+TEST(quantity, same_unit_arithmetic_and_comparison) {
+    const seconds a{0.5}, b{0.25};
+    EXPECT_DOUBLE_EQ((a + b).value(), 0.75);
+    EXPECT_DOUBLE_EQ((a - b).value(), 0.25);
+    EXPECT_DOUBLE_EQ((a * 4.0).value(), 2.0);
+    EXPECT_DOUBLE_EQ((4.0 * a).value(), 2.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 0.25);
+    EXPECT_DOUBLE_EQ(a / b, 2.0);  // same-unit ratio is dimensionless
+    EXPECT_LT(b, a);
+    EXPECT_EQ(a, seconds{0.5});
+}
+
+TEST(quantity, default_constructs_to_zero) {
+    EXPECT_DOUBLE_EQ(bits_per_second{}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(seconds{}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(bytes{}.value(), 0.0);
+}
+
+TEST(unit_helpers, rate_of_is_the_only_bytes_to_bits_conversion) {
+    // 1 MB in 8 s = 1 Mbit/s.
+    EXPECT_DOUBLE_EQ(rate_of(bytes{1e6}, seconds{8.0}).value(), 1e6);
+}
+
+TEST(unit_helpers, transfer_time_inverts_rate_of) {
+    const bytes amount{2.5e6};
+    const seconds elapsed{3.0};
+    const bits_per_second r = rate_of(amount, elapsed);
+    EXPECT_NEAR(transfer_time(amount, r).value(), elapsed.value(), 1e-12);
+}
+
+TEST(probability_type, accepts_the_closed_unit_interval) {
+    EXPECT_DOUBLE_EQ(probability{0.0}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(probability{1.0}.value(), 1.0);
+    EXPECT_DOUBLE_EQ(probability{0.37}.value(), 0.37);
+}
+
+TEST(probability_type, checked_throws_on_untrusted_out_of_range_input) {
+    EXPECT_THROW((void)probability::checked(-1e-9), std::invalid_argument);
+    EXPECT_THROW((void)probability::checked(1.0 + 1e-9), std::invalid_argument);
+    EXPECT_THROW((void)probability::checked(std::nan("")), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(probability::checked(0.5).value(), 0.5);
+}
+
+TEST(probability_type, contract_fires_on_out_of_range_construction) {
+#if TCPPRED_CHECKS
+    EXPECT_THROW((void)probability{-0.5}, contract_violation);
+    EXPECT_THROW((void)probability{1.5}, contract_violation);
+#else
+    GTEST_SKIP() << "contract checks compiled out (Release without REPRO_CHECKS)";
+#endif
+}
+
+TEST(contracts, violation_message_names_kind_and_expression) {
+#if TCPPRED_CHECKS
+    try {
+        TCPPRED_EXPECTS(1 < 0);
+        FAIL() << "contract did not fire";
+    } catch (const contract_violation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("precondition"), std::string::npos);
+        EXPECT_NE(what.find("1 < 0"), std::string::npos);
+    }
+#else
+    GTEST_SKIP() << "contract checks compiled out (Release without REPRO_CHECKS)";
+#endif
+}
+
+TEST(contracts, disabled_or_enabled_never_alters_values) {
+    // The checks only observe: a passing contract has no effect on the
+    // computation around it (determinism contract, DESIGN.md §6).
+    double x = 0.25;
+    TCPPRED_ASSERT(x > 0.0);
+    TCPPRED_ENSURES(x < 1.0);
+    EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+}  // namespace
+}  // namespace tcppred::core

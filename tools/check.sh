@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# One-shot local gate: configure + build (warnings are errors), clang-tidy
+# (when installed), and the full test suite at tiny scale. This mirrors what
+# CI enforces; run it before pushing.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+set -eu
+
+BUILD_DIR="${1:-build-check}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DREPRO_CHECKS=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+cmake --build "$BUILD_DIR" --target tidy
+REPRO_SCALE=tiny ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+
+echo "check.sh: all gates passed"

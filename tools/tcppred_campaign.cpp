@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--transfer-s") {
-            cfg.epoch.transfer_s = std::atof(next());
+            cfg.epoch.transfer = tcppred::core::seconds{std::atof(next())};
         } else if (arg == "--second-set") {
             cfg = campaign2_config(campaign_scale::normal);
         } else if (arg == "--jobs") {
