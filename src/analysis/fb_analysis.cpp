@@ -1,7 +1,9 @@
 #include "analysis/fb_analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <optional>
 
 #include "analysis/stats.hpp"
 
@@ -19,6 +21,7 @@ std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options 
     out.reserve(data.records.size());
     for (const auto& [key, recs] : traces) {
         std::vector<double> p_hist, t_hist;
+        core::degraded_fb_predictor degraded(flow, opts.formula, opts.degraded);
         for (const testbed::epoch_record* rec : recs) {
             const auto& m = rec->m;
             const double actual = opts.small_window ? m.r_small_bps : m.r_large_bps;
@@ -35,10 +38,17 @@ std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options 
                 rtt_in = m.that_s;
             }
 
-            if (opts.smooth_inputs) {
+            // A failed a-priori measurement (fault flags or NaN fields) never
+            // reaches the formula; the degraded predictor below substitutes
+            // the trace's last good measurement instead.
+            const bool meas_failed = testbed::apriori_faulty(m.fault_flags) ||
+                                     std::isnan(loss_in) || std::isnan(rtt_in) ||
+                                     std::isnan(m.avail_bw_bps);
+
+            if (opts.smooth_inputs && !meas_failed) {
                 // One-step-ahead moving average over the previous epochs'
-                // measurements; the raw current measurement seeds the very
-                // first epoch of a trace.
+                // good measurements; the raw current measurement seeds the
+                // very first epoch of a trace.
                 if (!p_hist.empty()) {
                     const std::size_t n = std::min(opts.smooth_window, p_hist.size());
                     double ps = 0.0, ts = 0.0;
@@ -53,20 +63,49 @@ std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data, fb_options 
                 t_hist.push_back(opts.use_during_flow ? m.ttilde_s : m.that_s);
             }
 
-            if (actual <= 0.0 || rtt_in <= 0.0) continue;
+            // Legacy guard for clean data: a zero RTT means the epoch never
+            // produced a prior view; it is skipped outright, not substituted.
+            if (!meas_failed && rtt_in <= 0.0) continue;
 
-            const core::path_measurement meas{
-                core::probability{loss_in}, core::seconds{rtt_in},
-                core::bits_per_second{m.avail_bw_bps}};
+            std::optional<core::path_measurement> meas;
+            if (!meas_failed) {
+                meas.emplace(core::path_measurement{
+                    core::probability{loss_in}, core::seconds{rtt_in},
+                    core::bits_per_second{m.avail_bw_bps}});
+            }
+            const auto predicted = degraded.predict(meas);
+            if (!predicted) continue;  // nothing usable within the staleness bound
+            if (std::isnan(actual) || actual <= 0.0) continue;
 
             fb_epoch_eval e;
             e.rec = rec;
-            e.pred = core::fb_predict(flow, meas, opts.formula);
+            e.pred = predicted->pred;
             e.actual_bps = actual;
             e.error = core::relative_error(e.pred.throughput.value(), actual);
+            e.staleness = predicted->staleness;
             out.push_back(e);
         }
     }
+    return out;
+}
+
+fb_conditioned_rmsre fb_rmsre_conditioned(const std::vector<fb_epoch_eval>& evals) {
+    std::vector<double> clean, faulty, stale;
+    for (const auto& e : evals) {
+        if (e.rec->m.fault_flags == testbed::fault_none) {
+            clean.push_back(e.error);
+        } else {
+            faulty.push_back(e.error);
+        }
+        if (e.staleness > 0) stale.push_back(e.error);
+    }
+    fb_conditioned_rmsre out;
+    out.rmsre_clean = core::rmsre(clean);
+    out.n_clean = clean.size();
+    out.rmsre_faulty = core::rmsre(faulty);
+    out.n_faulty = faulty.size();
+    out.rmsre_stale = core::rmsre(stale);
+    out.n_stale = stale.size();
     return out;
 }
 

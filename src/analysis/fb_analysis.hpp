@@ -30,6 +30,10 @@ struct fb_options {
     bool small_window{false};
     core::tcp_flow_params flow{};  ///< max_window is overridden by window_bytes
     std::uint64_t window_bytes{1 << 20};
+    /// Fallback policy for epochs whose a-priori measurement failed
+    /// (fault-injected campaigns): reuse the last good measurement of the
+    /// trace up to max_staleness epochs old (core/fb_predictor.hpp).
+    core::degraded_fb_config degraded{};
 };
 
 /// One scored epoch.
@@ -38,12 +42,34 @@ struct fb_epoch_eval {
     core::fb_prediction pred;
     double actual_bps{0.0};
     double error{0.0};  ///< E (Eq. 4)
+    /// Epochs between this prediction's inputs and the epoch it scored
+    /// (0 = fresh measurement; >0 only under measurement faults).
+    std::size_t staleness{0};
 };
 
 /// Score every epoch in the dataset. Epochs whose actual throughput is zero
-/// (transfer never got going within the epoch) are skipped.
+/// (transfer never got going within the epoch) are skipped. Epochs whose
+/// a-priori measurement failed (fault flags / NaN inputs) are predicted from
+/// the last good measurement within opts.degraded.max_staleness, or skipped
+/// when no usable fallback exists; faults degrade coverage, never abort the
+/// analysis.
 [[nodiscard]] std::vector<fb_epoch_eval> evaluate_fb(const testbed::dataset& data,
                                                      fb_options opts = {});
+
+/// RMSRE conditioned on measurement-failure status (fault-injection
+/// campaigns): clean epochs vs epochs carrying any fault flag, plus the
+/// stale-input subset. For fault-free datasets n_faulty == n_stale == 0 and
+/// rmsre_clean equals the unconditional RMSRE.
+struct fb_conditioned_rmsre {
+    double rmsre_clean{0.0};
+    std::size_t n_clean{0};
+    double rmsre_faulty{0.0};   ///< epochs with any fault flag set
+    std::size_t n_faulty{0};
+    double rmsre_stale{0.0};    ///< scored from a stale fallback measurement
+    std::size_t n_stale{0};
+};
+[[nodiscard]] fb_conditioned_rmsre fb_rmsre_conditioned(
+    const std::vector<fb_epoch_eval>& evals);
 
 /// Extract just the error values (for CDFs).
 [[nodiscard]] std::vector<double> errors_of(const std::vector<fb_epoch_eval>& evals);

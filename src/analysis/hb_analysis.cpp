@@ -1,5 +1,7 @@
 #include "analysis/hb_analysis.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "analysis/stats.hpp"
@@ -8,16 +10,33 @@
 
 namespace tcppred::analysis {
 
+namespace {
+
+/// Throughput series with unreliable samples (aborted transfer / path
+/// outage) masked to NaN — the gap marker of the gap-aware HB pipeline
+/// (core/hb_evaluation.hpp): the predictor observes the gap, the sample is
+/// never scored, and nothing downstream aborts.
+std::vector<double> masked_series(const std::vector<const testbed::epoch_record*>& recs,
+                                  bool small_window) {
+    std::vector<double> series;
+    series.reserve(recs.size());
+    for (const testbed::epoch_record* r : recs) {
+        const double v = small_window ? r->m.r_small_bps : r->m.r_large_bps;
+        series.push_back(testbed::actual_faulty(r->m.fault_flags)
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : v);
+    }
+    return series;
+}
+
+}  // namespace
+
 std::vector<hb_trace_eval> hb_rmsre_per_trace(const testbed::dataset& data,
                                               const core::hb_predictor& prototype,
                                               hb_options opts) {
     std::vector<hb_trace_eval> out;
     for (const auto& [key, recs] : data.traces()) {
-        std::vector<double> series;
-        series.reserve(recs.size());
-        for (const testbed::epoch_record* r : recs) {
-            series.push_back(opts.small_window ? r->m.r_small_bps : r->m.r_large_bps);
-        }
+        std::vector<double> series = masked_series(recs, opts.small_window);
         if (opts.downsample > 1) series = core::downsample(series, opts.downsample);
         if (series.size() < 3) continue;
 
@@ -76,14 +95,21 @@ std::vector<cov_rmsre_point> cov_vs_rmsre(const testbed::dataset& data,
 
     std::vector<cov_rmsre_point> out;
     for (const auto& [key, recs] : data.traces()) {
-        std::vector<double> series;
-        series.reserve(recs.size());
-        for (const testbed::epoch_record* r : recs) series.push_back(r->m.r_large_bps);
+        const std::vector<double> series = masked_series(recs, false);
         if (series.size() < 3) continue;
+
+        // The CoV side has no gap concept: compute it over the usable
+        // samples only (identical to the full series when nothing faulted).
+        std::vector<double> usable;
+        usable.reserve(series.size());
+        for (const double v : series) {
+            if (!std::isnan(v)) usable.push_back(v);
+        }
+        if (usable.size() < 3) continue;
 
         const core::hb_evaluation eval =
             core::evaluate_one_step(series, prototype, opts.eval);
-        out.push_back(cov_rmsre_point{key.first, key.second, weighted_cov(series, lso),
+        out.push_back(cov_rmsre_point{key.first, key.second, weighted_cov(usable, lso),
                                       eval.rmsre});
     }
     return out;

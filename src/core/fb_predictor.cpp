@@ -40,4 +40,20 @@ fb_prediction fb_predict(const tcp_flow_params& flow, const path_measurement& m,
     return out;
 }
 
+degraded_fb_predictor::degraded_fb_predictor(tcp_flow_params flow, fb_formula formula,
+                                             degraded_fb_config cfg)
+    : flow_(flow), formula_(formula), cfg_(cfg) {}
+
+std::optional<degraded_fb_predictor::outcome> degraded_fb_predictor::predict(
+    const std::optional<path_measurement>& m) {
+    if (m.has_value()) {
+        last_good_ = m;
+        staleness_ = 0;
+    } else {
+        ++staleness_;
+    }
+    if (!last_good_.has_value() || staleness_ > cfg_.max_staleness) return std::nullopt;
+    return outcome{fb_predict(flow_, *last_good_, formula_), staleness_};
+}
+
 }  // namespace tcppred::core

@@ -3,6 +3,9 @@
 // the a-priori probing saw no loss.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+
 #include "core/fb_formulas.hpp"
 #include "core/units.hpp"
 
@@ -44,5 +47,46 @@ struct fb_prediction {
                                        const path_measurement& m,
                                        fb_formula formula = fb_formula::pftk,
                                        seconds t0 = seconds{0.0});
+
+/// Graceful degradation around Eq. 3 for lossy measurement pipelines: when
+/// the a-priori measurement of an epoch failed (pathload non-convergence,
+/// degraded/truncated ping), fall back to the last good measurement of the
+/// same path, tracking how stale it is — and refuse to predict once the
+/// staleness exceeds a configurable bound (a prediction from arbitrarily
+/// old inputs is worse than no prediction, cf. the sparse-data regimes of
+/// Vazhkudai & Schopf and Sun et al., PAPERS.md).
+struct degraded_fb_config {
+    std::size_t max_staleness{3};  ///< max epochs a measurement may be reused
+};
+
+class degraded_fb_predictor {
+public:
+    explicit degraded_fb_predictor(tcp_flow_params flow,
+                                   fb_formula formula = fb_formula::pftk,
+                                   degraded_fb_config cfg = {});
+
+    /// A prediction plus how many epochs old its inputs are (0 = fresh).
+    struct outcome {
+        fb_prediction pred;
+        std::size_t staleness{0};
+    };
+
+    /// Advance one epoch. Pass the epoch's measurement, or nullopt when it
+    /// failed. Returns nullopt when no usable measurement exists within the
+    /// staleness bound.
+    [[nodiscard]] std::optional<outcome> predict(
+        const std::optional<path_measurement>& m);
+
+    /// Epochs since the last good measurement (0 right after one).
+    [[nodiscard]] std::size_t staleness() const noexcept { return staleness_; }
+    [[nodiscard]] const degraded_fb_config& config() const noexcept { return cfg_; }
+
+private:
+    tcp_flow_params flow_;
+    fb_formula formula_;
+    degraded_fb_config cfg_;
+    std::optional<path_measurement> last_good_;
+    std::size_t staleness_{0};
+};
 
 }  // namespace tcppred::core

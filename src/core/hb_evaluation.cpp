@@ -20,13 +20,17 @@ hb_evaluation evaluate_one_step(const std::vector<double>& series,
 
     for (std::size_t i = 0; i < series.size(); ++i) {
         const double forecast = predictor->predict();
+        // NaN samples are failed measurements: nothing to score the forecast
+        // against, and the predictor is told about the gap rather than fed
+        // the NaN (gap-aware degradation, hb_predictors.hpp).
         const bool skip = i < opts.warmup || std::isnan(forecast) ||
+                          std::isnan(series[i]) ||
                           (opts.exclude_outliers && excluded[i]);
         if (!skip) {
             out.errors.push_back(relative_error(forecast, series[i]));
             out.indices.push_back(i);
         }
-        predictor->observe(series[i]);
+        predictor->observe_maybe(series[i]);
     }
     out.rmsre = rmsre(out.errors);
     return out;

@@ -3,6 +3,7 @@
 // one-step-ahead forecasting interface.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <deque>
 #include <limits>
@@ -16,12 +17,31 @@ namespace tcppred::core {
 /// Usage: alternately call `predict()` (forecast for the *next* sample) and
 /// `observe()` (reveal that sample). `predict()` returns NaN until the
 /// predictor has enough history to forecast.
+///
+/// Gap tolerance: series from a faulty measurement campaign contain missing
+/// samples (the epoch's transfer aborted, the probe host was down). Feed
+/// those through `observe_maybe(NaN)` / `observe_gap()` — the forecast keeps
+/// running on the samples that exist, and `gap_count()` reports how many
+/// samples were missing (graceful degradation, never a poisoned NaN state).
 class hb_predictor {
 public:
     virtual ~hb_predictor() = default;
 
-    /// Reveal the next observed value.
+    /// Reveal the next observed value. Must be a real number; missing
+    /// samples go through observe_maybe()/observe_gap() instead.
     virtual void observe(double x) = 0;
+    /// Reveal a possibly-missing sample: NaN marks a failed measurement and
+    /// is routed to observe_gap() instead of poisoning the estimator state.
+    void observe_maybe(double x) {
+        if (std::isnan(x)) {
+            observe_gap();
+        } else {
+            observe(x);
+        }
+    }
+    /// Reveal that the next sample is missing. The default keeps the
+    /// forecast unchanged and counts the gap; subclasses may age their state.
+    virtual void observe_gap() { ++gaps_; }
     /// Forecast the next value; NaN while history is insufficient.
     [[nodiscard]] virtual double predict() const = 0;
     /// Forget all history (used on detected level shifts).
@@ -34,8 +54,14 @@ public:
     /// Number of samples observed since the last reset.
     [[nodiscard]] virtual std::size_t history_size() const = 0;
 
+    /// Missing samples seen over the predictor's lifetime (not reset()).
+    [[nodiscard]] std::size_t gap_count() const noexcept { return gaps_; }
+
 protected:
     static constexpr double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+private:
+    std::size_t gaps_{0};
 };
 
 /// n-order Moving Average: the mean of the last n observations

@@ -35,6 +35,13 @@ lso_filter::lso_filter(lso_config cfg) : cfg_(cfg) {
 }
 
 void lso_filter::observe(double x) {
+    // A missing sample (failed measurement) advances the index so detections
+    // keep referring to original series positions, but never enters the
+    // history: NaN would poison every median and min/max comparison.
+    if (std::isnan(x)) {
+        ++observed_;
+        return;
+    }
     history_.push_back(sample{observed_, x});
     ++observed_;
     detect_outliers();

@@ -37,7 +37,17 @@ bool link::random_loss_hit() {
     return in_bad_state_;
 }
 
+void link::set_outage(double from_s, double until_s) {
+    outage_from_ = from_s;
+    outage_until_ = until_s;
+}
+
 bool link::enqueue(packet p) {
+    const double now = sched_->now();
+    if (now >= outage_from_ && now < outage_until_) {
+        ++stats_.dropped;
+        return false;
+    }
     if (random_loss_hit()) {
         ++stats_.dropped;
         return false;

@@ -64,6 +64,11 @@ public:
     void set_random_loss(double probability, std::uint64_t seed,
                          double burst_duration_s = 0.0);
 
+    /// Schedule a transient outage: every arrival in [from_s, until_s) is
+    /// dropped (a routing blackout / dead interface), deterministically and
+    /// without consuming any RNG draws. A later call replaces the window.
+    void set_outage(double from_s, double until_s);
+
     [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
     [[nodiscard]] double prop_delay() const noexcept { return prop_delay_; }
     [[nodiscard]] std::size_t buffer_packets() const noexcept { return buffer_packets_; }
@@ -97,6 +102,8 @@ private:
     std::function<void(packet)> sink_;
     std::deque<packet> queue_;
     bool transmitting_{false};
+    double outage_from_{0.0};
+    double outage_until_{0.0};  ///< <= outage_from_: no outage scheduled
     double random_loss_{0.0};
     double loss_burst_s_{0.0};
     bool in_bad_state_{false};

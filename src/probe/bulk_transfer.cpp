@@ -1,5 +1,7 @@
 #include "probe/bulk_transfer.hpp"
 
+#include <algorithm>
+
 #include "core/contracts.hpp"
 
 namespace tcppred::probe {
@@ -21,31 +23,46 @@ void bulk_transfer::add_prefix_checkpoints(const std::vector<double>& prefixes) 
     prefixes_.insert(prefixes_.end(), prefixes.begin(), prefixes.end());
 }
 
-void bulk_transfer::start(std::function<void(const transfer_result&)> on_done) {
+void bulk_transfer::set_fault_abort(core::seconds at) {
+    TCPPRED_EXPECTS(at.value() > 0.0);
+    abort_at_s_ = at.value() < duration_s_ ? at.value() : 0.0;
+}
+
+void bulk_transfer::start(std::function<void(const probe_result<transfer_result>&)> on_done) {
     on_done_ = std::move(on_done);
     const double t0 = sched_->now();
 
     for (const double prefix : prefixes_) {
+        // Prefixes past an injected abort never materialize: the flow is
+        // gone before the checkpoint fires.
+        if (abort_at_s_ > 0.0 && prefix >= abort_at_s_) continue;
         pending_events_.push_back(sched_->schedule_in(prefix, [this, prefix] {
             const double goodput =
                 static_cast<double>(conn_->sender().acked_bytes()) * 8.0 / prefix;
-            result_.prefix_goodput_bps.emplace_back(prefix, goodput);
+            result_.measurement.prefix_goodput_bps.emplace_back(prefix, goodput);
         }));
     }
 
     conn_->start();
-    pending_events_.push_back(sched_->schedule_in(duration_s_, [this, t0] {
-        conn_->quiesce();
-        done_ = true;
-        result_.duration_s = sched_->now() - t0;
-        result_.bytes = conn_->sender().acked_bytes();
-        // A transfer that delivered nothing still "measured" a throughput of
-        // less than one segment per lifetime; report that floor instead of a
-        // hard zero so downstream relative errors stay finite.
-        if (result_.bytes == 0) result_.bytes = conn_->sender().config().mss_bytes;
-        result_.tcp_stats = conn_->sender().stats();
-        if (on_done_) on_done_(result_);
-    }));
+    const double lifetime = abort_at_s_ > 0.0 ? abort_at_s_ : duration_s_;
+    pending_events_.push_back(sched_->schedule_in(
+        lifetime, [this, t0] { finalize(t0, abort_at_s_ > 0.0); }));
+}
+
+void bulk_transfer::finalize(double t0, bool aborted) {
+    conn_->quiesce();
+    done_ = true;
+    transfer_result& m = result_.measurement;
+    m.duration_s = sched_->now() - t0;
+    m.bytes = conn_->sender().acked_bytes();
+    // A transfer that delivered nothing still "measured" a throughput of
+    // less than one segment per lifetime; report that floor instead of a
+    // hard zero so downstream relative errors stay finite.
+    if (m.bytes == 0) m.bytes = conn_->sender().config().mss_bytes;
+    m.tcp_stats = conn_->sender().stats();
+    m.aborted = aborted;
+    result_.status = aborted ? probe_status::degraded : probe_status::ok;
+    if (on_done_) on_done_(result_);
 }
 
 }  // namespace tcppred::probe

@@ -10,6 +10,7 @@
 
 #include "core/units.hpp"
 #include "net/path.hpp"
+#include "probe/probe_result.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp.hpp"
 
@@ -22,6 +23,9 @@ struct transfer_result {
     /// (prefix length, goodput over that prefix) pairs, in request order.
     std::vector<std::pair<double, double>> prefix_goodput_bps;
     tcp::sender_stats tcp_stats;
+    /// True when the transfer was cut short by an injected abort; goodput is
+    /// then averaged over the shorter actual lifetime.
+    bool aborted{false};
 
     /// Average goodput over the whole transfer (R in the paper).
     [[nodiscard]] core::bits_per_second goodput() const noexcept {
@@ -43,22 +47,34 @@ public:
     /// start; must be called before start()).
     void add_prefix_checkpoints(const std::vector<double>& prefixes);
 
-    /// Begin the transfer now; `on_done` fires when the duration elapses.
-    void start(std::function<void(const transfer_result&)> on_done = nullptr);
+    /// Inject an abort `at` seconds after start (sender host crash, control
+    /// connection lost): the transfer ends there with status `degraded` and
+    /// `aborted` set. Must be called before start(); values >= the configured
+    /// duration are ignored.
+    void set_fault_abort(core::seconds at);
+
+    /// Begin the transfer now; `on_done` fires when the duration elapses (or
+    /// the injected abort cuts it short).
+    void start(std::function<void(const probe_result<transfer_result>&)> on_done = nullptr);
 
     [[nodiscard]] bool done() const noexcept { return done_; }
-    [[nodiscard]] const transfer_result& result() const noexcept { return result_; }
+    [[nodiscard]] const probe_result<transfer_result>& result() const noexcept {
+        return result_;
+    }
     [[nodiscard]] tcp::tcp_connection& connection() noexcept { return *conn_; }
 
 private:
+    void finalize(double t0, bool aborted);
+
     sim::scheduler* sched_;
     double duration_s_;
+    double abort_at_s_{0.0};  ///< 0 = no injected abort
     std::unique_ptr<tcp::tcp_connection> conn_;
     std::vector<double> prefixes_;
     std::vector<sim::event_handle> pending_events_;
-    std::function<void(const transfer_result&)> on_done_;
+    std::function<void(const probe_result<transfer_result>&)> on_done_;
     bool done_{false};
-    transfer_result result_{};
+    probe_result<transfer_result> result_{};
 };
 
 }  // namespace tcppred::probe

@@ -86,7 +86,7 @@ pathload::~pathload() {
     path_->on_deliver_forward(flow_, nullptr);
 }
 
-void pathload::start(std::function<void(const pathload_result&)> on_done) {
+void pathload::start(std::function<void(const probe_result<pathload_result>&)> on_done) {
     on_done_ = std::move(on_done);
     send_stream(0.5 * (low_ + high_));
 }
@@ -121,6 +121,17 @@ void pathload::emit_packet(std::uint32_t index, std::uint32_t total, double spac
 }
 
 void pathload::conclude_stream() {
+    // Injected non-convergence: the tool keeps probing (spending real
+    // measurement time, as the paper's failed runs did) but its verdicts
+    // never tighten the bracket, so it exhausts the stream budget and fails.
+    if (cfg_.fault_nonconvergence) {
+        if (streams_sent_ >= cfg_.max_streams) {
+            finish();
+            return;
+        }
+        send_stream(0.5 * (low_ + high_));
+        return;
+    }
     const double lost_fraction =
         1.0 - static_cast<double>(stream_received_) / static_cast<double>(cfg_.stream_packets);
 
@@ -155,9 +166,12 @@ void pathload::conclude_stream() {
 
 void pathload::finish() {
     done_ = true;
-    result_.low_bps = low_;
-    result_.high_bps = std::max(high_, low_);
-    result_.streams_used = streams_sent_;
+    pathload_result& m = result_.measurement;
+    m.low_bps = low_;
+    m.high_bps = std::max(high_, low_);
+    m.streams_used = streams_sent_;
+    result_.status =
+        cfg_.fault_nonconvergence ? probe_status::failed : probe_status::ok;
     if (on_done_) on_done_(result_);
 }
 

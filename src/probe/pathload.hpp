@@ -12,6 +12,7 @@
 #include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/path.hpp"
+#include "probe/probe_result.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tcppred::probe {
@@ -47,6 +48,11 @@ struct pathload_config {
     double resolution_fraction{0.08};///< stop when (high-low)/high below this
     core::seconds inter_stream_gap{0.10};  ///< drain time between streams
     double loss_fraction_increasing{0.10};///< stream loss that implies rate > avail-bw
+    /// Injected measurement fault: the run spends its full stream budget but
+    /// never converges (the bracket never tightens), mirroring the paper's
+    /// pathload failures on loaded paths. The outcome is `failed` and the
+    /// estimate must be treated as missing.
+    bool fault_nonconvergence{false};
 };
 
 class pathload {
@@ -57,11 +63,14 @@ public:
     /// Cancels the pending stream event and unregisters from the path.
     ~pathload();
 
-    /// Start measuring; `on_done` fires with the converged result.
-    void start(std::function<void(const pathload_result&)> on_done = nullptr);
+    /// Start measuring; `on_done` fires with the converged (or failed)
+    /// outcome.
+    void start(std::function<void(const probe_result<pathload_result>&)> on_done = nullptr);
 
     [[nodiscard]] bool done() const noexcept { return done_; }
-    [[nodiscard]] const pathload_result& result() const noexcept { return result_; }
+    [[nodiscard]] const probe_result<pathload_result>& result() const noexcept {
+        return result_;
+    }
 
 private:
     void send_stream(double rate_bps);
@@ -73,7 +82,7 @@ private:
     net::duplex_path* path_;
     net::flow_id flow_;
     pathload_config cfg_;
-    std::function<void(const pathload_result&)> on_done_;
+    std::function<void(const probe_result<pathload_result>&)> on_done_;
 
     sim::event_handle chain_event_{};
     double low_;
@@ -83,7 +92,7 @@ private:
     std::uint32_t stream_received_{0};
     std::vector<double> stream_owds_;
     bool done_{false};
-    pathload_result result_{};
+    probe_result<pathload_result> result_{};
 };
 
 }  // namespace tcppred::probe

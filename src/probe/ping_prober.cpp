@@ -9,6 +9,8 @@ ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flo
     : sched_(&sched), path_(&path), flow_(flow), cfg_(cfg) {
     TCPPRED_EXPECTS(cfg_.interval.value() > 0.0);
     TCPPRED_EXPECTS(cfg_.reply_timeout.value() > 0.0);
+    TCPPRED_EXPECTS(cfg_.fault_timeout_rate >= 0.0 && cfg_.fault_timeout_rate <= 1.0);
+    if (cfg_.fault_timeout_rate > 0.0) fault_rng_.emplace(cfg_.fault_seed);
     // Far end: echo every probe back over the reverse path.
     path_->on_deliver_forward(flow_, [this](net::packet p) {
         net::packet echo = p;
@@ -19,9 +21,10 @@ ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flo
     path_->on_deliver_reverse(flow_, [this](net::packet p) {
         auto it = outstanding_.find(p.seq);
         if (it == outstanding_.end()) return;  // echo arrived after timeout
-        result_.rtts.push_back(sched_->now() - it->second.sent_at);
-        ++result_.received;
-        if (p.seq < result_.outcomes.size()) result_.outcomes[p.seq] = 1;
+        ping_result& session = result_.measurement;
+        session.rtts.push_back(sched_->now() - it->second.sent_at);
+        ++session.received;
+        if (p.seq < session.outcomes.size()) session.outcomes[p.seq] = 1;
         sched_->cancel(it->second.timeout);
         outstanding_.erase(it);
         ++resolved_;
@@ -36,29 +39,45 @@ ping_prober::~ping_prober() {
     path_->on_deliver_reverse(flow_, nullptr);
 }
 
-void ping_prober::start(std::function<void(const ping_result&)> on_done) {
+void ping_prober::start(std::function<void(const probe_result<ping_result>&)> on_done) {
     on_done_ = std::move(on_done);
     send_probe();
 }
 
 void ping_prober::send_probe() {
-    if (next_seq_ >= cfg_.count) {
+    // Injected truncation: the session dies early (the real tool's SSH
+    // channel dropped, its host rebooted, ...), leaving partial samples.
+    const std::uint64_t budget =
+        cfg_.fault_truncate_at > 0 && cfg_.fault_truncate_at < cfg_.count
+            ? cfg_.fault_truncate_at
+            : cfg_.count;
+    if (next_seq_ >= budget) {
+        if (budget < cfg_.count) result_.measurement.truncated = true;
         sending_done_ = true;
         check_done();
         return;
     }
     const std::uint64_t seq = next_seq_++;
-    net::packet p;
-    p.flow = flow_;
-    p.kind = net::packet_kind::probe;
-    p.size_bytes = cfg_.probe_bytes;
-    p.seq = seq;
-    p.sent_at = sched_->now();
+    ping_result& session = result_.measurement;
     pending& entry = outstanding_[seq];
     entry.sent_at = sched_->now();
-    ++result_.sent;
-    if (result_.outcomes.size() <= seq) result_.outcomes.resize(seq + 1, 0);
-    path_->send_forward(p);
+    ++session.sent;
+    if (session.outcomes.size() <= seq) session.outcomes.resize(seq + 1, 0);
+
+    // An injected timeout swallows the probe before it reaches the path —
+    // indistinguishable from a real no-echo at the measuring end.
+    const bool swallowed = fault_rng_ && fault_rng_->chance(cfg_.fault_timeout_rate);
+    if (swallowed) {
+        ++session.injected_timeouts;
+    } else {
+        net::packet p;
+        p.flow = flow_;
+        p.kind = net::packet_kind::probe;
+        p.size_bytes = cfg_.probe_bytes;
+        p.seq = seq;
+        p.sent_at = sched_->now();
+        path_->send_forward(p);
+    }
 
     entry.timeout = sched_->schedule_in(cfg_.reply_timeout.value(), [this, seq] {
         if (outstanding_.erase(seq) > 0) {
@@ -70,8 +89,13 @@ void ping_prober::send_probe() {
 }
 
 void ping_prober::check_done() {
-    if (done_ || !sending_done_ || resolved_ < cfg_.count) return;
+    const std::uint64_t expected = sending_done_ ? result_.measurement.sent : cfg_.count;
+    if (done_ || !sending_done_ || resolved_ < expected) return;
     done_ = true;
+    const ping_result& session = result_.measurement;
+    result_.status = session.injected_timeouts > 0 || session.truncated
+                         ? probe_status::degraded
+                         : probe_status::ok;
     if (on_done_) on_done_(result_);
 }
 

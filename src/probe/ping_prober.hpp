@@ -5,12 +5,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/path.hpp"
+#include "probe/probe_result.hpp"
+#include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tcppred::probe {
@@ -23,6 +26,13 @@ struct ping_result {
     /// Per-probe outcome by sequence number (1 = echoed, 0 = lost) -- the
     /// input to loss-event collapsing (core/loss_events.hpp).
     std::vector<std::uint8_t> outcomes;
+    /// Probes that never reached the path because an injected measurement
+    /// fault swallowed them (they still count as sent/lost above, exactly
+    /// like a real echo timeout would).
+    std::uint64_t injected_timeouts{0};
+    /// True when the session was cut short by an injected fault, so the
+    /// sample counts are below the configured count.
+    bool truncated{false};
 
     /// Loss fraction among probes sent (p̂ or p̃ in the paper).
     [[nodiscard]] core::probability loss_rate() const {
@@ -48,6 +58,13 @@ struct ping_config {
     std::uint64_t count{400};
     core::seconds reply_timeout{2.0};
     std::uint32_t probe_bytes{net::ping_probe_bytes};
+    /// Injected measurement faults (sim/fault_injector.hpp plan, resolved by
+    /// the epoch runner). `timeout_rate` > 0 makes individual probes vanish
+    /// before reaching the path (deterministic per `fault_seed`);
+    /// `truncate_at` > 0 ends the session after that many probes.
+    double fault_timeout_rate{0.0};
+    std::uint64_t fault_seed{0};
+    std::uint64_t fault_truncate_at{0};  ///< 0 = send all `count` probes
 };
 
 class ping_prober {
@@ -59,11 +76,14 @@ public:
     /// path: a prober is safe to destroy at any point of the simulation.
     ~ping_prober();
 
-    /// Begin probing now; `on_done` fires when the session completes.
-    void start(std::function<void(const ping_result&)> on_done = nullptr);
+    /// Begin probing now; `on_done` fires when the session completes. The
+    /// outcome is `degraded` when any injected fault touched the session.
+    void start(std::function<void(const probe_result<ping_result>&)> on_done = nullptr);
 
     [[nodiscard]] bool done() const noexcept { return done_; }
-    [[nodiscard]] const ping_result& result() const noexcept { return result_; }
+    [[nodiscard]] const probe_result<ping_result>& result() const noexcept {
+        return result_;
+    }
 
 private:
     void send_probe();
@@ -73,7 +93,7 @@ private:
     net::duplex_path* path_;
     net::flow_id flow_;
     ping_config cfg_;
-    std::function<void(const ping_result&)> on_done_;
+    std::function<void(const probe_result<ping_result>&)> on_done_;
 
     struct pending {
         double sent_at{0.0};
@@ -81,11 +101,12 @@ private:
     };
     std::unordered_map<std::uint64_t, pending> outstanding_;
     sim::event_handle next_probe_event_{};
+    std::optional<sim::rng> fault_rng_;
     std::uint64_t next_seq_{0};
     std::uint64_t resolved_{0};  ///< answered or timed out
     bool sending_done_{false};
     bool done_{false};
-    ping_result result_{};
+    probe_result<ping_result> result_{};
 };
 
 }  // namespace tcppred::probe

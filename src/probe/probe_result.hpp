@@ -1,0 +1,51 @@
+// Typed outcome wrapper for measurement tools.
+//
+// On the real testbed measurements failed routinely (pathload
+// non-convergence, probe timeouts, aborted transfers), so no consumer may
+// assume success: every prober completes with a probe_result<T> that couples
+// the gathered data with an explicit status, and the epoch runner translates
+// non-ok outcomes into flagged / missing record fields instead of bogus
+// numbers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tcppred::probe {
+
+/// How a measurement session ended.
+enum class probe_status : std::uint8_t {
+    ok,        ///< completed normally; measurement fully trustworthy
+    degraded,  ///< completed with injected faults (partial samples, extra
+               ///< timeouts); measurement usable but suspect
+    failed,    ///< did not produce a usable measurement (e.g. pathload never
+               ///< converged); measurement must be treated as missing
+};
+
+[[nodiscard]] constexpr std::string_view to_string(probe_status s) noexcept {
+    switch (s) {
+        case probe_status::ok: return "ok";
+        case probe_status::degraded: return "degraded";
+        case probe_status::failed: return "failed";
+    }
+    return "?";
+}
+
+/// A measurement plus the status under which it was produced. The
+/// measurement is always populated with whatever the session gathered —
+/// `failed` means it must not be trusted, not that it is absent (partial
+/// data still informs diagnostics).
+template <class T>
+struct probe_result {
+    T measurement{};
+    probe_status status{probe_status::ok};
+
+    [[nodiscard]] bool ok() const noexcept { return status == probe_status::ok; }
+    /// Usable = ok or degraded; failed measurements are missing data.
+    [[nodiscard]] bool usable() const noexcept { return status != probe_status::failed; }
+
+    [[nodiscard]] const T& operator*() const noexcept { return measurement; }
+    [[nodiscard]] const T* operator->() const noexcept { return &measurement; }
+};
+
+}  // namespace tcppred::probe

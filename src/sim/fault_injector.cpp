@@ -1,0 +1,157 @@
+#include "sim/fault_injector.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace tcppred::sim {
+
+namespace {
+
+double parse_rate(std::string_view key, std::string_view value) {
+    std::size_t pos = 0;
+    double rate = 0.0;
+    const std::string v(value);
+    try {
+        rate = std::stod(v, &pos);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("fault_profile: bad value for '" + std::string(key) +
+                                    "': " + v);
+    }
+    if (pos != v.size() || !(rate >= 0.0 && rate <= 1.0)) {
+        throw std::invalid_argument("fault_profile: rate for '" + std::string(key) +
+                                    "' must be in [0,1], got " + v);
+    }
+    return rate;
+}
+
+struct knob {
+    std::string_view key;   ///< spec key
+    const char* env;        ///< per-field environment override
+    double fault_profile::*field;
+};
+
+constexpr knob k_knobs[] = {
+    {"pathload", "REPRO_FAULT_PATHLOAD", &fault_profile::pathload_fail},
+    {"ping-timeout", "REPRO_FAULT_PING_TIMEOUT", &fault_profile::ping_timeout},
+    {"ping-truncate", "REPRO_FAULT_PING_TRUNCATE", &fault_profile::ping_truncate},
+    {"abort", "REPRO_FAULT_ABORT", &fault_profile::transfer_abort},
+    {"outage", "REPRO_FAULT_OUTAGE", &fault_profile::outage},
+};
+
+}  // namespace
+
+std::string fault_profile::spec() const {
+    if (!enabled()) return "off";
+    std::ostringstream out;
+    out.precision(17);  // exact enough to round-trip any configured rate
+    bool first = true;
+    const fault_profile defaults{};
+    for (const knob& k : k_knobs) {
+        if (this->*k.field == defaults.*k.field) continue;
+        out << (first ? "" : ",") << k.key << '=' << this->*k.field;
+        first = false;
+    }
+    if (seed != 0) out << (first ? "" : ",") << "seed=" << seed;
+    return out.str();
+}
+
+fault_profile fault_profile::parse(std::string_view spec) {
+    fault_profile p;
+    if (spec.empty() || spec == "off") return p;
+    std::stringstream ss{std::string(spec)};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty()) continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("fault_profile: expected key=value, got '" + item +
+                                        "'");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "seed") {
+            try {
+                p.seed = std::stoull(value);
+            } catch (const std::exception&) {
+                throw std::invalid_argument("fault_profile: bad seed '" + value + "'");
+            }
+            continue;
+        }
+        bool known = false;
+        for (const knob& k : k_knobs) {
+            if (key == k.key) {
+                p.*k.field = parse_rate(k.key, value);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            throw std::invalid_argument("fault_profile: unknown key '" + key + "'");
+        }
+    }
+    return p;
+}
+
+fault_profile fault_profile::from_env() {
+    fault_profile p;
+    if (const char* spec = std::getenv("REPRO_FAULTS")) p = parse(spec);
+    for (const knob& k : k_knobs) {
+        if (const char* v = std::getenv(k.env)) p.*k.field = parse_rate(k.key, v);
+    }
+    if (const char* v = std::getenv("REPRO_FAULT_SEED")) {
+        try {
+            p.seed = std::stoull(v);
+        } catch (const std::exception&) {
+            throw std::invalid_argument(std::string("fault_profile: bad REPRO_FAULT_SEED '") +
+                                        v + "'");
+        }
+    }
+    return p;
+}
+
+epoch_fault_plan plan_epoch_faults(const fault_profile& profile,
+                                   std::uint64_t campaign_seed, int path_id, int trace,
+                                   int epoch) {
+    epoch_fault_plan plan;
+    if (!profile.enabled()) return plan;
+
+    const std::uint64_t master =
+        profile.seed != 0 ? profile.seed : derive_seed(campaign_seed, "fault-master");
+    rng r(derive_seed(master, "fault", static_cast<std::uint64_t>(path_id),
+                      static_cast<std::uint64_t>(trace),
+                      static_cast<std::uint64_t>(epoch)));
+
+    // Fixed draw order: every decision consumes its draws whether or not the
+    // corresponding rate is zero, so enabling one fault type never shifts
+    // the draws (and hence the placement) of another.
+    plan.pathload_fail = r.chance(profile.pathload_fail);
+
+    plan.ping_timeout_rate = profile.ping_timeout;
+    plan.ping_fault_seed = derive_seed(master, "ping-drops",
+                                       static_cast<std::uint64_t>(path_id),
+                                       static_cast<std::uint64_t>(trace),
+                                       static_cast<std::uint64_t>(epoch));
+
+    const bool truncate = r.chance(profile.ping_truncate);
+    const double truncate_frac = r.uniform(0.2, 0.8);
+    if (truncate) plan.ping_truncate_fraction = truncate_frac;
+
+    const bool abort = r.chance(profile.transfer_abort);
+    const double abort_frac = r.uniform(0.1, 0.9);
+    if (abort) plan.transfer_abort_fraction = abort_frac;
+
+    const bool outage = r.chance(profile.outage);
+    const double outage_start = r.uniform(0.0, 0.6);
+    const double outage_dur = r.uniform(0.05, 0.2);
+    if (outage) {
+        plan.outage = true;
+        plan.outage_start_fraction = outage_start;
+        plan.outage_duration_fraction = outage_dur;
+    }
+    return plan;
+}
+
+}  // namespace tcppred::sim

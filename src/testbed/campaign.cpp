@@ -6,11 +6,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
+#include "testbed/checkpoint.hpp"
 #include "testbed/load_process.hpp"
 
 namespace tcppred::testbed {
@@ -29,14 +32,25 @@ unsigned effective_jobs(const campaign_config& cfg, int total_epochs) {
 }  // namespace
 
 dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
+    return run_campaign_resumable(cfg, {}, std::move(progress)).data;
+}
+
+campaign_outcome run_campaign_resumable(const campaign_config& cfg,
+                                        const campaign_run_options& opts,
+                                        progress_fn progress) {
     TCPPRED_EXPECTS(cfg.paths > 0 && cfg.traces_per_path > 0 &&
                     cfg.epochs_per_trace > 0);
     TCPPRED_EXPECTS(cfg.jobs >= 0);
-    dataset data;
+    TCPPRED_EXPECTS(opts.checkpoint_every > 0);
+    campaign_outcome out;
+    dataset& data = out.data;
     data.paths = cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
                                 : ron_like_catalog(cfg.paths, cfg.seed);
 
     const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
+    const bool checkpointing = !opts.checkpoint.empty();
+    const std::string fingerprint =
+        checkpointing ? campaign_fingerprint(cfg) : std::string{};
 
     // Per-trace load trajectories are cheap; generate them up front so the
     // parallel sweep below is a pure fan-out over independent epochs.
@@ -60,12 +74,59 @@ dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
     // count (the determinism contract, DESIGN.md §6).
     data.records.resize(static_cast<std::size_t>(total));
 
-    // Progress: atomic completion counter, emission serialized by a mutex so
-    // the user callback sees strictly increasing counts and never runs
-    // concurrently with itself.
-    std::atomic<int> completed{0};
-    std::mutex progress_mutex;
+    // Completed-epoch bitmap. Slots restored here (before any worker starts)
+    // are read without locking in run_one: thread creation orders those
+    // writes before every worker. Workers only set their own claimed slot,
+    // under ck_mutex, so checkpoint flushes read a consistent view.
+    std::vector<char> done(static_cast<std::size_t>(total), 0);
+    if (opts.resume && checkpointing) {
+        if (auto ck = load_checkpoint(opts.checkpoint, fingerprint)) {
+            if (ck->total != static_cast<std::size_t>(total)) {
+                throw dataset_error(opts.checkpoint, 0, 0,
+                                    "checkpoint epoch count disagrees with config");
+            }
+            for (std::size_t i = 0; i < ck->total; ++i) {
+                if (!ck->done[i]) continue;
+                data.records[i] = std::move(ck->records[i]);
+                done[i] = 1;
+                ++out.epochs_resumed;
+            }
+        }
+    }
+
+    // Progress + checkpoint state, all serialized by ck_mutex so the user
+    // callback sees strictly increasing counts and never runs concurrently
+    // with itself, and a flush always sees fully written records.
+    std::atomic<bool> cancel{false};
+    std::mutex ck_mutex;
+    int completed = out.epochs_resumed;
+    int since_flush = 0;
+
+    const auto flush_checkpoint = [&] {  // caller holds ck_mutex
+        campaign_checkpoint ck;
+        ck.fingerprint = fingerprint;
+        ck.total = static_cast<std::size_t>(total);
+        ck.done = done;
+        // Copy completed slots only: a worker writes its record slot before
+        // taking ck_mutex to set done[idx], so every done slot is fully
+        // written and quiescent here — while a slot still in flight may be
+        // mid-write on another thread and must not even be read (save would
+        // skip it anyway).
+        ck.records.resize(ck.total);
+        for (std::size_t i = 0; i < ck.total; ++i) {
+            if (done[i]) ck.records[i] = data.records[i];
+        }
+        save_checkpoint(ck, opts.checkpoint);
+    };
+
     const auto run_one = [&](std::size_t idx) {
+        if (done[idx]) return;  // restored from the checkpoint
+        if (cancel.load(std::memory_order_relaxed)) return;
+        if (opts.cancelled && opts.cancelled()) {
+            cancel.store(true, std::memory_order_relaxed);
+            return;
+        }
+        if (opts.epoch_hook) opts.epoch_hook(idx);
         const int per_path = cfg.traces_per_path * cfg.epochs_per_trace;
         const std::size_t p = idx / static_cast<std::size_t>(per_path);
         const int rem = static_cast<int>(idx % static_cast<std::size_t>(per_path));
@@ -76,6 +137,16 @@ dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
         const std::uint64_t epoch_seed = sim::derive_seed(
             cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
             static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
+        // The fault plan rides in a per-epoch copy of the epoch config; the
+        // fault-free path keeps using cfg.epoch directly.
+        const epoch_config* ecfg = &cfg.epoch;
+        epoch_config faulty_cfg;
+        if (cfg.faults.enabled()) {
+            faulty_cfg = cfg.epoch;
+            faulty_cfg.faults = sim::plan_epoch_faults(cfg.faults, cfg.seed,
+                                                       profile.id, trace, epoch);
+            ecfg = &faulty_cfg;
+        }
         epoch_record& rec = data.records[idx];
         rec.path_id = profile.id;
         rec.trace_id = trace;
@@ -84,16 +155,47 @@ dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
             profile,
             loads[p * static_cast<std::size_t>(cfg.traces_per_path) +
                   static_cast<std::size_t>(trace)][static_cast<std::size_t>(epoch)],
-            epoch_seed, cfg.epoch);
-        if (progress) {
-            const std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(++completed, total);
+            epoch_seed, *ecfg);
+        {
+            const std::lock_guard<std::mutex> lock(ck_mutex);
+            done[idx] = 1;
+            ++completed;
+            if (progress) progress(completed, total);
+            if (checkpointing && ++since_flush >= opts.checkpoint_every) {
+                flush_checkpoint();
+                since_flush = 0;
+            }
         }
     };
 
-    sim::parallel_for(static_cast<std::size_t>(total), effective_jobs(cfg, total),
-                      run_one);
-    return data;
+    try {
+        sim::parallel_for(static_cast<std::size_t>(total), effective_jobs(cfg, total),
+                          run_one);
+    } catch (...) {
+        // A worker threw (parallel_for already drained the pool and captured
+        // the first error). Persist the epochs that did complete, then let
+        // the error propagate — exactly once — to the caller.
+        if (checkpointing) {
+            const std::lock_guard<std::mutex> lock(ck_mutex);
+            flush_checkpoint();
+        }
+        throw;
+    }
+
+    out.epochs_completed = completed;
+    out.complete = completed == total;
+    if (checkpointing) {
+        if (!out.complete) {
+            // Final flush so everything finished since the last periodic
+            // flush survives the interruption.
+            const std::lock_guard<std::mutex> lock(ck_mutex);
+            if (since_flush > 0 || out.epochs_completed == 0) flush_checkpoint();
+        } else {
+            std::error_code ec;  // best-effort cleanup; absence is fine
+            std::filesystem::remove(opts.checkpoint, ec);
+        }
+    }
+    return out;
 }
 
 campaign_scale scale_from_env() {

@@ -25,6 +25,10 @@ struct campaign_config {
     /// else hardware_concurrency); 1 = serial, bypassing the pool entirely.
     /// The dataset is byte-identical for every value (DESIGN.md §6).
     int jobs{0};
+    /// Measurement-fault rates (sim/fault_injector.hpp). Default-disabled:
+    /// a fault-free campaign is byte-identical to one run before the fault
+    /// layer existed.
+    sim::fault_profile faults{};
 };
 
 /// Progress callback: (epochs completed, total epochs).
@@ -43,6 +47,48 @@ using progress_fn = std::function<void(int, int)>;
 /// derive_seed(seed, "epoch", path, trace, epoch) and results are written
 /// into pre-sized slots in (path, trace, epoch) order, never push order.
 [[nodiscard]] dataset run_campaign(const campaign_config& cfg, progress_fn progress = nullptr);
+
+/// Checkpointing / cancellation knobs for run_campaign_resumable. All
+/// default-off: a default-constructed value makes it behave exactly like
+/// run_campaign.
+struct campaign_run_options {
+    /// Checkpoint file. Empty = no checkpointing.
+    std::filesystem::path checkpoint{};
+    /// Flush the checkpoint after this many newly completed epochs (and
+    /// always once more at the end of an interrupted run).
+    int checkpoint_every{32};
+    /// Load `checkpoint` if it exists and skip its completed epochs. The
+    /// checkpoint must carry this config's fingerprint (checkpoint.hpp);
+    /// job count may differ freely.
+    bool resume{false};
+    /// Polled between epochs; return true to stop claiming new epochs. The
+    /// in-flight ones finish and are checkpointed.
+    std::function<bool()> cancelled{};
+    /// Test/instrumentation hook, invoked with the linear epoch index just
+    /// before that epoch simulates. An exception thrown here (or anywhere in
+    /// an epoch) aborts the run, but completed epochs are still flushed to
+    /// the checkpoint before the first worker error is rethrown.
+    std::function<void(std::size_t)> epoch_hook{};
+};
+
+/// What a (possibly interrupted) campaign run produced.
+struct campaign_outcome {
+    dataset data;             ///< complete iff `complete`; else done slots only
+    bool complete{true};
+    int epochs_completed{0};  ///< including epochs restored from the checkpoint
+    int epochs_resumed{0};    ///< epochs restored from the checkpoint
+};
+
+/// run_campaign plus checkpoint/resume/cancel. Determinism contract: for a
+/// fixed cfg, the records of a run that was interrupted any number of times
+/// and resumed are byte-identical to an uninterrupted run's, at any job
+/// count — every epoch is independently seeded, completed epochs round-trip
+/// bit-exactly through the checkpoint, and the checkpoint is refused when
+/// cfg (beyond jobs) changed. On a complete run the checkpoint file is
+/// removed.
+[[nodiscard]] campaign_outcome run_campaign_resumable(const campaign_config& cfg,
+                                                      const campaign_run_options& opts,
+                                                      progress_fn progress = nullptr);
 
 /// Pre-canned sizes, selectable with REPRO_SCALE=tiny|default|paper.
 enum class campaign_scale { tiny, normal, paper };

@@ -1,0 +1,178 @@
+#include "testbed/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tcppred::testbed {
+
+namespace {
+
+/// Bit-exact double -> text. Hexfloat survives the round-trip exactly, which
+/// decimal at any precision does not guarantee; printf is used because
+/// istream extraction of hexfloat is not required to work (and does not in
+/// libstdc++), while strtod is.
+std::string hexd(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+double parse_hexd(const std::string& s, const std::filesystem::path& file,
+                  std::size_t line_no) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') {
+        throw dataset_error(file, line_no, 0, "bad hexfloat field \"" + s + "\"");
+    }
+    return v;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+    std::vector<std::string> out;
+    std::stringstream ss(line);
+    std::string item;
+    while (std::getline(ss, item, sep)) out.push_back(item);
+    return out;
+}
+
+constexpr std::size_t k_fixed_doubles = 12;  // measurement doubles per record
+
+}  // namespace
+
+std::string campaign_fingerprint(const campaign_config& cfg) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "v1|" << cfg.paths << '|' << cfg.traces_per_path << '|'
+       << cfg.epochs_per_trace << '|' << cfg.seed << '|' << cfg.second_set << '|'
+       << cfg.faults.spec() << '|' << cfg.epoch.warmup.value() << '|'
+       << cfg.epoch.transfer.value() << '|' << cfg.epoch.during_ping_interval.value()
+       << '|' << cfg.epoch.large_window_bytes << '|' << cfg.epoch.small_window_bytes
+       << '|' << cfg.epoch.run_small_window << '|' << cfg.epoch.run_pathload << '|'
+       << cfg.epoch.prior_ping.count << '|' << cfg.epoch.prior_ping.interval.value()
+       << '|' << cfg.epoch.pathload_max_rate_factor << '|'
+       << cfg.epoch.hard_cap.value();
+    for (const double s : cfg.epoch.prefix_s) os << "|px" << s;
+    return os.str();
+}
+
+void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path& file) {
+    const std::filesystem::path tmp = file.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("save_checkpoint: cannot open " + tmp.string());
+        }
+        out << "tcppred-checkpoint,v1\n";
+        out << "fingerprint," << ck.fingerprint << '\n';
+        out << "total," << ck.total << '\n';
+        for (std::size_t i = 0; i < ck.total; ++i) {
+            if (!ck.done[i]) continue;
+            const epoch_record& r = ck.records[i];
+            const epoch_measurement& m = r.m;
+            out << "rec," << i << ',' << r.path_id << ',' << r.trace_id << ','
+                << r.epoch_index << ',' << hexd(m.avail_bw_bps) << ','
+                << hexd(m.phat) << ',' << hexd(m.phat_events) << ','
+                << hexd(m.that_s) << ',' << hexd(m.ptilde) << ','
+                << hexd(m.ttilde_s) << ',' << hexd(m.r_large_bps) << ','
+                << hexd(m.r_small_bps) << ',' << hexd(m.tcp_loss_rate) << ','
+                << hexd(m.tcp_event_rate) << ',' << hexd(m.tcp_mean_rtt_s) << ','
+                << hexd(m.sim_time_s) << ',' << m.events << ',' << m.fault_flags
+                << ',' << m.prefix_goodputs.size();
+            for (const auto& [s, bps] : m.prefix_goodputs) {
+                out << ',' << hexd(s) << ',' << hexd(bps);
+            }
+            out << '\n';
+        }
+        if (!out) {
+            throw std::runtime_error("save_checkpoint: write failed on " + tmp.string());
+        }
+    }
+    // Atomic publish: readers see either the old checkpoint or the new one,
+    // never a torn file.
+    std::filesystem::rename(tmp, file);
+}
+
+std::optional<campaign_checkpoint> load_checkpoint(
+    const std::filesystem::path& file, const std::string& expected_fingerprint) {
+    std::ifstream in(file);
+    if (!in) return std::nullopt;
+
+    campaign_checkpoint ck;
+    std::string line;
+    std::size_t line_no = 0;
+
+    auto next_line = [&](const char* what) {
+        if (!std::getline(in, line)) {
+            throw dataset_error(file, line_no + 1, 0,
+                                std::string("truncated checkpoint: expected ") + what);
+        }
+        ++line_no;
+    };
+
+    next_line("magic");
+    if (line != "tcppred-checkpoint,v1") {
+        throw dataset_error(file, line_no, 0, "not a tcppred checkpoint");
+    }
+    next_line("fingerprint");
+    if (line.rfind("fingerprint,", 0) != 0) {
+        throw dataset_error(file, line_no, 0, "expected fingerprint line");
+    }
+    ck.fingerprint = line.substr(12);
+    if (ck.fingerprint != expected_fingerprint) {
+        throw dataset_error(file, line_no, 0,
+                            "checkpoint belongs to a different campaign config "
+                            "(fingerprint mismatch) — refusing to resume");
+    }
+    next_line("total");
+    if (line.rfind("total,", 0) != 0) {
+        throw dataset_error(file, line_no, 0, "expected total line");
+    }
+    ck.total = static_cast<std::size_t>(std::stoull(line.substr(6)));
+    ck.done.assign(ck.total, 0);
+    ck.records.resize(ck.total);
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        const auto f = split(line, ',');
+        if (f.size() < 20 || f[0] != "rec") {
+            throw dataset_error(file, line_no, 0, "bad checkpoint record line");
+        }
+        const auto idx = static_cast<std::size_t>(std::stoull(f[1]));
+        if (idx >= ck.total) {
+            throw dataset_error(file, line_no, 2,
+                                "record index " + f[1] + " out of range");
+        }
+        epoch_record& r = ck.records[idx];
+        r.path_id = std::stoi(f[2]);
+        r.trace_id = std::stoi(f[3]);
+        r.epoch_index = std::stoi(f[4]);
+        double* const ds[k_fixed_doubles] = {
+            &r.m.avail_bw_bps, &r.m.phat,         &r.m.phat_events,
+            &r.m.that_s,       &r.m.ptilde,       &r.m.ttilde_s,
+            &r.m.r_large_bps,  &r.m.r_small_bps,  &r.m.tcp_loss_rate,
+            &r.m.tcp_event_rate, &r.m.tcp_mean_rtt_s, &r.m.sim_time_s};
+        for (std::size_t i = 0; i < k_fixed_doubles; ++i) {
+            *ds[i] = parse_hexd(f[5 + i], file, line_no);
+        }
+        r.m.events = std::stoull(f[17]);
+        r.m.fault_flags = static_cast<std::uint32_t>(std::stoul(f[18]));
+        const auto n_prefix = static_cast<std::size_t>(std::stoull(f[19]));
+        if (f.size() != 20 + 2 * n_prefix) {
+            throw dataset_error(file, line_no, 20,
+                                "prefix count disagrees with field count");
+        }
+        r.m.prefix_goodputs.clear();
+        for (std::size_t i = 0; i < n_prefix; ++i) {
+            const double s = parse_hexd(f[20 + 2 * i], file, line_no);
+            const double bps = parse_hexd(f[21 + 2 * i], file, line_no);
+            r.m.prefix_goodputs.emplace_back(s, bps);
+        }
+        ck.done[idx] = 1;
+    }
+    return ck;
+}
+
+}  // namespace tcppred::testbed

@@ -1,0 +1,47 @@
+// Campaign checkpoints: a completed-epoch bitmap plus the completed records,
+// persisted mid-run so an interrupted campaign resumes instead of restarting.
+//
+// Invariants the format defends:
+//  - doubles round-trip bit-exactly (hexfloat serialization), so a resumed
+//    campaign's CSV is byte-identical to an uninterrupted run's;
+//  - a checkpoint is only ever observed whole (write-to-temp + atomic
+//    rename), so a kill -9 mid-flush leaves the previous checkpoint intact;
+//  - a checkpoint carries the fingerprint of the config that produced it,
+//    and resuming under any other config (different seed, size, fault
+//    profile — anything but the job count) is refused.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testbed/campaign.hpp"
+
+namespace tcppred::testbed {
+
+/// In-memory image of a checkpoint file.
+struct campaign_checkpoint {
+    std::string fingerprint;
+    std::size_t total{0};              ///< epochs in the full campaign
+    std::vector<char> done;            ///< size == total; nonzero = completed
+    std::vector<epoch_record> records; ///< size == total; only done slots valid
+};
+
+/// Identity of everything that shapes a campaign's records: sizes, seeds,
+/// fault profile, epoch parameters. Deliberately excludes cfg.jobs — the
+/// dataset is job-count-invariant (DESIGN.md §6), so a run checkpointed at
+/// one REPRO_JOBS may resume at another.
+[[nodiscard]] std::string campaign_fingerprint(const campaign_config& cfg);
+
+/// Write atomically: serialize to `file` + ".tmp", then rename over `file`.
+void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path& file);
+
+/// Load and validate a checkpoint. Returns nullopt when `file` does not
+/// exist; throws dataset_error when it exists but is malformed or its
+/// fingerprint does not match `expected_fingerprint`.
+[[nodiscard]] std::optional<campaign_checkpoint> load_checkpoint(
+    const std::filesystem::path& file, const std::string& expected_fingerprint);
+
+}  // namespace tcppred::testbed

@@ -1,5 +1,7 @@
 #include "testbed/dataset.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +9,14 @@
 #include "core/units.hpp"
 
 namespace tcppred::testbed {
+
+dataset_error::dataset_error(std::filesystem::path file, std::size_t line,
+                             std::size_t column, const std::string& reason)
+    : std::runtime_error(file.string() + ":" + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + reason),
+      file_(std::move(file)),
+      line_(line),
+      column_(column) {}
 
 namespace {
 
@@ -26,6 +36,85 @@ std::vector<std::string> split(const std::string& line, char sep) {
     while (std::getline(ss, item, sep)) out.push_back(item);
     return out;
 }
+
+/// One CSV line plus enough context to produce a precise dataset_error.
+/// Field indices are 0-based internally; reported columns are 1-based.
+class row_parser {
+public:
+    row_parser(const std::filesystem::path& file, std::size_t line_no,
+               std::vector<std::string> fields, std::size_t column_offset = 0)
+        : file_(file), line_(line_no), fields_(std::move(fields)),
+          offset_(column_offset) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+
+    [[nodiscard]] dataset_error error(std::size_t i, const std::string& reason) const {
+        return {file_, line_, offset_ + i + 1, reason};
+    }
+
+    [[nodiscard]] const std::string& raw(std::size_t i) const {
+        if (i >= fields_.size()) {
+            throw dataset_error(file_, line_, offset_ + i + 1,
+                                "missing field (line has only " +
+                                    std::to_string(fields_.size()) + ")");
+        }
+        return fields_[i];
+    }
+
+    /// Any finite or NaN double; rejects empty/garbage/trailing junk.
+    [[nodiscard]] double num(std::size_t i) const {
+        const std::string& s = raw(i);
+        std::size_t consumed = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(s, &consumed);
+        } catch (const std::exception&) {
+            throw error(i, "expected a number, got \"" + s + "\"");
+        }
+        if (consumed != s.size()) {
+            throw error(i, "trailing junk in numeric field \"" + s + "\"");
+        }
+        return v;
+    }
+
+    /// A loss-rate column: NaN means "measurement missing" and passes
+    /// through; anything else must be in [0, 1].
+    [[nodiscard]] double prob(std::size_t i) const {
+        const double v = num(i);
+        if (std::isnan(v)) return v;
+        if (!(v >= 0.0 && v <= 1.0)) {
+            throw error(i, "probability out of [0,1]: " + raw(i));
+        }
+        return v;
+    }
+
+    [[nodiscard]] int integer(std::size_t i) const {
+        const std::string& s = raw(i);
+        std::size_t consumed = 0;
+        int v = 0;
+        try {
+            v = std::stoi(s, &consumed);
+        } catch (const std::exception&) {
+            throw error(i, "expected an integer, got \"" + s + "\"");
+        }
+        if (consumed != s.size()) {
+            throw error(i, "trailing junk in integer field \"" + s + "\"");
+        }
+        return v;
+    }
+
+    [[nodiscard]] std::uint32_t flags(std::size_t i) const {
+        const int v = integer(i);
+        if (v < 0) throw error(i, "fault_flags must be non-negative");
+        return static_cast<std::uint32_t>(v);
+    }
+
+private:
+    const std::filesystem::path& file_;
+    std::size_t line_;
+    std::vector<std::string> fields_;
+    std::size_t offset_;
+};
 
 }  // namespace
 
@@ -88,9 +177,16 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
             << p.elastic_flows << '\n';
     }
 
+    // The fault column only exists when something actually faulted, so
+    // fault-free datasets stay byte-identical to the pre-fault format.
+    const bool any_faults =
+        std::any_of(data.records.begin(), data.records.end(),
+                    [](const epoch_record& r) { return r.m.fault_flags != fault_none; });
+
     out << "path,trace,epoch,availbw_bps,phat,phat_events,that_s,ptilde,ttilde_s,"
            "r_large_bps,r_small_bps,tcp_loss,tcp_event_rate,tcp_rtt_s";
     for (int i = 0; i < k_max_prefixes; ++i) out << ",prefix" << i << "_s,prefix" << i << "_bps";
+    if (any_faults) out << ",fault_flags";
     out << '\n';
 
     for (const auto& r : data.records) {
@@ -108,73 +204,100 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
                 out << ",0,0";
             }
         }
+        if (any_faults) out << ',' << m.fault_flags;
         out << '\n';
     }
 }
 
 dataset load_csv(const std::filesystem::path& file) {
     std::ifstream in(file);
-    if (!in) throw std::runtime_error("load_csv: cannot open " + file.string());
+    if (!in) throw dataset_error(file, 0, 0, "cannot open file");
 
     dataset data;
     std::string line;
+    std::size_t line_no = 0;
     bool header_seen = false;
+    bool has_fault_column = false;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty()) continue;
         if (line.rfind("#path,", 0) == 0) {
-            const auto f = split(line.substr(6), ',');
-            if (f.size() < 8) throw std::runtime_error("load_csv: bad catalogue line");
+            // "#path," is stripped before splitting; report columns relative
+            // to the full line so they point at the real file offsets.
+            const row_parser f(file, line_no, split(line.substr(6), ','), 1);
+            if (f.size() < 8) {
+                throw dataset_error(file, line_no, 0,
+                                    "catalogue line needs 8 fields, has " +
+                                        std::to_string(f.size()));
+            }
             path_profile p;
-            p.id = std::stoi(f[0]);
-            p.name = f[1];
-            p.klass = class_from_string(f[2]);
+            p.id = f.integer(0);
+            p.name = f.raw(1);
+            p.klass = class_from_string(f.raw(2));
             // Loaded profiles are analysis summaries: a single-hop topology
             // carrying the bottleneck capacity / RTT / buffer of the
             // original (full hop structure is only needed to *run* epochs).
-            const double cap = std::stod(f[3]);
-            const double rtt = std::stod(f[4]);
-            const auto buffer = static_cast<std::size_t>(std::stoul(f[5]));
+            const double cap = f.num(3);
+            const double rtt = f.num(4);
+            const int buffer = f.integer(5);
+            if (!(cap > 0.0) || !(rtt > 0.0) || buffer <= 0) {
+                throw dataset_error(file, line_no, 0,
+                                    "catalogue line has non-positive "
+                                    "capacity/RTT/buffer");
+            }
             p.forward = {net::hop_config{core::bits_per_second{cap},
-                                         core::seconds{rtt / 2.0}, buffer}};
+                                         core::seconds{rtt / 2.0},
+                                         static_cast<std::size_t>(buffer)}};
             p.reverse = {net::hop_config{core::bits_per_second{100e6},
                                          core::seconds{rtt / 2.0}, 512}};
             p.bottleneck = 0;
-            p.base_utilization = std::stod(f[6]);
-            p.elastic_flows = std::stoi(f[7]);
+            p.base_utilization = f.num(6);
+            p.elastic_flows = f.integer(7);
             data.paths.push_back(std::move(p));
             continue;
         }
         if (!header_seen) {  // column header
             header_seen = true;
+            const auto cols = split(line, ',');
+            has_fault_column =
+                std::find(cols.begin(), cols.end(), "fault_flags") != cols.end();
             continue;
         }
-        const auto f = split(line, ',');
-        if (f.size() < 14) throw std::runtime_error("load_csv: bad record line: " + line);
+        const row_parser f(file, line_no, split(line, ','));
+        if (f.size() < 14) {
+            throw dataset_error(file, line_no, 0,
+                                "record line needs at least 14 fields, has " +
+                                    std::to_string(f.size()));
+        }
         epoch_record r;
-        r.path_id = std::stoi(f[0]);
-        r.trace_id = std::stoi(f[1]);
-        r.epoch_index = std::stoi(f[2]);
-        r.m.avail_bw_bps = std::stod(f[3]);
+        r.path_id = f.integer(0);
+        r.trace_id = f.integer(1);
+        r.epoch_index = f.integer(2);
+        r.m.avail_bw_bps = f.num(3);
         // Loss-rate columns come from an untrusted file: validate the [0,1]
-        // domain on the way in (core::probability::checked throws on bad data
-        // in every build mode, unlike the debug-only contracts).
-        r.m.phat = core::probability::checked(std::stod(f[4])).value();
-        r.m.phat_events = core::probability::checked(std::stod(f[5])).value();
-        r.m.that_s = std::stod(f[6]);
-        r.m.ptilde = core::probability::checked(std::stod(f[7])).value();
-        r.m.ttilde_s = std::stod(f[8]);
-        r.m.r_large_bps = std::stod(f[9]);
-        r.m.r_small_bps = std::stod(f[10]);
-        r.m.tcp_loss_rate = std::stod(f[11]);
-        r.m.tcp_event_rate = std::stod(f[12]);
-        r.m.tcp_mean_rtt_s = std::stod(f[13]);
+        // domain on the way in. NaN is a legal value there — the measurement
+        // failed — so validation happens in prob(), not probability::checked
+        // (whose contract rejects NaN).
+        r.m.phat = f.prob(4);
+        r.m.phat_events = f.prob(5);
+        r.m.that_s = f.num(6);
+        r.m.ptilde = f.prob(7);
+        r.m.ttilde_s = f.num(8);
+        r.m.r_large_bps = f.num(9);
+        r.m.r_small_bps = f.num(10);
+        r.m.tcp_loss_rate = f.num(11);
+        r.m.tcp_event_rate = f.num(12);
+        r.m.tcp_mean_rtt_s = f.num(13);
         for (int i = 0; i < k_max_prefixes; ++i) {
             const std::size_t base = 14 + static_cast<std::size_t>(2 * i);
             if (base + 1 < f.size()) {
-                const double prefix_s = std::stod(f[base]);
-                const double bps = std::stod(f[base + 1]);
+                const double prefix_s = f.num(base);
+                const double bps = f.num(base + 1);
                 if (prefix_s > 0.0) r.m.prefix_goodputs.emplace_back(prefix_s, bps);
             }
+        }
+        if (has_fault_column) {
+            r.m.fault_flags = f.flags(14 + 2 * k_max_prefixes);
         }
         data.records.push_back(std::move(r));
     }

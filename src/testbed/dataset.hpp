@@ -3,15 +3,35 @@
 // (exactly as the paper separates trace collection from analysis).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "testbed/epoch_runner.hpp"
 
 namespace tcppred::testbed {
+
+/// A malformed-dataset failure, pinpointing where in the file the loader
+/// gave up: `file():line():column(): reason`. Line numbers are 1-based;
+/// column is the 1-based CSV field index (0 when the whole line is bad).
+class dataset_error : public std::runtime_error {
+public:
+    dataset_error(std::filesystem::path file, std::size_t line, std::size_t column,
+                  const std::string& reason);
+
+    [[nodiscard]] const std::filesystem::path& file() const noexcept { return file_; }
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+    [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+private:
+    std::filesystem::path file_;
+    std::size_t line_;
+    std::size_t column_;
+};
 
 /// One epoch's results, keyed by (path, trace, epoch).
 struct epoch_record {
@@ -38,11 +58,17 @@ struct dataset {
     [[nodiscard]] const path_profile& profile(int path_id) const;
 };
 
-/// Write records as CSV (one header line, one line per epoch).
+/// Write records as CSV (one header line, one line per epoch). A
+/// `fault_flags` column is appended only when at least one record carries a
+/// nonzero flag, so fault-free campaigns serialize byte-identically to
+/// datasets written before the fault layer existed.
 void save_csv(const dataset& data, const std::filesystem::path& file);
 
 /// Read records back. The path catalogue is re-derived from the stored
-/// catalogue parameters line. Throws on malformed input.
+/// catalogue parameters line; the optional `fault_flags` column is detected
+/// from the header. NaN fields are legal in measurement columns (a failed
+/// measurement); everything else malformed throws dataset_error with the
+/// offending file/line/column.
 [[nodiscard]] dataset load_csv(const std::filesystem::path& file);
 
 }  // namespace tcppred::testbed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "core/loss_events.hpp"
@@ -119,18 +120,34 @@ void epoch_world::build_cross_traffic(std::uint64_t seed) {
 }
 
 void epoch_world::build_tools() {
+    const sim::epoch_fault_plan& faults = cfg_.faults;
+
     probe::pathload_config plc;
     plc.max_rate = core::bits_per_second{profile_.bottleneck_capacity().value() *
                                         cfg_.pathload_max_rate_factor};
+    plc.fault_nonconvergence = faults.pathload_fail;
     pathload_ = std::make_unique<probe::pathload>(sched_, path_, k_flow_pathload, plc);
 
+    probe::ping_config prior_cfg = cfg_.prior_ping;
+    if (faults.ping_timeout_rate > 0.0) {
+        prior_cfg.fault_timeout_rate = faults.ping_timeout_rate;
+        prior_cfg.fault_seed = sim::derive_seed(faults.ping_fault_seed, "prior");
+    }
+    if (faults.ping_truncate_fraction < 1.0) {
+        prior_cfg.fault_truncate_at = static_cast<std::uint64_t>(
+            static_cast<double>(prior_cfg.count) * faults.ping_truncate_fraction);
+    }
     prior_ping_ = std::make_unique<probe::ping_prober>(sched_, path_, k_flow_ping_prior,
-                                                       cfg_.prior_ping);
+                                                       prior_cfg);
 
     probe::ping_config during_cfg = cfg_.prior_ping;
     during_cfg.interval = cfg_.during_ping_interval;
     during_cfg.count = static_cast<std::uint64_t>(cfg_.transfer.value() /
                                                   cfg_.during_ping_interval.value());
+    if (faults.ping_timeout_rate > 0.0) {
+        during_cfg.fault_timeout_rate = faults.ping_timeout_rate;
+        during_cfg.fault_seed = sim::derive_seed(faults.ping_fault_seed, "during");
+    }
     during_ping_ = std::make_unique<probe::ping_prober>(sched_, path_, k_flow_ping_during,
                                                         during_cfg);
 
@@ -139,6 +156,10 @@ void epoch_world::build_tools() {
     big.max_window_bytes = cfg_.large_window_bytes;
     target_transfer_ = std::make_unique<probe::bulk_transfer>(
         sched_, *target_conduit_, k_flow_target, cfg_.transfer, big);
+    if (faults.transfer_abort_fraction < 1.0) {
+        target_transfer_->set_fault_abort(cfg_.transfer *
+                                          faults.transfer_abort_fraction);
+    }
     if (!cfg_.prefix_s.empty()) target_transfer_->add_prefix_checkpoints(cfg_.prefix_s);
 
     if (cfg_.run_small_window) {
@@ -155,17 +176,32 @@ void epoch_world::start_pathload() {
         start_prior_ping();
         return;
     }
-    pathload_->start([this](const probe::pathload_result& r) {
-        out_.avail_bw_bps = r.estimate().value();
+    pathload_->start([this](const probe::probe_result<probe::pathload_result>& r) {
+        if (r.usable()) {
+            out_.avail_bw_bps = r->estimate().value();
+        } else {
+            out_.avail_bw_bps = std::numeric_limits<double>::quiet_NaN();
+            out_.fault_flags |= fault_pathload_failed;
+        }
         start_prior_ping();
     });
 }
 
 void epoch_world::start_prior_ping() {
-    prior_ping_->start([this](const probe::ping_result& r) {
-        out_.phat = r.loss_rate().value();
-        out_.phat_events = core::loss_event_rate(r.outcomes);
-        out_.that_s = r.mean_rtt().value();
+    prior_ping_->start([this](const probe::probe_result<probe::ping_result>& r) {
+        if (r->received > 0) {
+            out_.phat = r->loss_rate().value();
+            out_.phat_events = core::loss_event_rate(r->outcomes);
+            out_.that_s = r->mean_rtt().value();
+        } else {
+            // Every probe lost: there is no RTT sample and the loss estimate
+            // carries no signal either.
+            out_.phat = std::numeric_limits<double>::quiet_NaN();
+            out_.phat_events = std::numeric_limits<double>::quiet_NaN();
+            out_.that_s = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (r->injected_timeouts > 0) out_.fault_flags |= fault_ping_degraded;
+        if (r->truncated) out_.fault_flags |= fault_ping_partial;
         start_transfer_phase();
     });
 }
@@ -181,11 +217,23 @@ void epoch_world::start_transfer_phase() {
                                static_cast<double>(pareto_.size()));
         }
     }
+    const sim::epoch_fault_plan& faults = cfg_.faults;
+    if (faults.outage) {
+        // Transient blackout inside the transfer window, deterministic in
+        // absolute sim time (no RNG draws at enqueue time; see link.hpp).
+        const double t0 = sched_.now();
+        const double from = t0 + faults.outage_start_fraction * cfg_.transfer.value();
+        const double until = from + faults.outage_duration_fraction *
+                                        cfg_.transfer.value();
+        path_.bottleneck().set_outage(from, until);
+        out_.fault_flags |= fault_path_outage;
+    }
     during_ping_->start();
-    target_transfer_->start([this](const probe::transfer_result& r) {
-        out_.r_large_bps = r.goodput().value();
-        for (const auto& pg : r.prefix_goodput_bps) out_.prefix_goodputs.push_back(pg);
-        const auto& st = r.tcp_stats;
+    target_transfer_->start([this](const probe::probe_result<probe::transfer_result>& r) {
+        if (r->aborted) out_.fault_flags |= fault_transfer_aborted;
+        out_.r_large_bps = r->goodput().value();
+        for (const auto& pg : r->prefix_goodput_bps) out_.prefix_goodputs.push_back(pg);
+        const auto& st = r->tcp_stats;
         if (st.segments_sent > 0) {
             out_.tcp_loss_rate = static_cast<double>(st.retransmits) /
                                  static_cast<double>(st.segments_sent);
@@ -206,9 +254,14 @@ void epoch_world::collect_during_view_and_continue() {
     // reading the during-flow loss/RTT view.
     const double grace = cfg_.prior_ping.reply_timeout.value() + 0.1;
     sched_.schedule_in(grace, [this] {
-        const probe::ping_result& r = during_ping_->result();
-        out_.ptilde = r.loss_rate().value();
-        out_.ttilde_s = r.mean_rtt().value();
+        const probe::probe_result<probe::ping_result>& r = during_ping_->result();
+        if (r->received > 0) {
+            out_.ptilde = r->loss_rate().value();
+            out_.ttilde_s = r->mean_rtt().value();
+        } else {
+            out_.ptilde = std::numeric_limits<double>::quiet_NaN();
+            out_.ttilde_s = std::numeric_limits<double>::quiet_NaN();
+        }
         if (cfg_.run_small_window) {
             start_small_transfer();
         } else {
@@ -218,8 +271,8 @@ void epoch_world::collect_during_view_and_continue() {
 }
 
 void epoch_world::start_small_transfer() {
-    small_transfer_->start([this](const probe::transfer_result& r) {
-        out_.r_small_bps = r.goodput().value();
+    small_transfer_->start([this](const probe::probe_result<probe::transfer_result>& r) {
+        out_.r_small_bps = r->goodput().value();
         finished_ = true;
     });
 }

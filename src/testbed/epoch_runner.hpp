@@ -14,11 +14,36 @@
 
 #include "core/units.hpp"
 #include "probe/ping_prober.hpp"
+#include "sim/fault_injector.hpp"
 #include "tcp/tcp.hpp"
 #include "testbed/load_process.hpp"
 #include "testbed/path_catalog.hpp"
 
 namespace tcppred::testbed {
+
+/// Per-epoch measurement-failure flags (bitmask in epoch_measurement).
+/// Recorded, never thrown: a failed measurement is data, not an error, and
+/// a faulty epoch must not abort a campaign.
+enum epoch_fault_flag : std::uint32_t {
+    fault_none = 0,
+    fault_pathload_failed = 1u << 0,   ///< avail-bw estimate missing (NaN)
+    fault_ping_degraded = 1u << 1,     ///< a-priori ping saw injected timeouts
+    fault_ping_partial = 1u << 2,      ///< a-priori ping session truncated
+    fault_transfer_aborted = 1u << 3,  ///< target transfer ended early
+    fault_path_outage = 1u << 4,       ///< transient blackout during transfer
+};
+
+/// True when the a-priori (pre-transfer) measurements of the epoch were
+/// touched by a fault, i.e. the FB predictor's inputs are suspect.
+[[nodiscard]] constexpr bool apriori_faulty(std::uint32_t flags) noexcept {
+    return (flags & (fault_pathload_failed | fault_ping_degraded | fault_ping_partial)) !=
+           0;
+}
+
+/// True when the measured throughput itself is unreliable.
+[[nodiscard]] constexpr bool actual_faulty(std::uint32_t flags) noexcept {
+    return (flags & (fault_transfer_aborted | fault_path_outage)) != 0;
+}
 
 /// Epoch phase parameters. Durations carry their unit in the type
 /// (core/units.hpp); window sizes stay raw byte counts because they feed
@@ -48,9 +73,15 @@ struct epoch_config {
         return c;
     }();
     core::seconds hard_cap{240.0};  ///< watchdog on simulated time
+    /// Resolved measurement faults for this specific epoch (default: none).
+    /// Planned by the campaign from its fault_profile; see DESIGN.md §10.
+    sim::epoch_fault_plan faults{};
 };
 
-/// Everything one epoch measures.
+/// Everything one epoch measures. Under fault injection a field may be NaN:
+/// the measurement failed and the value is missing (`fault_flags` says why);
+/// with faults off every field is a real number, exactly as before the
+/// fault layer existed.
 struct epoch_measurement {
     // A-priori measurements feeding the FB predictor (Eq. 3).
     double avail_bw_bps{0.0};  ///< Â
@@ -71,6 +102,7 @@ struct epoch_measurement {
     // Diagnostics.
     double sim_time_s{0.0};
     std::uint64_t events{0};
+    std::uint32_t fault_flags{fault_none};  ///< epoch_fault_flag bitmask
 };
 
 /// Run a single epoch, fully deterministically from (profile, load, seed).

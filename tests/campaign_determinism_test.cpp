@@ -9,14 +9,19 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/units.hpp"
+#include "sim/fault_injector.hpp"
 #include "testbed/dataset.hpp"
 
 using namespace tcppred::testbed;
@@ -45,6 +50,14 @@ std::string csv_bytes(const dataset& data) {
     return buf.str();
 }
 
+/// Bit pattern of a double: operator== is the wrong equality here because a
+/// faulty epoch's NaN (missing measurement) must compare equal to itself.
+std::uint64_t bits(double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+}
+
 void expect_identical(const dataset& a, const dataset& b, const char* label) {
     ASSERT_EQ(a.records.size(), b.records.size()) << label;
     ASSERT_EQ(a.paths.size(), b.paths.size()) << label;
@@ -56,14 +69,19 @@ void expect_identical(const dataset& a, const dataset& b, const char* label) {
         EXPECT_EQ(ra.epoch_index, rb.epoch_index) << label << " record " << i;
         // Bitwise equality: identical seeds must give identical simulations,
         // independent of which thread ran the epoch.
-        EXPECT_EQ(ra.m.r_large_bps, rb.m.r_large_bps) << label << " record " << i;
-        EXPECT_EQ(ra.m.r_small_bps, rb.m.r_small_bps) << label << " record " << i;
-        EXPECT_EQ(ra.m.avail_bw_bps, rb.m.avail_bw_bps) << label << " record " << i;
-        EXPECT_EQ(ra.m.phat, rb.m.phat) << label << " record " << i;
-        EXPECT_EQ(ra.m.that_s, rb.m.that_s) << label << " record " << i;
-        EXPECT_EQ(ra.m.ptilde, rb.m.ptilde) << label << " record " << i;
-        EXPECT_EQ(ra.m.ttilde_s, rb.m.ttilde_s) << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.r_large_bps), bits(rb.m.r_large_bps))
+            << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.r_small_bps), bits(rb.m.r_small_bps))
+            << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.avail_bw_bps), bits(rb.m.avail_bw_bps))
+            << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.phat), bits(rb.m.phat)) << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.that_s), bits(rb.m.that_s)) << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.ptilde), bits(rb.m.ptilde)) << label << " record " << i;
+        EXPECT_EQ(bits(ra.m.ttilde_s), bits(rb.m.ttilde_s))
+            << label << " record " << i;
         EXPECT_EQ(ra.m.events, rb.m.events) << label << " record " << i;
+        EXPECT_EQ(ra.m.fault_flags, rb.m.fault_flags) << label << " record " << i;
     }
 }
 
@@ -139,4 +157,170 @@ TEST(campaign_determinism, repro_jobs_env_matches_explicit_jobs) {
 
     expect_identical(serial, from_env, "REPRO_JOBS=4 vs jobs=1");
     EXPECT_EQ(csv_bytes(serial), csv_bytes(from_env));
+}
+
+namespace {
+
+/// Unique per-test checkpoint path, removed by the guard's destructor.
+struct scoped_checkpoint {
+    std::filesystem::path file;
+    explicit scoped_checkpoint(const char* tag)
+        : file(std::filesystem::temp_directory_path() /
+               ("tcppred_ckpt_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+                ".ckpt")) {
+        std::filesystem::remove(file);
+    }
+    ~scoped_checkpoint() { std::filesystem::remove(file); }
+};
+
+}  // namespace
+
+TEST(campaign_resume, interrupted_then_resumed_is_byte_identical) {
+    campaign_config cfg = tiny_config();
+    cfg.jobs = 2;
+    const dataset uninterrupted = run_campaign(cfg);
+
+    const scoped_checkpoint ckpt("resume");
+    campaign_run_options opts;
+    opts.checkpoint = ckpt.file;
+    opts.checkpoint_every = 2;
+
+    // Phase 1: cancel after a handful of completions (the cancellation flag
+    // flips mid-run, exactly like the SIGINT path in tcppred_campaign).
+    std::atomic<int> seen{0};
+    opts.cancelled = [&] { return seen.load() >= 5; };
+    const campaign_outcome first =
+        run_campaign_resumable(cfg, opts, [&](int, int) { ++seen; });
+    ASSERT_FALSE(first.complete);
+    ASSERT_GT(first.epochs_completed, 0);
+    ASSERT_LT(first.epochs_completed,
+              cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace);
+    ASSERT_TRUE(std::filesystem::exists(ckpt.file)) << "interrupt must checkpoint";
+
+    // Phase 2: resume at a different job count; must complete and match the
+    // uninterrupted run bit for bit.
+    opts.cancelled = nullptr;
+    opts.resume = true;
+    cfg.jobs = 3;
+    const campaign_outcome second = run_campaign_resumable(cfg, opts);
+    ASSERT_TRUE(second.complete);
+    EXPECT_EQ(second.epochs_resumed, first.epochs_completed);
+    expect_identical(uninterrupted, second.data, "resumed vs uninterrupted");
+    EXPECT_EQ(csv_bytes(uninterrupted), csv_bytes(second.data));
+    EXPECT_FALSE(std::filesystem::exists(ckpt.file))
+        << "completed run must remove its checkpoint";
+}
+
+TEST(campaign_resume, checkpoint_from_other_config_is_refused) {
+    campaign_config cfg = tiny_config();
+    cfg.jobs = 1;
+    const scoped_checkpoint ckpt("refuse");
+    campaign_run_options opts;
+    opts.checkpoint = ckpt.file;
+    opts.checkpoint_every = 1;
+    std::atomic<int> seen{0};
+    opts.cancelled = [&] { return seen.load() >= 2; };
+    const campaign_outcome first =
+        run_campaign_resumable(cfg, opts, [&](int, int) { ++seen; });
+    ASSERT_FALSE(first.complete);
+
+    opts.cancelled = nullptr;
+    opts.resume = true;
+    cfg.seed += 1;  // different campaign: the checkpoint must not be trusted
+    EXPECT_THROW(static_cast<void>(run_campaign_resumable(cfg, opts)), dataset_error);
+}
+
+TEST(campaign_resume, worker_exception_checkpoints_completed_epochs) {
+    campaign_config cfg = tiny_config();
+    cfg.paths = 2;
+    cfg.jobs = 2;
+    const dataset uninterrupted = run_campaign(cfg);
+
+    const scoped_checkpoint ckpt("throw");
+    campaign_run_options opts;
+    opts.checkpoint = ckpt.file;
+    opts.checkpoint_every = 1000;  // only the exception path may flush
+    const std::size_t poison =
+        static_cast<std::size_t>(cfg.paths * cfg.traces_per_path *
+                                 cfg.epochs_per_trace) /
+        2;
+    opts.epoch_hook = [&](std::size_t idx) {
+        if (idx == poison) throw std::runtime_error("injected epoch failure");
+    };
+    // The first worker error propagates exactly once...
+    EXPECT_THROW(static_cast<void>(run_campaign_resumable(cfg, opts)),
+                 std::runtime_error);
+    // ...and everything that completed before the abort was persisted.
+    ASSERT_TRUE(std::filesystem::exists(ckpt.file));
+    opts.epoch_hook = nullptr;
+    opts.resume = true;
+    const campaign_outcome resumed = run_campaign_resumable(cfg, opts);
+    ASSERT_TRUE(resumed.complete);
+    EXPECT_GT(resumed.epochs_resumed, 0);
+    expect_identical(uninterrupted, resumed.data, "resume after worker exception");
+    EXPECT_EQ(csv_bytes(uninterrupted), csv_bytes(resumed.data));
+}
+
+TEST(campaign_faults, fixed_fault_seed_replays_byte_identically) {
+    campaign_config cfg = tiny_config();
+    cfg.paths = 2;
+    cfg.jobs = 2;
+    cfg.faults = tcppred::sim::fault_profile::parse(
+        "pathload=0.3,ping-timeout=0.05,ping-truncate=0.2,abort=0.3,outage=0.2");
+
+    const dataset a = run_campaign(cfg);
+    cfg.jobs = 1;
+    const dataset b = run_campaign(cfg);
+    expect_identical(a, b, "faulty jobs=2 vs jobs=1");
+    EXPECT_EQ(csv_bytes(a), csv_bytes(b));
+
+    // Faults actually fired (rates this high over 12 epochs make a miss
+    // astronomically unlikely), and none of them aborted the campaign.
+    std::size_t flagged = 0;
+    for (const auto& r : a.records) flagged += r.m.fault_flags != fault_none;
+    EXPECT_GT(flagged, 0u);
+    EXPECT_EQ(a.records.size(),
+              static_cast<std::size_t>(cfg.paths * cfg.traces_per_path *
+                                       cfg.epochs_per_trace));
+}
+
+TEST(campaign_faults, disabled_profile_matches_legacy_run_exactly) {
+    campaign_config cfg = tiny_config();
+    cfg.paths = 2;
+    cfg.traces_per_path = 1;
+    cfg.jobs = 2;
+
+    const dataset legacy = run_campaign(cfg);  // cfg.faults default: disabled
+    cfg.faults = tcppred::sim::fault_profile::parse("pathload=0,abort=0");
+    ASSERT_FALSE(cfg.faults.enabled());
+    const dataset zeroed = run_campaign(cfg);
+    expect_identical(legacy, zeroed, "explicit zero rates vs default");
+    const std::string bytes = csv_bytes(legacy);
+    EXPECT_EQ(bytes, csv_bytes(zeroed));
+    // No fault ever fired, so the CSV must not even contain the column.
+    EXPECT_EQ(bytes.find("fault_flags"), std::string::npos);
+}
+
+TEST(campaign_faults, faulty_dataset_roundtrips_through_csv) {
+    campaign_config cfg = tiny_config();
+    cfg.paths = 2;
+    cfg.traces_per_path = 1;
+    cfg.jobs = 2;
+    cfg.faults = tcppred::sim::fault_profile::parse("pathload=0.5,abort=0.4");
+    const dataset data = run_campaign(cfg);
+
+    const auto file = std::filesystem::temp_directory_path() /
+                      ("tcppred_fault_rt_" + std::to_string(::getpid()) + ".csv");
+    save_csv(data, file);
+    const dataset back = load_csv(file);
+    std::filesystem::remove(file);
+
+    ASSERT_EQ(back.records.size(), data.records.size());
+    std::size_t flagged = 0;
+    for (std::size_t i = 0; i < data.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].m.fault_flags, data.records[i].m.fault_flags)
+            << "record " << i;
+        flagged += data.records[i].m.fault_flags != fault_none;
+    }
+    EXPECT_GT(flagged, 0u);
 }

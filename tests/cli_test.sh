@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# CLI contract test for the shipped tools, run as a ctest:
+#   cli_test.sh <tcppred_campaign> <tcppred_analyze>
+#
+# Verifies the exit-code convention (0 ok / 1 bad args / 2 runtime failure /
+# 130 interrupted), that diagnostics land on stderr, and the fault +
+# interrupt + --resume byte-identity guarantee end to end.
+set -u
+
+CAMPAIGN=${1:?usage: cli_test.sh CAMPAIGN_BIN ANALYZE_BIN}
+ANALYZE=${2:?usage: cli_test.sh CAMPAIGN_BIN ANALYZE_BIN}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+check_exit() {  # description expected actual
+    if [ "$3" -ne "$2" ]; then
+        echo "FAIL: $1 (expected exit $2, got $3)"
+        FAILURES=$((FAILURES + 1))
+    else
+        echo "ok: $1"
+    fi
+}
+
+TINY="--paths 2 --traces 1 --epochs 3 --transfer-s 1.5"
+
+# --- bad arguments -> 1, usage on stderr, nothing on stdout
+"$CAMPAIGN" >"$WORK/out" 2>"$WORK/err"; check_exit "campaign without --out" 1 $?
+[ -s "$WORK/out" ] && { echo "FAIL: campaign usage leaked to stdout"; FAILURES=$((FAILURES+1)); }
+grep -q "usage:" "$WORK/err" || { echo "FAIL: campaign usage not on stderr"; FAILURES=$((FAILURES+1)); }
+
+"$CAMPAIGN" --no-such-flag >/dev/null 2>&1; check_exit "campaign unknown flag" 1 $?
+"$CAMPAIGN" --out "$WORK/x.csv" --faults "bogus=1" >/dev/null 2>&1
+check_exit "campaign bad --faults spec" 1 $?
+"$ANALYZE" >/dev/null 2>&1; check_exit "analyze without dataset" 1 $?
+"$ANALYZE" --help >/dev/null 2>&1; check_exit "analyze --help" 0 $?
+
+# --- runtime failure -> 2
+"$ANALYZE" "$WORK/does-not-exist.csv" >/dev/null 2>"$WORK/err"
+check_exit "analyze missing dataset" 2 $?
+grep -q "error:" "$WORK/err" || { echo "FAIL: analyze error not on stderr"; FAILURES=$((FAILURES+1)); }
+
+printf 'not,a,campaign\ncsv,at,all\n' > "$WORK/garbage.csv"
+"$ANALYZE" "$WORK/garbage.csv" >/dev/null 2>&1
+check_exit "analyze malformed dataset" 2 $?
+
+# --- success -> 0, CSV written, analyze reads it back
+"$CAMPAIGN" $TINY --out "$WORK/clean.csv" --jobs 2 >/dev/null 2>&1
+check_exit "campaign tiny clean run" 0 $?
+[ -s "$WORK/clean.csv" ] || { echo "FAIL: no CSV written"; FAILURES=$((FAILURES+1)); }
+"$ANALYZE" "$WORK/clean.csv" >"$WORK/analyze.out" 2>/dev/null
+check_exit "analyze clean dataset" 0 $?
+grep -q "formula-based" "$WORK/analyze.out" || { echo "FAIL: analyze summary missing"; FAILURES=$((FAILURES+1)); }
+
+# --- faulty campaign: deterministic for a fixed seed, analyze conditions on it
+FAULTS="pathload=0.3,abort=0.4,seed=7"
+"$CAMPAIGN" $TINY --epochs 4 --out "$WORK/faulty1.csv" --faults "$FAULTS" --jobs 2 >/dev/null 2>&1
+check_exit "faulty campaign run 1" 0 $?
+"$CAMPAIGN" $TINY --epochs 4 --out "$WORK/faulty2.csv" --faults "$FAULTS" --jobs 1 >/dev/null 2>&1
+check_exit "faulty campaign run 2" 0 $?
+cmp -s "$WORK/faulty1.csv" "$WORK/faulty2.csv"
+check_exit "faulty runs byte-identical across job counts" 0 $?
+grep -q "fault_flags" "$WORK/faulty1.csv" || { echo "FAIL: faulty CSV lacks fault_flags"; FAILURES=$((FAILURES+1)); }
+grep -q "fault_flags" "$WORK/clean.csv" && { echo "FAIL: clean CSV has fault_flags column"; FAILURES=$((FAILURES+1)); }
+"$ANALYZE" "$WORK/faulty1.csv" >"$WORK/faulty.out" 2>/dev/null
+check_exit "analyze faulty dataset" 0 $?
+grep -q "measurement status" "$WORK/faulty.out" || { echo "FAIL: analyze lacks fault-conditioned RMSRE"; FAILURES=$((FAILURES+1)); }
+
+# --- interrupt + resume: SIGINT mid-run exits 130, --resume completes, and
+# the result is byte-identical to an uninterrupted run.
+"$CAMPAIGN" $TINY --epochs 30 --out "$WORK/full.csv" --faults "$FAULTS" --jobs 2 >/dev/null 2>&1
+check_exit "uninterrupted reference run" 0 $?
+
+"$CAMPAIGN" $TINY --epochs 30 --out "$WORK/resumed.csv" --faults "$FAULTS" \
+    --checkpoint-every 1 --jobs 1 >/dev/null 2>&1 &
+PID=$!
+# Wait for the first checkpoint flush, then interrupt.
+for _ in $(seq 1 200); do
+    [ -f "$WORK/resumed.csv.ckpt" ] && break
+    sleep 0.1
+done
+kill -INT "$PID" 2>/dev/null
+wait "$PID"
+RC=$?
+if [ "$RC" -eq 130 ]; then
+    echo "ok: interrupted campaign exits 130"
+    [ -f "$WORK/resumed.csv.ckpt" ] || { echo "FAIL: no checkpoint after SIGINT"; FAILURES=$((FAILURES+1)); }
+elif [ "$RC" -eq 0 ]; then
+    # The tiny run can legitimately finish before the signal lands; the
+    # resume path is still exercised below (resume of a complete run).
+    echo "ok: campaign finished before SIGINT landed (timing)"
+else
+    echo "FAIL: interrupted campaign exited $RC (want 130 or 0)"
+    FAILURES=$((FAILURES + 1))
+fi
+
+"$CAMPAIGN" $TINY --epochs 30 --out "$WORK/resumed.csv" --faults "$FAULTS" \
+    --resume --jobs 2 >/dev/null 2>&1
+check_exit "resumed campaign completes" 0 $?
+cmp -s "$WORK/full.csv" "$WORK/resumed.csv"
+check_exit "resumed CSV byte-identical to uninterrupted" 0 $?
+[ -f "$WORK/resumed.csv.ckpt" ] && { echo "FAIL: checkpoint not removed on completion"; FAILURES=$((FAILURES+1)); }
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES CLI contract check(s) failed"
+    exit 1
+fi
+echo "all CLI contract checks passed"

@@ -1,0 +1,165 @@
+// Loader robustness: malformed campaign CSVs must fail with a dataset_error
+// that pinpoints file, line and column — and NaN measurement fields (the
+// fault layer's "missing" marker) must load cleanly, not throw.
+#include "testbed/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace tcppred::testbed;
+
+namespace {
+
+constexpr const char* k_catalogue =
+    "#path,0,test-path,us,10000000,0.05,64,0.3,2\n";
+constexpr const char* k_header =
+    "path,trace,epoch,availbw_bps,phat,phat_events,that_s,ptilde,ttilde_s,"
+    "r_large_bps,r_small_bps,tcp_loss,tcp_event_rate,tcp_rtt_s,"
+    "prefix0_s,prefix0_bps,prefix1_s,prefix1_bps,prefix2_s,prefix2_bps\n";
+constexpr const char* k_good_row =
+    "0,0,0,5e6,0.01,0.008,0.05,0.012,0.06,4e6,2e6,0.01,0.008,0.055,0,0,0,0,0,0\n";
+
+class dataset_robustness : public ::testing::Test {
+protected:
+    std::filesystem::path file_;
+
+    void SetUp() override {
+        file_ = std::filesystem::temp_directory_path() /
+                ("tcppred_robust_" + std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+                 ".csv");
+    }
+    void TearDown() override { std::filesystem::remove(file_); }
+
+    void write(const std::string& content) const {
+        std::ofstream out(file_);
+        out << content;
+    }
+};
+
+}  // namespace
+
+TEST_F(dataset_robustness, well_formed_file_loads) {
+    write(std::string(k_catalogue) + k_header + k_good_row);
+    const dataset d = load_csv(file_);
+    ASSERT_EQ(d.records.size(), 1u);
+    ASSERT_EQ(d.paths.size(), 1u);
+    EXPECT_DOUBLE_EQ(d.records[0].m.avail_bw_bps, 5e6);
+    EXPECT_EQ(d.records[0].m.fault_flags, fault_none);
+}
+
+TEST_F(dataset_robustness, missing_file_reports_path) {
+    try {
+        static_cast<void>(load_csv("/nonexistent/never.csv"));
+        FAIL() << "expected dataset_error";
+    } catch (const dataset_error& e) {
+        EXPECT_EQ(e.file(), std::filesystem::path("/nonexistent/never.csv"));
+        EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+    }
+}
+
+TEST_F(dataset_robustness, truncated_record_line_pinpoints_line) {
+    write(std::string(k_catalogue) + k_header + k_good_row + "0,0,1,5e6,0.01\n");
+    try {
+        static_cast<void>(load_csv(file_));
+        FAIL() << "expected dataset_error";
+    } catch (const dataset_error& e) {
+        EXPECT_EQ(e.line(), 4u);  // catalogue, header, good row, bad row
+        EXPECT_NE(std::string(e.what()).find("14 fields"), std::string::npos);
+    }
+}
+
+TEST_F(dataset_robustness, garbage_numeric_field_pinpoints_column) {
+    write(std::string(k_catalogue) + k_header +
+          "0,0,0,banana,0.01,0.008,0.05,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0\n");
+    try {
+        static_cast<void>(load_csv(file_));
+        FAIL() << "expected dataset_error";
+    } catch (const dataset_error& e) {
+        EXPECT_EQ(e.line(), 3u);
+        EXPECT_EQ(e.column(), 4u);  // availbw_bps is the 4th field
+        EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+    }
+}
+
+TEST_F(dataset_robustness, trailing_junk_in_number_is_rejected) {
+    write(std::string(k_catalogue) + k_header +
+          "0,0,0,5e6,0.01,0.008,0.05x,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0\n");
+    EXPECT_THROW(static_cast<void>(load_csv(file_)), dataset_error);
+}
+
+TEST_F(dataset_robustness, out_of_range_probability_is_rejected_with_column) {
+    write(std::string(k_catalogue) + k_header +
+          "0,0,0,5e6,1.5,0.008,0.05,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0\n");
+    try {
+        static_cast<void>(load_csv(file_));
+        FAIL() << "expected dataset_error";
+    } catch (const dataset_error& e) {
+        EXPECT_EQ(e.column(), 5u);  // phat
+        EXPECT_NE(std::string(e.what()).find("[0,1]"), std::string::npos);
+    }
+}
+
+TEST_F(dataset_robustness, nan_measurement_fields_load_as_missing) {
+    // NaN in probability/RTT/avail-bw columns is the fault layer's "missing
+    // measurement" marker and must pass validation.
+    write(std::string(k_catalogue) + k_header +
+          "0,0,0,nan,nan,nan,nan,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0\n");
+    const dataset d = load_csv(file_);
+    ASSERT_EQ(d.records.size(), 1u);
+    EXPECT_TRUE(std::isnan(d.records[0].m.avail_bw_bps));
+    EXPECT_TRUE(std::isnan(d.records[0].m.phat));
+    EXPECT_TRUE(std::isnan(d.records[0].m.that_s));
+    EXPECT_DOUBLE_EQ(d.records[0].m.ptilde, 0.012);
+}
+
+TEST_F(dataset_robustness, malformed_catalogue_line_pinpoints_line) {
+    write("#path,0,short\n" + std::string(k_header) + k_good_row);
+    try {
+        static_cast<void>(load_csv(file_));
+        FAIL() << "expected dataset_error";
+    } catch (const dataset_error& e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_NE(std::string(e.what()).find("catalogue"), std::string::npos);
+    }
+}
+
+TEST_F(dataset_robustness, nonpositive_catalogue_capacity_is_rejected) {
+    write("#path,0,test-path,us,0,0.05,64,0.3,2\n" + std::string(k_header) +
+          k_good_row);
+    EXPECT_THROW(static_cast<void>(load_csv(file_)), dataset_error);
+}
+
+TEST_F(dataset_robustness, fault_flags_column_is_detected_from_header) {
+    const std::string header_with_faults =
+        std::string(k_header).substr(0, std::string(k_header).size() - 1) +
+        ",fault_flags\n";
+    write(std::string(k_catalogue) + header_with_faults +
+          "0,0,0,5e6,0.01,0.008,0.05,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0,9\n");
+    const dataset d = load_csv(file_);
+    ASSERT_EQ(d.records.size(), 1u);
+    EXPECT_EQ(d.records[0].m.fault_flags, 9u);
+    EXPECT_TRUE(apriori_faulty(d.records[0].m.fault_flags));
+    EXPECT_TRUE(actual_faulty(d.records[0].m.fault_flags));
+}
+
+TEST_F(dataset_robustness, negative_fault_flags_are_rejected) {
+    const std::string header_with_faults =
+        std::string(k_header).substr(0, std::string(k_header).size() - 1) +
+        ",fault_flags\n";
+    write(std::string(k_catalogue) + header_with_faults +
+          "0,0,0,5e6,0.01,0.008,0.05,0.012,0.06,4e6,2e6,0.01,0.008,0.055,"
+          "0,0,0,0,0,0,-3\n");
+    EXPECT_THROW(static_cast<void>(load_csv(file_)), dataset_error);
+}

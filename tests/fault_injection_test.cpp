@@ -1,0 +1,204 @@
+// The measurement-fault layer: deterministic planning, fixed draw order,
+// graceful degradation of individual epochs, and the default-off guarantee
+// (a disabled profile changes nothing, bit for bit).
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "testbed/epoch_runner.hpp"
+#include "testbed/load_process.hpp"
+#include "testbed/path_catalog.hpp"
+
+using namespace tcppred;
+using sim::epoch_fault_plan;
+using sim::fault_profile;
+using sim::plan_epoch_faults;
+
+namespace {
+
+testbed::path_profile test_profile() {
+    // A mid-capacity single-bottleneck path from the standard catalogue.
+    return testbed::ron_like_catalog(3, 42)[1];
+}
+
+testbed::epoch_config fast_epoch() {
+    testbed::epoch_config cfg;
+    cfg.warmup = core::seconds{0.5};
+    cfg.prior_ping.count = 60;
+    cfg.transfer = core::seconds{1.5};
+    return cfg;
+}
+
+testbed::load_state test_load(const testbed::path_profile& p) {
+    return testbed::load_trajectory(p, 7, 1)[0];
+}
+
+}  // namespace
+
+TEST(fault_profile, parse_roundtrip_and_validation) {
+    const fault_profile p = fault_profile::parse(
+        "pathload=0.1,ping-timeout=0.02,ping-truncate=0.05,abort=0.2,outage=0.03,"
+        "seed=99");
+    EXPECT_DOUBLE_EQ(p.pathload_fail, 0.1);
+    EXPECT_DOUBLE_EQ(p.ping_timeout, 0.02);
+    EXPECT_DOUBLE_EQ(p.ping_truncate, 0.05);
+    EXPECT_DOUBLE_EQ(p.transfer_abort, 0.2);
+    EXPECT_DOUBLE_EQ(p.outage, 0.03);
+    EXPECT_EQ(p.seed, 99u);
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(fault_profile::parse(p.spec()).spec(), p.spec());
+
+    EXPECT_FALSE(fault_profile{}.enabled());
+    EXPECT_EQ(fault_profile{}.spec(), "off");
+    EXPECT_THROW(static_cast<void>(fault_profile::parse("bogus=0.1")),
+                 std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(fault_profile::parse("pathload=1.5")),
+                 std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(fault_profile::parse("pathload=-0.1")),
+                 std::invalid_argument);
+}
+
+TEST(fault_profile, from_env_reads_spec_and_field_overrides) {
+    ::setenv("REPRO_FAULTS", "pathload=0.2,abort=0.1", 1);
+    ::setenv("REPRO_FAULT_ABORT", "0.5", 1);
+    ::setenv("REPRO_FAULT_SEED", "123", 1);
+    const fault_profile p = fault_profile::from_env();
+    ::unsetenv("REPRO_FAULTS");
+    ::unsetenv("REPRO_FAULT_ABORT");
+    ::unsetenv("REPRO_FAULT_SEED");
+    EXPECT_DOUBLE_EQ(p.pathload_fail, 0.2);
+    EXPECT_DOUBLE_EQ(p.transfer_abort, 0.5);  // field override beats the spec
+    EXPECT_EQ(p.seed, 123u);
+
+    EXPECT_FALSE(fault_profile::from_env().enabled()) << "clean env means no faults";
+}
+
+TEST(plan_epoch_faults, deterministic_in_coordinates) {
+    fault_profile prof;
+    prof.pathload_fail = 0.5;
+    prof.transfer_abort = 0.5;
+    const epoch_fault_plan a = plan_epoch_faults(prof, 1234, 3, 1, 7);
+    const epoch_fault_plan b = plan_epoch_faults(prof, 1234, 3, 1, 7);
+    EXPECT_EQ(a.pathload_fail, b.pathload_fail);
+    EXPECT_EQ(a.transfer_abort_fraction, b.transfer_abort_fraction);
+    EXPECT_EQ(a.ping_fault_seed, b.ping_fault_seed);
+
+    // Different coordinates draw from independent streams.
+    const epoch_fault_plan c = plan_epoch_faults(prof, 1234, 3, 1, 8);
+    // (Not a strict inequality on any single field — but the ping stream
+    // seed, derived per coordinate, must differ.)
+    EXPECT_NE(a.ping_fault_seed, c.ping_fault_seed);
+}
+
+TEST(plan_epoch_faults, fixed_draw_order_isolates_fault_types) {
+    // Enabling the abort fault must not re-randomize the pathload decision:
+    // each decision consumes its slots in a fixed order regardless of which
+    // rates are zero.
+    fault_profile only_pathload;
+    only_pathload.pathload_fail = 0.5;
+    fault_profile both = only_pathload;
+    both.transfer_abort = 0.9;
+
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        const epoch_fault_plan a = plan_epoch_faults(only_pathload, 99, 1, 0, epoch);
+        const epoch_fault_plan b = plan_epoch_faults(both, 99, 1, 0, epoch);
+        EXPECT_EQ(a.pathload_fail, b.pathload_fail) << "epoch " << epoch;
+    }
+}
+
+TEST(plan_epoch_faults, zero_profile_yields_empty_plan) {
+    const epoch_fault_plan plan = plan_epoch_faults(fault_profile{}, 1, 0, 0, 0);
+    EXPECT_FALSE(plan.any());
+    EXPECT_FALSE(testbed::epoch_config{}.faults.any()) << "default epoch has no faults";
+}
+
+TEST(epoch_faults, default_plan_changes_nothing) {
+    const auto profile = test_profile();
+    const auto load = test_load(profile);
+    const testbed::epoch_config cfg = fast_epoch();
+
+    const testbed::epoch_measurement a = testbed::run_epoch(profile, load, 5, cfg);
+    testbed::epoch_config with_empty_plan = cfg;
+    with_empty_plan.faults = epoch_fault_plan{};
+    const testbed::epoch_measurement b =
+        testbed::run_epoch(profile, load, 5, with_empty_plan);
+
+    EXPECT_EQ(a.r_large_bps, b.r_large_bps);
+    EXPECT_EQ(a.avail_bw_bps, b.avail_bw_bps);
+    EXPECT_EQ(a.phat, b.phat);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.fault_flags, testbed::fault_none);
+    EXPECT_EQ(b.fault_flags, testbed::fault_none);
+}
+
+TEST(epoch_faults, pathload_nonconvergence_yields_nan_and_flag) {
+    const auto profile = test_profile();
+    const auto load = test_load(profile);
+    testbed::epoch_config cfg = fast_epoch();
+    cfg.faults.pathload_fail = true;
+
+    const testbed::epoch_measurement m = testbed::run_epoch(profile, load, 5, cfg);
+    EXPECT_TRUE(std::isnan(m.avail_bw_bps));
+    EXPECT_TRUE(m.fault_flags & testbed::fault_pathload_failed);
+    EXPECT_TRUE(testbed::apriori_faulty(m.fault_flags));
+    // The rest of the epoch still happened.
+    EXPECT_GT(m.r_large_bps, 0.0);
+    EXPECT_GT(m.that_s, 0.0);
+}
+
+TEST(epoch_faults, transfer_abort_truncates_and_flags) {
+    const auto profile = test_profile();
+    const auto load = test_load(profile);
+    const testbed::epoch_config clean_cfg = fast_epoch();
+    const testbed::epoch_measurement clean =
+        testbed::run_epoch(profile, load, 5, clean_cfg);
+
+    testbed::epoch_config cfg = fast_epoch();
+    cfg.faults.transfer_abort_fraction = 0.4;
+    const testbed::epoch_measurement m = testbed::run_epoch(profile, load, 5, cfg);
+    EXPECT_TRUE(m.fault_flags & testbed::fault_transfer_aborted);
+    EXPECT_TRUE(testbed::actual_faulty(m.fault_flags));
+    // An aborted transfer reports goodput over its (shorter) lifetime; the
+    // a-priori view is untouched.
+    EXPECT_EQ(m.phat, clean.phat);
+    EXPECT_EQ(m.that_s, clean.that_s);
+    EXPECT_GT(m.r_large_bps, 0.0);
+}
+
+TEST(epoch_faults, ping_faults_degrade_the_apriori_view) {
+    const auto profile = test_profile();
+    const auto load = test_load(profile);
+    testbed::epoch_config cfg = fast_epoch();
+    cfg.faults.ping_timeout_rate = 0.5;
+    cfg.faults.ping_fault_seed = 77;
+    cfg.faults.ping_truncate_fraction = 0.5;
+
+    const testbed::epoch_measurement m = testbed::run_epoch(profile, load, 5, cfg);
+    EXPECT_TRUE(m.fault_flags & testbed::fault_ping_degraded);
+    EXPECT_TRUE(m.fault_flags & testbed::fault_ping_partial);
+    EXPECT_TRUE(testbed::apriori_faulty(m.fault_flags));
+    // Injected timeouts inflate the apparent loss rate well above the clean
+    // epoch's (which is near zero on this path at this load).
+    EXPECT_GT(m.phat, 0.2);
+}
+
+TEST(epoch_faults, outage_flags_and_degrades_throughput) {
+    const auto profile = test_profile();
+    const auto load = test_load(profile);
+    const testbed::epoch_measurement clean =
+        testbed::run_epoch(profile, load, 5, fast_epoch());
+
+    testbed::epoch_config cfg = fast_epoch();
+    cfg.faults.outage = true;
+    cfg.faults.outage_start_fraction = 0.2;
+    cfg.faults.outage_duration_fraction = 0.2;
+    const testbed::epoch_measurement m = testbed::run_epoch(profile, load, 5, cfg);
+    EXPECT_TRUE(m.fault_flags & testbed::fault_path_outage);
+    EXPECT_TRUE(testbed::actual_faulty(m.fault_flags));
+    // A 20% blackout inside the transfer costs real throughput.
+    EXPECT_LT(m.r_large_bps, clean.r_large_bps);
+}

@@ -47,6 +47,29 @@ TEST(thread_pool, wait_rethrows_first_task_exception) {
     EXPECT_EQ(completed.load(), 16);
 }
 
+TEST(thread_pool, task_error_propagates_exactly_once) {
+    // The first error is handed to exactly one wait() call; a later wait()
+    // must not rethrow it again (double-reporting a failure upstream would
+    // make callers retry work that already ran).
+    thread_pool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(thread_pool, pool_drains_in_flight_work_on_error) {
+    // Tasks already queued when one throws still run to completion: the
+    // worker fleet drains rather than abandoning work mid-air.
+    thread_pool pool(4);
+    std::atomic<int> completed{0};
+    pool.submit([] { throw std::runtime_error("early failure"); });
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&completed] { completed.fetch_add(1); });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(completed.load(), 64);
+}
+
 TEST(thread_pool, wait_with_no_work_returns_immediately) {
     thread_pool pool(3);
     pool.wait();  // must not deadlock

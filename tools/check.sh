@@ -16,5 +16,6 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 cmake --build "$BUILD_DIR" --target tidy
 REPRO_SCALE=tiny ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+"$SRC_DIR/tools/ci_resume_check.sh" "$BUILD_DIR/tools/tcppred_campaign"
 
 echo "check.sh: all gates passed"

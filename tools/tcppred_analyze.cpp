@@ -3,8 +3,13 @@
 // command-line counterpart of the per-figure benches for ad-hoc datasets.
 //
 //   tcppred_analyze DATASET.csv [--predictors SPEC,SPEC,...]
+//
+// Exit codes: 0 success, 1 bad arguments, 2 runtime failure (unreadable or
+// malformed dataset).
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,69 +21,124 @@
 
 using namespace tcppred;
 
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
+                 "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n",
+                 argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-    if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
-        std::fprintf(stderr,
-                     "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
-                     "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n",
-                     argv[0]);
-        return argc < 2 ? 2 : 0;
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc < 2) {
+        usage(argv[0]);
+        return 1;
     }
 
     std::vector<std::string> specs{"10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO", "NWS"};
-    for (int i = 2; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--predictors") == 0) {
+    for (int i = 2; i < argc; i += 2) {
+        if (std::strcmp(argv[i], "--predictors") == 0 && i + 1 < argc) {
             specs.clear();
             std::stringstream ss(argv[i + 1]);
             std::string item;
             while (std::getline(ss, item, ',')) specs.push_back(item);
+        } else {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", argv[i]);
+            usage(argv[0]);
+            return 1;
         }
     }
 
-    const testbed::dataset data = testbed::load_csv(argv[1]);
-    std::printf("dataset: %zu epochs, %zu paths, %zu traces\n\n", data.records.size(),
-                data.paths.size(), data.traces().size());
+    try {
+        const testbed::dataset data = testbed::load_csv(argv[1]);
+        std::size_t faulty_epochs = 0;
+        for (const auto& r : data.records) {
+            faulty_epochs += r.m.fault_flags != testbed::fault_none;
+        }
+        std::printf("dataset: %zu epochs, %zu paths, %zu traces", data.records.size(),
+                    data.paths.size(), data.traces().size());
+        if (faulty_epochs > 0) {
+            std::printf(" (%zu epochs carry measurement faults, %.1f%%)",
+                        faulty_epochs,
+                        100.0 * static_cast<double>(faulty_epochs) /
+                            static_cast<double>(data.records.size()));
+        }
+        std::printf("\n\n");
 
-    // ---- FB summary
-    const auto evals = analysis::evaluate_fb(data);
-    const auto errors = analysis::errors_of(evals);
-    std::size_t over = 0, over2 = 0, under2 = 0;
-    for (const double e : errors) {
-        over += e > 0;
-        over2 += e >= 1;
-        under2 += e <= -1;
-    }
-    std::printf("formula-based (Eq. 3) over %zu epochs:\n", errors.size());
-    std::printf("  median E %+.2f | overestimates %zu%% | off by >2x: over %zu%%, "
-                "under %zu%%\n\n",
-                analysis::median(errors), over * 100 / errors.size(),
-                over2 * 100 / errors.size(), under2 * 100 / errors.size());
+        // ---- FB summary
+        const auto evals = analysis::evaluate_fb(data);
+        const auto errors = analysis::errors_of(evals);
+        if (errors.empty()) {
+            std::printf("formula-based (Eq. 3): no scorable epochs\n");
+        } else {
+            std::size_t over = 0, over2 = 0, under2 = 0;
+            for (const double e : errors) {
+                over += e > 0;
+                over2 += e >= 1;
+                under2 += e <= -1;
+            }
+            std::printf("formula-based (Eq. 3) over %zu epochs:\n", errors.size());
+            std::printf("  median E %+.2f | overestimates %zu%% | off by >2x: over %zu%%, "
+                        "under %zu%%\n",
+                        analysis::median(errors), over * 100 / errors.size(),
+                        over2 * 100 / errors.size(), under2 * 100 / errors.size());
+            if (faulty_epochs > 0) {
+                // Fault-conditioned accuracy: how much measurement failures
+                // (and the stale-fallback inputs they force) cost.
+                const auto cond = analysis::fb_rmsre_conditioned(evals);
+                std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
+                            cond.rmsre_clean, cond.n_clean);
+                if (cond.n_faulty > 0) {
+                    std::printf(" | faulty %.3f (%zu)", cond.rmsre_faulty,
+                                cond.n_faulty);
+                }
+                if (cond.n_stale > 0) {
+                    std::printf(" | stale-input %.3f (%zu)", cond.rmsre_stale,
+                                cond.n_stale);
+                }
+                std::printf("\n");
+            }
+        }
+        std::printf("\n");
 
-    // ---- HB summary per predictor
-    std::printf("history-based, per-trace RMSRE:\n");
-    std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
-    for (const auto& spec : specs) {
-        const auto pred = analysis::make_predictor(spec);
-        const auto rmsres = analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
-        const analysis::ecdf cdf{std::vector<double>(rmsres)};
-        std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
-                    analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
-                    100.0 * cdf.at(0.4));
-    }
+        // ---- HB summary per predictor
+        std::printf("history-based, per-trace RMSRE:\n");
+        std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
+        for (const auto& spec : specs) {
+            const auto pred = analysis::make_predictor(spec);
+            const auto rmsres =
+                analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
+            const analysis::ecdf cdf{std::vector<double>(rmsres)};
+            std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
+                        analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
+                        100.0 * cdf.at(0.4));
+        }
 
-    // ---- per-path classes (HW-LSO)
-    const auto hw = analysis::make_predictor("0.8-HW-LSO");
-    const auto per_trace = analysis::hb_rmsre_per_trace(data, *hw);
-    std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
-    std::map<int, std::vector<double>> per_path;
-    for (const auto& t : per_trace) per_path[t.path_id].push_back(t.rmsre);
-    for (const auto& [path, rs] : per_path) {
-        const double mean_err = analysis::mean(rs);
-        const char* klass = mean_err < 0.2   ? "predictable"
-                            : mean_err < 0.5 ? "moderate"
-                                             : "unpredictable";
-        std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass, mean_err,
-                    rs.size());
+        // ---- per-path classes (HW-LSO)
+        const auto hw = analysis::make_predictor("0.8-HW-LSO");
+        const auto per_trace = analysis::hb_rmsre_per_trace(data, *hw);
+        std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
+        std::map<int, std::vector<double>> per_path;
+        for (const auto& t : per_trace) per_path[t.path_id].push_back(t.rmsre);
+        for (const auto& [path, rs] : per_path) {
+            const double mean_err = analysis::mean(rs);
+            const char* klass = mean_err < 0.2   ? "predictable"
+                                : mean_err < 0.5 ? "moderate"
+                                                 : "unpredictable";
+            std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass,
+                        mean_err, rs.size());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
     return 0;
 }

@@ -4,13 +4,21 @@
 //
 //   tcppred_campaign --out data/my.csv [--paths N] [--traces N]
 //                    [--epochs N] [--seed S] [--transfer-s T] [--second-set]
-//                    [--jobs N]
+//                    [--jobs N] [--faults SPEC] [--checkpoint-every N]
+//                    [--resume]
+//
+// Exit codes: 0 success, 1 bad arguments, 2 runtime failure,
+// 130 interrupted (SIGINT; progress is checkpointed when enabled).
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
+#include "sim/fault_injector.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tcppred::testbed;
@@ -28,23 +36,45 @@ void usage(const char* argv0) {
                  "  --transfer-s T    target transfer length (default 10)\n"
                  "  --second-set      use the campaign-2 catalogue & plan\n"
                  "  --jobs N          worker threads; 1 = serial\n"
-                 "                    (default $REPRO_JOBS, else all cores)\n",
+                 "                    (default $REPRO_JOBS, else all cores)\n"
+                 "  --faults SPEC     measurement-fault rates, e.g.\n"
+                 "                    pathload=0.1,ping-timeout=0.02,abort=0.05\n"
+                 "                    (keys: pathload, ping-timeout, ping-truncate,\n"
+                 "                    abort, outage, seed; default $REPRO_FAULTS)\n"
+                 "  --checkpoint-every N  flush a resume checkpoint (FILE.ckpt)\n"
+                 "                    every N completed epochs (default 32 once\n"
+                 "                    checkpointing is on; SIGINT also flushes)\n"
+                 "  --resume          resume from FILE.ckpt if present\n",
                  argv0);
 }
+
+// SIGINT: stop claiming epochs; the campaign loop flushes a checkpoint and
+// the tool exits 130. sig_atomic_t keeps the handler async-signal-safe.
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) { g_interrupted = 1; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     campaign_config cfg;
+    campaign_run_options run_opts;
     std::string out;
     int jobs = 0;  // applied after parsing so --second-set cannot reset it
+    bool checkpointing = false;
+    tcppred::sim::fault_profile faults;
+    try {
+        faults = tcppred::sim::fault_profile::from_env();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad fault environment: %s\n", e.what());
+        return 1;
+    }
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-                std::exit(2);
+                std::exit(1);
             }
             return argv[++i];
         };
@@ -64,41 +94,85 @@ int main(int argc, char** argv) {
             cfg = campaign2_config(campaign_scale::normal);
         } else if (arg == "--jobs") {
             jobs = std::atoi(next());
+        } else if (arg == "--faults") {
+            try {
+                faults = tcppred::sim::fault_profile::parse(next());
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+                return 1;
+            }
+        } else if (arg == "--checkpoint-every") {
+            run_opts.checkpoint_every = std::atoi(next());
+            checkpointing = true;
+            if (run_opts.checkpoint_every <= 0) {
+                std::fprintf(stderr, "--checkpoint-every needs a positive count\n");
+                return 1;
+            }
+        } else if (arg == "--resume") {
+            run_opts.resume = true;
+            checkpointing = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             usage(argv[0]);
-            return 2;
+            return 1;
         }
     }
     if (out.empty() || cfg.paths <= 0 || cfg.traces_per_path <= 0 ||
         cfg.epochs_per_trace <= 0) {
         usage(argv[0]);
-        return 2;
+        return 1;
     }
     cfg.jobs = jobs;
+    cfg.faults = faults;
+    if (checkpointing) run_opts.checkpoint = out + ".ckpt";
+    run_opts.cancelled = [] { return g_interrupted != 0; };
+    std::signal(SIGINT, on_sigint);
 
-    std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu)...\n",
-                 cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
-                 static_cast<unsigned long long>(cfg.seed));
-    int last = -1;
-    const auto t0 = std::chrono::steady_clock::now();
-    const dataset data = run_campaign(cfg, [&](int done, int total) {
-        const int pct = done * 100 / total;
-        if (pct / 10 != last / 10) {
-            std::fprintf(stderr, "  %d%%\n", pct);
-            last = pct;
+    try {
+        std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu%s)...\n",
+                     cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
+                     static_cast<unsigned long long>(cfg.seed),
+                     cfg.faults.enabled()
+                         ? (", faults " + cfg.faults.spec()).c_str()
+                         : "");
+        int last = -1;
+        const auto t0 = std::chrono::steady_clock::now();
+        const campaign_outcome outcome =
+            run_campaign_resumable(cfg, run_opts, [&](int done, int total) {
+                const int pct = done * 100 / total;
+                if (pct / 10 != last / 10) {
+                    std::fprintf(stderr, "  %d%%\n", pct);
+                    last = pct;
+                }
+            });
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        if (outcome.epochs_resumed > 0) {
+            std::fprintf(stderr, "resumed %d completed epoch(s) from %s\n",
+                         outcome.epochs_resumed, run_opts.checkpoint.string().c_str());
         }
-    });
-    const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    save_csv(data, out);
-    std::fprintf(stderr, "wrote %zu epoch records to %s\n", data.records.size(),
-                 out.c_str());
-    std::fprintf(stderr, "%zu epochs in %.2f s (%.1f epochs/s)\n", data.records.size(),
-                 wall_s, wall_s > 0 ? static_cast<double>(data.records.size()) / wall_s
-                                    : 0.0);
+        if (!outcome.complete) {
+            std::fprintf(stderr,
+                         "interrupted after %d epoch(s)%s%s; rerun with --resume\n",
+                         outcome.epochs_completed,
+                         checkpointing ? "; progress saved to " : "",
+                         checkpointing ? run_opts.checkpoint.string().c_str() : "");
+            return 130;
+        }
+        save_csv(outcome.data, out);
+        std::fprintf(stderr, "wrote %zu epoch records to %s\n",
+                     outcome.data.records.size(), out.c_str());
+        std::fprintf(stderr, "%zu epochs in %.2f s (%.1f epochs/s)\n",
+                     outcome.data.records.size(), wall_s,
+                     wall_s > 0
+                         ? static_cast<double>(outcome.data.records.size()) / wall_s
+                         : 0.0);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
     return 0;
 }
