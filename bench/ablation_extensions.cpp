@@ -8,11 +8,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
-#include "core/hybrid_predictor.hpp"
 #include "core/metrics.hpp"
+#include "core/predictor_registry.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tcppred;
@@ -27,42 +25,43 @@ int main() {
 
     std::printf("per-trace RMSRE (median / 90th percentile across traces):\n");
     std::printf("  %-14s %8s %8s\n", "predictor", "median", "p90");
-    for (const char* spec :
-         {"10-MA-LSO", "0.8-HW-LSO", "2-AR", "4-AR", "8-AR", "4-AR-LSO", "NWS"}) {
-        const auto pred = analysis::make_predictor(spec);
-        const auto rmsres =
-            analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
-        std::printf("  %-14s %8.3f %8.3f\n", spec, analysis::median(rmsres),
-                    analysis::quantile(rmsres, 0.9));
+    const auto results = run_predictors(
+        data, {"10-MA-LSO", "0.8-HW-LSO", "2-AR", "4-AR", "8-AR", "4-AR-LSO", "NWS"});
+    for (const auto& result : results) {
+        const auto rmsres = result.trace_rmsres();
+        std::printf("  %-14s %8.3f %8.3f\n", result.name.c_str(),
+                    analysis::median(rmsres), analysis::quantile(rmsres, 0.9));
     }
 
     // Hybrid cold start: score only the first `horizon` transfers of each
-    // trace, comparing pure-HB, pure-FB and the hybrid.
+    // trace, comparing pure-HB, pure-FB and the hybrid. Every predictor is
+    // driven through the same unified streaming interface.
     const std::size_t horizon = 5;
-    core::tcp_flow_params flow;
     std::vector<double> hb_err, fb_err, hybrid_err;
     for (const auto& [key, recs] : data.traces()) {
-        core::hybrid_predictor hybrid(analysis::make_predictor("0.8-HW-LSO"), 3.0);
-        auto hb = analysis::make_predictor("0.8-HW-LSO");
+        const auto fb = core::make_predictor("fb:pftk");
+        const auto hb = core::make_predictor("0.8-HW-LSO");
+        const auto hybrid = core::make_predictor("hybrid:0.8-HW-LSO");
         for (std::size_t i = 0; i < recs.size() && i < horizon; ++i) {
             const auto& m = recs[i]->m;
             if (m.that_s <= 0 || m.r_large_bps <= 0) continue;
-            core::path_measurement meas{core::probability{m.phat},
-                                        core::seconds{m.that_s},
-                                        core::bits_per_second{m.avail_bw_bps}};
-            const double fb = core::fb_predict(flow, meas).throughput.value();
-            hybrid.set_formula_prediction(fb);
+            const auto in = core::epoch_inputs::valid(
+                core::path_measurement{core::probability{m.phat},
+                                       core::seconds{m.that_s},
+                                       core::bits_per_second{m.avail_bw_bps}});
 
-            fb_err.push_back(core::relative_error(fb, m.r_large_bps));
-            const double hy = hybrid.predict();
-            if (!std::isnan(hy)) {
-                hybrid_err.push_back(core::relative_error(hy, m.r_large_bps));
+            fb_err.push_back(
+                core::relative_error(fb->predict(in).value_bps, m.r_large_bps));
+            const auto hy = hybrid->predict(in);
+            if (hy.usable()) {
+                hybrid_err.push_back(core::relative_error(hy.value_bps, m.r_large_bps));
             }
-            const double hb_forecast = hb->predict();
-            if (!std::isnan(hb_forecast)) {
-                hb_err.push_back(core::relative_error(hb_forecast, m.r_large_bps));
+            const auto hb_forecast = hb->predict(in);
+            if (hb_forecast.usable()) {
+                hb_err.push_back(
+                    core::relative_error(hb_forecast.value_bps, m.r_large_bps));
             }
-            hybrid.observe(m.r_large_bps);
+            hybrid->observe(m.r_large_bps);
             hb->observe(m.r_large_bps);
         }
     }

@@ -3,12 +3,24 @@
 // and quantify how much of the FB error that correction recovers.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tcppred;
 using namespace tcppred::bench;
+
+namespace {
+
+// The paper's comparison covers PFTK-based (lossy-branch) predictions.
+std::vector<double> lossy_errors(const analysis::predictor_result& fb) {
+    std::vector<double> errors;
+    for (const auto& e : fb.all_epochs()) {
+        if (e.source == core::prediction_source::model_based) errors.push_back(e.error);
+    }
+    return errors;
+}
+
+}  // namespace
 
 int main() {
     banner("Ablation (Goyal et al.): PFTK on loss-event rate p' vs raw loss rate p",
@@ -19,17 +31,13 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    analysis::fb_options raw;
-    analysis::fb_options events;
+    analysis::engine_options events;
     events.use_event_loss = true;
 
-    std::vector<double> raw_err, event_err;
-    for (const auto& e : analysis::evaluate_fb(data, raw)) {
-        if (e.pred.branch == core::fb_branch::model_based) raw_err.push_back(e.error);
-    }
-    for (const auto& e : analysis::evaluate_fb(data, events)) {
-        if (e.pred.branch == core::fb_branch::model_based) event_err.push_back(e.error);
-    }
+    const auto raw_err =
+        lossy_errors(analysis::evaluation_engine{}.run_one(data, "fb:pftk"));
+    const auto event_err =
+        lossy_errors(analysis::evaluation_engine{events}.run_one(data, "fb:pftk"));
 
     const auto grid = error_grid();
     const std::vector<std::pair<std::string, analysis::ecdf>> series{

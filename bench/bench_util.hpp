@@ -14,11 +14,33 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
 
 namespace tcppred::bench {
+
+/// Evaluate several registry specs (core::make_predictor) in one streaming
+/// pass over the dataset — the shared entry point of every figure bench.
+inline std::vector<analysis::predictor_result> run_predictors(
+    const testbed::dataset& data, const std::vector<std::string>& specs,
+    const analysis::engine_options& opts = {}) {
+    return analysis::evaluation_engine(opts).run(data, specs);
+}
+
+/// One (name, per-trace-RMSRE ecdf) series per predictor result, ready for
+/// print_cdf_table — the RMSRE-CDF figures' shared boilerplate.
+inline std::vector<std::pair<std::string, analysis::ecdf>> rmsre_cdf_series(
+    const std::vector<analysis::predictor_result>& results) {
+    std::vector<std::pair<std::string, analysis::ecdf>> series;
+    series.reserve(results.size());
+    for (const auto& r : results) {
+        series.emplace_back(r.name, analysis::ecdf(r.trace_rmsres()));
+    }
+    return series;
+}
 
 /// Print the figure banner and, for the reader, the paper's qualitative
 /// claim this bench is supposed to reproduce.

@@ -3,7 +3,6 @@
 // predictions.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,12 +16,12 @@ int main() {
            "predictions rarely underestimate and overestimate less");
 
     const auto data = testbed::ensure_campaign1();
-    const auto evals = analysis::evaluate_fb(data);
+    const auto fb = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
 
     std::vector<double> all, lossy, lossless;
-    for (const auto& e : evals) {
+    for (const auto& e : fb.all_epochs()) {
         all.push_back(e.error);
-        if (e.pred.branch == core::fb_branch::model_based) {
+        if (e.source == core::prediction_source::model_based) {
             lossy.push_back(e.error);
         } else {
             lossless.push_back(e.error);

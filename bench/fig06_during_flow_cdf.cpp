@@ -3,12 +3,25 @@
 // isolating the TCP-sampling-vs-periodic-probing error source.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tcppred;
 using namespace tcppred::bench;
+
+namespace {
+
+// Restrict to epochs that are lossy in the respective input (the paper's
+// Fig. 6 covers PFTK-based predictions).
+std::vector<double> lossy_errors(const analysis::predictor_result& fb) {
+    std::vector<double> errors;
+    for (const auto& e : fb.all_epochs()) {
+        if (e.source == core::prediction_source::model_based) errors.push_back(e.error);
+    }
+    return errors;
+}
+
+}  // namespace
 
 int main() {
     banner("Fig. 6: FB error with during-flow (T~, p~) vs prior (T^, p^) estimates",
@@ -18,19 +31,13 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    analysis::fb_options prior_opts;
-    analysis::fb_options during_opts;
+    analysis::engine_options during_opts;
     during_opts.use_during_flow = true;
 
-    // Restrict both views to epochs that are lossy in the respective input
-    // (the paper's Fig. 6 covers PFTK-based predictions).
-    std::vector<double> prior_err, during_err;
-    for (const auto& e : analysis::evaluate_fb(data, prior_opts)) {
-        if (e.pred.branch == core::fb_branch::model_based) prior_err.push_back(e.error);
-    }
-    for (const auto& e : analysis::evaluate_fb(data, during_opts)) {
-        if (e.pred.branch == core::fb_branch::model_based) during_err.push_back(e.error);
-    }
+    const auto prior_err =
+        lossy_errors(analysis::evaluation_engine{}.run_one(data, "fb:pftk"));
+    const auto during_err =
+        lossy_errors(analysis::evaluation_engine{during_opts}.run_one(data, "fb:pftk"));
 
     const auto grid = error_grid();
     const std::vector<std::pair<std::string, analysis::ecdf>> series{

@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,8 +16,8 @@ int main() {
            "wider ranges (up to E=10+); a handful mostly underestimate mildly");
 
     const auto data = testbed::ensure_campaign1();
-    const auto evals = analysis::evaluate_fb(data);
-    auto summaries = analysis::fb_error_per_path(evals);
+    const auto fb = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
+    auto summaries = analysis::error_per_path(fb);
     std::sort(summaries.begin(), summaries.end(),
               [](const auto& a, const auto& b) { return a.median < b.median; });
 

@@ -3,7 +3,6 @@
 // low-throughput (congested) transfers.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,7 +16,7 @@ int main() {
            "R >= 0.5 Mbps");
 
     const auto data = testbed::ensure_campaign1();
-    const auto evals = analysis::evaluate_fb(data);
+    const auto fb = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
 
     struct bin {
         double lo, hi;
@@ -27,7 +26,7 @@ int main() {
                           {1e6, 2e6, {}},    {2e6, 4e6, {}},      {4e6, 8e6, {}},
                           {8e6, 1e12, {}}};
     std::vector<double> low_r, high_r;
-    for (const auto& e : evals) {
+    for (const auto& e : fb.all_epochs()) {
         for (auto& b : bins) {
             if (e.actual_bps >= b.lo && e.actual_bps < b.hi) b.errors.push_back(e.error);
         }

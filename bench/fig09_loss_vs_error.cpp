@@ -3,7 +3,6 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -15,7 +14,7 @@ int main() {
            "the prediction error is NOT correlated with the a-priori path loss rate");
 
     const auto data = testbed::ensure_campaign1();
-    const auto evals = analysis::evaluate_fb(data);
+    const auto fb = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
 
     struct bin {
         double lo, hi;
@@ -24,7 +23,7 @@ int main() {
     std::vector<bin> bins{{0, 0.001, {}},  {0.001, 0.002, {}}, {0.002, 0.005, {}},
                           {0.005, 0.01, {}}, {0.01, 0.02, {}},   {0.02, 1.0, {}}};
     std::vector<double> ps, errs;
-    for (const auto& e : evals) {
+    for (const auto& e : fb.all_epochs()) {
         const double p = e.rec->m.phat;
         if (p <= 0) continue;
         for (auto& b : bins) {

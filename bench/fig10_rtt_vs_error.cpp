@@ -2,7 +2,6 @@
 // the paper finds no positive correlation.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -14,7 +13,7 @@ int main() {
            "no positive correlation between the prior RTT and the prediction error");
 
     const auto data = testbed::ensure_campaign1();
-    const auto evals = analysis::evaluate_fb(data);
+    const auto fb = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
 
     struct bin {
         double lo_ms, hi_ms;
@@ -23,7 +22,7 @@ int main() {
     std::vector<bin> bins{{0, 25, {}},  {25, 50, {}},  {50, 75, {}},
                           {75, 110, {}}, {110, 170, {}}, {170, 400, {}}};
     std::vector<double> ts, errs;
-    for (const auto& e : evals) {
+    for (const auto& e : fb.all_epochs()) {
         const double t_ms = e.rec->m.that_s * 1e3;
         for (auto& b : bins) {
             if (t_ms >= b.lo_ms && t_ms < b.hi_ms) b.errors.push_back(e.error);

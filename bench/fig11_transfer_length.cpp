@@ -4,8 +4,8 @@
 // uses the same 1/4, 1/2, full-length plan over compressed transfers).
 #include <cstdio>
 
-#include "core/fb_predictor.hpp"
 #include "core/metrics.hpp"
+#include "core/predictor_registry.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -18,6 +18,7 @@ int main() {
            "(for flows long enough that slow start is negligible)");
 
     const auto data = testbed::ensure_campaign2();
+    const auto fb = core::make_predictor("fb:pftk");
 
     std::vector<std::vector<double>> errors;  // one vector per prefix index
     std::vector<double> prefix_lengths;
@@ -27,8 +28,7 @@ int main() {
         core::path_measurement meas{core::probability{m.phat},
                                     core::seconds{m.that_s},
                                     core::bits_per_second{m.avail_bw_bps}};
-        core::tcp_flow_params flow;
-        const double pred = core::fb_predict(flow, meas).throughput.value();
+        const double pred = fb->predict(core::epoch_inputs::valid(meas)).value_bps;
         for (std::size_t i = 0; i < m.prefix_goodputs.size(); ++i) {
             if (errors.size() <= i) {
                 errors.emplace_back();

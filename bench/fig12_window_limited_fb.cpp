@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <map>
 
-#include "analysis/fb_analysis.hpp"
+#include "core/metrics.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -18,18 +18,17 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    analysis::fb_options large_opts;
-    analysis::fb_options small_opts;
+    analysis::engine_options small_opts;
     small_opts.small_window = true;
-    small_opts.window_bytes = 20 * 1024;
+    small_opts.predictor.window_bytes = 20 * 1024;
 
-    const auto large = analysis::evaluate_fb(data, large_opts);
-    const auto small = analysis::evaluate_fb(data, small_opts);
+    const auto large = analysis::evaluation_engine{}.run_one(data, "fb:pftk");
+    const auto small = analysis::evaluation_engine{small_opts}.run_one(data, "fb:pftk");
 
     // Per-path RMSRE for both variants.
     std::map<int, std::vector<double>> large_err, small_err;
-    for (const auto& e : large) large_err[e.rec->path_id].push_back(e.error);
-    for (const auto& e : small) small_err[e.rec->path_id].push_back(e.error);
+    for (const auto& e : large.all_epochs()) large_err[e.rec->path_id].push_back(e.error);
+    for (const auto& e : small.all_epochs()) small_err[e.rec->path_id].push_back(e.error);
 
     // A path is window-limited when W/T-hat < A-hat on (most of) its epochs.
     std::map<int, int> wl_votes, votes;

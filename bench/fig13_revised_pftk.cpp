@@ -3,7 +3,6 @@
 // ablation series.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,14 +16,11 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    auto errors_with = [&](core::fb_formula f) {
-        analysis::fb_options opts;
-        opts.formula = f;
-        return analysis::errors_of(analysis::evaluate_fb(data, opts));
-    };
-    const auto original = errors_with(core::fb_formula::pftk);
-    const auto revised = errors_with(core::fb_formula::pftk_full);
-    const auto sqrt_model = errors_with(core::fb_formula::square_root);
+    const auto results =
+        run_predictors(data, {"fb:pftk", "fb:pftk-full", "fb:sqrt"});
+    const auto original = results[0].epoch_errors();
+    const auto revised = results[1].epoch_errors();
+    const auto sqrt_model = results[2].epoch_errors();
 
     const auto grid = error_grid();
     const std::vector<std::pair<std::string, analysis::ecdf>> series{

@@ -2,7 +2,6 @@
 // inputs versus the raw most-recent measurements.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -16,12 +15,13 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    analysis::fb_options raw;
-    analysis::fb_options smoothed;
+    analysis::engine_options smoothed;
     smoothed.smooth_inputs = true;
 
-    const auto raw_err = analysis::errors_of(analysis::evaluate_fb(data, raw));
-    const auto smooth_err = analysis::errors_of(analysis::evaluate_fb(data, smoothed));
+    const auto raw_err =
+        analysis::evaluation_engine{}.run_one(data, "fb:pftk").epoch_errors();
+    const auto smooth_err =
+        analysis::evaluation_engine{smoothed}.run_one(data, "fb:pftk").epoch_errors();
 
     const auto grid = error_grid();
     const std::vector<std::pair<std::string, analysis::ecdf>> series{

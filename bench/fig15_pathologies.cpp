@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/hb_analysis.hpp"
+#include "analysis/evaluation.hpp"
 #include "bench_util.hpp"
-#include "core/hb_evaluation.hpp"
+#include "core/predictor_registry.hpp"
 #include "sim/rng.hpp"
 
 using namespace tcppred;
@@ -36,8 +36,8 @@ void show_trace(const char* name, const std::vector<double>& trace) {
     for (const char* s : specs) std::printf(" %10s", s);
     std::printf("\n%-10s", "RMSRE");
     for (const char* s : specs) {
-        const auto pred = analysis::make_predictor(s);
-        std::printf(" %10.3f", core::evaluate_one_step(trace, *pred).rmsre);
+        const auto pred = core::make_predictor(s);
+        std::printf(" %10.3f", analysis::evaluate_series(trace, *pred).rmsre);
     }
     std::printf("\n\n");
 }

@@ -2,7 +2,6 @@
 // RMSRE, with and without LSO.
 #include <cstdio>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -16,14 +15,11 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
+    const auto results = run_predictors(
+        data, {"1-MA", "5-MA", "10-MA", "20-MA", "5-MA-LSO", "10-MA-LSO", "20-MA-LSO"});
+    const auto series = rmsre_cdf_series(results);
+
     const auto grid = rmsre_grid();
-    std::vector<std::pair<std::string, analysis::ecdf>> series;
-    for (const char* spec : {"1-MA", "5-MA", "10-MA", "20-MA", "5-MA-LSO", "10-MA-LSO",
-                             "20-MA-LSO"}) {
-        const auto pred = analysis::make_predictor(spec);
-        const auto evals = analysis::hb_rmsre_per_trace(data, *pred);
-        series.emplace_back(spec, analysis::ecdf(analysis::rmsre_of(evals)));
-    }
     print_cdf_table(series, grid, "RMSRE ->");
 
     std::printf("\nheadline (median per-trace RMSRE):\n");

@@ -3,7 +3,6 @@
 // behaves like HW).
 #include <cstdio>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,14 +16,12 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
+    const auto results = run_predictors(
+        data, {"0.2-HW", "0.5-HW", "0.8-HW", "0.2-HW-LSO", "0.5-HW-LSO", "0.8-HW-LSO",
+               "0.8-EWMA", "10-MA-LSO"});
+    const auto series = rmsre_cdf_series(results);
+
     const auto grid = rmsre_grid();
-    std::vector<std::pair<std::string, analysis::ecdf>> series;
-    for (const char* spec : {"0.2-HW", "0.5-HW", "0.8-HW", "0.2-HW-LSO", "0.5-HW-LSO",
-                             "0.8-HW-LSO", "0.8-EWMA", "10-MA-LSO"}) {
-        const auto pred = analysis::make_predictor(spec);
-        const auto evals = analysis::hb_rmsre_per_trace(data, *pred);
-        series.emplace_back(spec, analysis::ecdf(analysis::rmsre_of(evals)));
-    }
     print_cdf_table(series, grid, "RMSRE ->");
 
     std::printf("\nheadline (median per-trace RMSRE):\n");

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
-#include "core/hb_evaluation.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tcppred;
@@ -25,17 +23,11 @@ int main() {
     const std::vector<double> grid{0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0};
     std::vector<std::pair<std::string, analysis::ecdf>> series;
     for (const auto& [gamma, psi] : params) {
-        core::lso_config lso{gamma, psi, 3};
-        const auto pred = analysis::make_predictor("5-MA-LSO", lso);
+        analysis::engine_options opts;
+        opts.predictor.lso = core::lso_config{gamma, psi, 3};
+        const auto result = analysis::evaluation_engine{opts}.run_one(data, "5-MA-LSO");
         std::vector<double> abs_errors;
-        for (const auto& [key, recs] : data.traces()) {
-            std::vector<double> s;
-            for (const auto* r : recs) s.push_back(r->m.r_large_bps);
-            if (s.size() < 3) continue;
-            for (const double e : core::evaluate_one_step(s, *pred).errors) {
-                abs_errors.push_back(std::abs(e));
-            }
-        }
+        for (const double e : result.epoch_errors()) abs_errors.push_back(std::abs(e));
         char label[48];
         std::snprintf(label, sizeof label, "chi=%.1f psi=%.1f", gamma, psi);
         series.emplace_back(label, analysis::ecdf(abs_errors));

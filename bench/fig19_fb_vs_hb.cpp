@@ -2,8 +2,6 @@
 // the HB predictors — when history exists, HB is dramatically better.
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,16 +15,13 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    const auto fb = analysis::fb_rmsre_per_trace(analysis::evaluate_fb(data));
-    std::vector<double> fb_rmsre;
-    for (const auto& t : fb) fb_rmsre.push_back(t.rmsre);
+    // One streaming pass feeds the FB predictor and both HB predictors.
+    const auto results = run_predictors(data, {"fb:pftk", "10-MA-LSO", "0.8-HW-LSO"});
 
     std::vector<std::pair<std::string, analysis::ecdf>> series;
-    series.emplace_back("FB (Eq. 3)", analysis::ecdf(fb_rmsre));
-    for (const char* spec : {"10-MA-LSO", "0.8-HW-LSO"}) {
-        const auto pred = analysis::make_predictor(spec);
-        series.emplace_back(spec, analysis::ecdf(analysis::rmsre_of(
-                                      analysis::hb_rmsre_per_trace(data, *pred))));
+    series.emplace_back("FB (Eq. 3)", analysis::ecdf(results[0].trace_rmsres()));
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        series.emplace_back(results[i].name, analysis::ecdf(results[i].trace_rmsres()));
     }
 
     const std::vector<double> grid{0.1, 0.2, 0.4, 0.6, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0};

@@ -2,7 +2,6 @@
 // series versus the HW-LSO RMSRE — the paper reports correlation 0.91.
 #include <cstdio>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -15,8 +14,7 @@ int main() {
            "of a trace equals the CoV of its throughput time series");
 
     const auto data = testbed::ensure_campaign1();
-    const auto pred = analysis::make_predictor("0.8-HW-LSO");
-    const auto points = analysis::cov_vs_rmsre(data, *pred);
+    const auto points = analysis::cov_vs_rmsre(data, "0.8-HW-LSO");
 
     std::printf("%-8s %-6s %10s %10s\n", "path", "trace", "CoV", "RMSRE");
     std::vector<double> covs, rmsres;

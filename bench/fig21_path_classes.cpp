@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <map>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -19,12 +18,12 @@ int main() {
 
     const auto data = testbed::ensure_campaign1();
 
-    const std::vector<const char*> specs{"1-MA", "10-MA", "0.8-HW", "0.8-HW-LSO"};
+    const std::vector<std::string> specs{"1-MA", "10-MA", "0.8-HW", "0.8-HW-LSO"};
+    const auto results = run_predictors(data, specs);
     // rmsre[path][trace][spec]
     std::map<int, std::map<int, std::vector<double>>> rmsre;
-    for (const char* spec : specs) {
-        const auto pred = analysis::make_predictor(spec);
-        for (const auto& t : analysis::hb_rmsre_per_trace(data, *pred)) {
+    for (const auto& result : results) {
+        for (const auto& t : result.traces) {
             rmsre[t.path_id][t.trace_id].push_back(t.rmsre);
         }
     }
@@ -52,7 +51,7 @@ int main() {
 
     // Print 12 sample paths spread across the sorted order.
     std::printf("%-10s %-20s", "path", "class");
-    for (const char* s : specs) std::printf(" %10s", s);
+    for (const auto& s : specs) std::printf(" %10s", s.c_str());
     std::printf("   (RMSRE per trace, first trace shown per cell)\n");
     const std::size_t step = std::max<std::size_t>(1, rows.size() / 12);
     for (std::size_t i = 0; i < rows.size(); i += step) {

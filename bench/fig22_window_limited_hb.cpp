@@ -3,7 +3,6 @@
 #include <cstdio>
 #include <map>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -17,22 +16,20 @@ int main() {
            "congestion-limited RMSRE is already ~0.1");
 
     const auto data = testbed::ensure_campaign1();
-    const auto pred = analysis::make_predictor("0.8-HW-LSO");
 
-    analysis::hb_options large_opts;
-    analysis::hb_options small_opts;
+    analysis::engine_options small_opts;
     small_opts.small_window = true;
 
-    const auto large = analysis::hb_rmsre_per_trace(data, *pred, large_opts);
-    const auto small = analysis::hb_rmsre_per_trace(data, *pred, small_opts);
+    const auto large = analysis::evaluation_engine{}.run_one(data, "0.8-HW-LSO");
+    const auto small = analysis::evaluation_engine{small_opts}.run_one(data, "0.8-HW-LSO");
 
     std::map<std::pair<int, int>, double> small_by_trace;
-    for (const auto& t : small) small_by_trace[{t.path_id, t.trace_id}] = t.rmsre;
+    for (const auto& t : small.traces) small_by_trace[{t.path_id, t.trace_id}] = t.rmsre;
 
     std::printf("%-8s %-6s %14s %14s\n", "path", "trace", "RMSRE W=1MB", "RMSRE W=20KB");
     int better = 0, total = 0;
     std::vector<double> l_all, s_all;
-    for (const auto& t : large) {
+    for (const auto& t : large.traces) {
         const double s = small_by_trace[{t.path_id, t.trace_id}];
         std::printf("%-8d %-6d %14.3f %14.3f\n", t.path_id, t.trace_id, t.rmsre, s);
         ++total;

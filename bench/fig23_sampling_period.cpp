@@ -3,7 +3,6 @@
 // and 45 minutes against its 3-minute epochs) and compare RMSRE CDFs.
 #include <cstdio>
 
-#include "analysis/hb_analysis.hpp"
 #include "bench_util.hpp"
 #include "testbed/campaign.hpp"
 
@@ -16,7 +15,6 @@ int main() {
            "RMSRE 0.4 and the 90th percentile stays below 1.0");
 
     const auto data = testbed::ensure_campaign1();
-    const auto pred = analysis::make_predictor("0.8-HW-LSO");
 
     const std::vector<std::pair<std::size_t, const char*>> periods{
         {1, "3 min (every epoch)"},
@@ -26,10 +24,10 @@ int main() {
 
     std::vector<std::pair<std::string, analysis::ecdf>> series;
     for (const auto& [factor, label] : periods) {
-        analysis::hb_options opts;
+        analysis::engine_options opts;
         opts.downsample = factor;
-        const auto evals = analysis::hb_rmsre_per_trace(data, *pred, opts);
-        series.emplace_back(label, analysis::ecdf(analysis::rmsre_of(evals)));
+        const auto result = analysis::evaluation_engine{opts}.run_one(data, "0.8-HW-LSO");
+        series.emplace_back(label, analysis::ecdf(result.trace_rmsres()));
     }
 
     const auto grid = rmsre_grid();

@@ -1,17 +1,17 @@
-// google-benchmark micro-benchmarks for the prediction library: HB
+// google-benchmark micro-benchmarks for the prediction library: unified
 // predictor update/forecast cost and the LSO scan, demonstrating that
 // history-based prediction is computationally free compared to the
-// measurements that feed it.
+// measurements that feed it. Predictors are built through the registry, so
+// the numbers include the cost of the unified streaming interface that the
+// evaluation engine and any serving front-end pay.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
-#include "analysis/stats.hpp"
+#include "analysis/evaluation.hpp"
 #include "core/fb_formulas.hpp"
-#include "core/fb_predictor.hpp"
-#include "core/hb_evaluation.hpp"
-#include "core/hb_predictors.hpp"
 #include "core/lso.hpp"
+#include "core/predictor_registry.hpp"
 #include "sim/rng.hpp"
 
 using namespace tcppred;
@@ -32,22 +32,22 @@ std::vector<double> synthetic_series(std::size_t n) {
 
 void bm_moving_average_observe(benchmark::State& state) {
     const auto series = synthetic_series(4096);
-    core::moving_average ma(static_cast<std::size_t>(state.range(0)));
+    const auto ma = core::make_predictor(std::to_string(state.range(0)) + "-MA");
     std::size_t i = 0;
     for (auto _ : state) {
-        ma.observe(series[i++ & 4095]);
-        benchmark::DoNotOptimize(ma.predict());
+        ma->observe(series[i++ & 4095]);
+        benchmark::DoNotOptimize(ma->predict(core::epoch_inputs::absent()));
     }
 }
 BENCHMARK(bm_moving_average_observe)->Arg(5)->Arg(20);
 
 void bm_holt_winters_observe(benchmark::State& state) {
     const auto series = synthetic_series(4096);
-    core::holt_winters hw(0.8, 0.2);
+    const auto hw = core::make_predictor("0.8-HW");
     std::size_t i = 0;
     for (auto _ : state) {
-        hw.observe(series[i++ & 4095]);
-        benchmark::DoNotOptimize(hw.predict());
+        hw->observe(series[i++ & 4095]);
+        benchmark::DoNotOptimize(hw->predict(core::epoch_inputs::absent()));
     }
 }
 BENCHMARK(bm_holt_winters_observe);
@@ -56,9 +56,9 @@ void bm_lso_predictor_step(benchmark::State& state) {
     // Full LSO step at a given history length (detection + refit).
     const auto series = synthetic_series(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
-        core::lso_predictor pred(std::make_unique<core::holt_winters>(0.8, 0.2));
-        for (const double x : series) pred.observe(x);
-        benchmark::DoNotOptimize(pred.predict());
+        const auto pred = core::make_predictor("0.8-HW-LSO");
+        for (const double x : series) pred->observe(x);
+        benchmark::DoNotOptimize(pred->predict(core::epoch_inputs::absent()));
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -103,14 +103,14 @@ void bm_pftk_inversion(benchmark::State& state) {
 }
 BENCHMARK(bm_pftk_inversion);
 
-void bm_evaluate_one_step_trace(benchmark::State& state) {
+void bm_evaluate_series_trace(benchmark::State& state) {
     const auto series = synthetic_series(150);
-    const core::lso_predictor proto(std::make_unique<core::holt_winters>(0.8, 0.2));
+    const auto proto = core::make_predictor("0.8-HW-LSO");
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::evaluate_one_step(series, proto));
+        benchmark::DoNotOptimize(analysis::evaluate_series(series, *proto));
     }
 }
-BENCHMARK(bm_evaluate_one_step_trace);
+BENCHMARK(bm_evaluate_series_trace);
 
 }  // namespace
 

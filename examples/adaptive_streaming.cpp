@@ -20,9 +20,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/hb_predictors.hpp"
-#include "core/lso.hpp"
 #include "core/metrics.hpp"
+#include "core/predictor_registry.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "sim/rng.hpp"
@@ -65,7 +64,7 @@ session_stats stream(sim::scheduler& sched, net::duplex_path& path,
                      net::poisson_source& cross, double cap, bool window_limited,
                      net::flow_id flow_base, std::uint64_t seed) {
     sim::rng load_rng(seed);
-    core::lso_predictor forecaster(std::make_unique<core::holt_winters>(0.8, 0.2));
+    const auto forecaster = core::make_predictor("0.8-HW-LSO");
     session_stats stats;
     double sum_rate = 0.0, sum_abs_err = 0.0;
     int scored = 0;
@@ -75,11 +74,12 @@ session_stats stream(sim::scheduler& sched, net::duplex_path& path,
         if (seg % 9 == 8) cross.set_rate(load_rng.uniform(0.25, 0.5) * cap);
 
         // Pick the highest bitrate safely below the forecast.
-        const double forecast = forecaster.predict();
+        const core::prediction forecast =
+            forecaster->predict(core::epoch_inputs::absent());
         double bitrate = k_bitrates.front();
-        if (!std::isnan(forecast)) {
+        if (forecast.usable()) {
             for (const double b : k_bitrates) {
-                if (b <= forecast * 0.95) bitrate = b;
+                if (b <= forecast.value_bps * 0.95) bitrate = b;
             }
         }
 
@@ -106,11 +106,11 @@ session_stats stream(sim::scheduler& sched, net::duplex_path& path,
         ++stats.segments;
         if (took > k_segment_s) ++stats.rebuffers;
         sum_rate += bitrate;
-        if (!std::isnan(forecast)) {
-            sum_abs_err += std::abs(core::relative_error(forecast, achieved));
+        if (forecast.usable()) {
+            sum_abs_err += std::abs(core::relative_error(forecast.value_bps, achieved));
             ++scored;
         }
-        forecaster.observe(achieved);
+        forecaster->observe(achieved);
         // Idle until the playback deadline (pacing between segments).
         sched.run_until(sched.now() + std::max(0.0, k_segment_s - took) + 0.5);
     }

@@ -1,13 +1,13 @@
 // Running your own measurement study: the full pipeline the repository is
 // built around, end to end on a small custom testbed — define paths, run a
 // campaign of epochs, persist the dataset, and analyze both predictor
-// families over it. This is the template to adapt for new experiments.
+// families over it with one streaming engine pass. This is the template to
+// adapt for new experiments.
 //
 // Build & run:  ./build/examples/measurement_study
 #include <cstdio>
 
-#include "analysis/fb_analysis.hpp"
-#include "analysis/hb_analysis.hpp"
+#include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
 #include "testbed/campaign.hpp"
 
@@ -38,9 +38,13 @@ int main() {
     std::printf("round-tripped through %s (%zu records)\n\n", file.string().c_str(),
                 loaded.records.size());
 
-    // --- 4. Formula-based accuracy.
-    const auto fb = analysis::evaluate_fb(loaded);
-    const auto errors = analysis::errors_of(fb);
+    // --- 4. One engine pass evaluates the FB predictor and every HB spec.
+    const analysis::evaluation_engine engine;
+    const auto results = engine.run(
+        loaded, {"fb:pftk", "1-MA", "10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO"});
+
+    // Formula-based accuracy.
+    const auto errors = results[0].epoch_errors();
     std::size_t over = 0;
     for (const double e : errors) over += e > 0 ? 1 : 0;
     std::printf("FB prediction over %zu epochs: median E %.2f, %zu%% overestimates\n",
@@ -48,16 +52,13 @@ int main() {
 
     // --- 5. History-based accuracy, per predictor.
     std::printf("\nHB per-trace RMSRE (median across traces):\n");
-    for (const char* spec : {"1-MA", "10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO"}) {
-        const auto pred = analysis::make_predictor(spec);
-        const auto evals = analysis::hb_rmsre_per_trace(loaded, *pred);
-        std::printf("  %-12s %.3f\n", spec,
-                    analysis::median(analysis::rmsre_of(evals)));
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        std::printf("  %-12s %.3f\n", results[i].name.c_str(),
+                    analysis::median(results[i].trace_rmsres()));
     }
 
     // --- 6. The paper's headline relation: trace CoV vs HB error.
-    const auto hw = analysis::make_predictor("0.8-HW-LSO");
-    const auto pts = analysis::cov_vs_rmsre(loaded, *hw);
+    const auto pts = analysis::cov_vs_rmsre(loaded, "0.8-HW-LSO");
     std::vector<double> cov, rmsre;
     for (const auto& p : pts) {
         cov.push_back(p.cov);

@@ -14,9 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/fb_predictor.hpp"
-#include "core/hb_predictors.hpp"
-#include "core/lso.hpp"
+#include "core/predictor_registry.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "probe/bulk_transfer.hpp"
@@ -32,7 +30,7 @@ namespace {
 struct candidate {
     std::unique_ptr<net::duplex_path> path;
     std::unique_ptr<net::poisson_source> cross;
-    std::unique_ptr<core::lso_predictor> history;
+    std::unique_ptr<core::predictor> history;
     double capacity_bps{0};
     net::flow_id next_flow{1000};
 };
@@ -58,7 +56,9 @@ double fb_cold_start(sim::scheduler& sched, candidate& c) {
     m.rtt = pinger.result()->mean_rtt();
     m.loss_rate = pinger.result()->loss_rate();
     m.avail_bw = core::bits_per_second{0.0};  // no avail-bw probe: window bound fallback
-    return core::fb_predict(core::tcp_flow_params{}, m).throughput.value();
+    return core::make_predictor("fb:pftk")
+        ->predict(core::epoch_inputs::valid(m))
+        .value_bps;
 }
 
 }  // namespace
@@ -87,8 +87,7 @@ int main() {
             sim::derive_seed(7, "cross", static_cast<std::uint64_t>(i)),
             loads[i] * caps[i]);
         c.cross->start();
-        c.history = std::make_unique<core::lso_predictor>(
-            std::make_unique<core::holt_winters>(0.8, 0.2));
+        c.history = core::make_predictor("0.8-HW-LSO");
         c.capacity_bps = caps[i];
         c.next_flow = 1000 + static_cast<net::flow_id>(i) * 1000;
         paths.push_back(std::move(c));
@@ -106,8 +105,8 @@ int main() {
         // Predict each path: HB once history exists, FB before that.
         std::vector<double> preds;
         for (auto& c : paths) {
-            double hb = c.history->predict();
-            preds.push_back(std::isnan(hb) ? fb_cold_start(sched, c) : hb);
+            const core::prediction hb = c.history->predict(core::epoch_inputs::absent());
+            preds.push_back(hb.usable() ? hb.value_bps : fb_cold_start(sched, c));
         }
         int best = 0;
         for (int i = 1; i < 3; ++i) {

@@ -11,8 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/hb_predictors.hpp"
-#include "core/lso.hpp"
+#include "core/predictor_registry.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "sim/rng.hpp"
@@ -26,7 +25,7 @@ namespace {
 struct mirror {
     std::unique_ptr<net::duplex_path> path;
     std::unique_ptr<net::poisson_source> cross;
-    std::unique_ptr<core::lso_predictor> predictor;
+    std::unique_ptr<core::predictor> predictor;
     net::flow_id next_flow{1};
 };
 
@@ -68,8 +67,7 @@ int main() {
             sim::derive_seed(3, "load", static_cast<std::uint64_t>(i)),
             loads[i] * caps[i]);
         m.cross->start();
-        m.predictor = std::make_unique<core::lso_predictor>(
-            std::make_unique<core::moving_average>(10));
+        m.predictor = core::make_predictor("10-MA-LSO");
         m.next_flow = 100 + static_cast<net::flow_id>(i) * 100;
         mirrors.push_back(std::move(m));
     }
@@ -83,7 +81,10 @@ int main() {
             mirrors[i].predictor->observe(bps);
             if (round == 4) {
                 std::printf("  mirror %zu: last observed %.2f Mbps, forecast %.2f Mbps\n",
-                            i, bps / 1e6, mirrors[i].predictor->predict() / 1e6);
+                            i, bps / 1e6,
+                            mirrors[i].predictor->predict(core::epoch_inputs::absent())
+                                    .value_bps /
+                                1e6);
             }
         }
         sched.run_until(sched.now() + 2.0);
@@ -103,7 +104,7 @@ int main() {
     double total_pred = 0.0;
     std::vector<double> preds;
     for (auto& m : mirrors) {
-        preds.push_back(m.predictor->predict());
+        preds.push_back(m.predictor->predict(core::epoch_inputs::absent()).value_bps);
         total_pred += preds.back();
     }
     double pred_finish = 0.0;

@@ -7,10 +7,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/fb_predictor.hpp"
-#include "core/hb_predictors.hpp"
-#include "core/lso.hpp"
 #include "core/metrics.hpp"
+#include "core/predictor_registry.hpp"
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "probe/bulk_transfer.hpp"
@@ -57,25 +55,29 @@ int main() {
                 meas.avail_bw.value() / 1e6, meas.rtt.value() * 1e3,
                 meas.loss_rate.value());
 
-    core::tcp_flow_params flow;  // MSS 1460, b = 2, W = 1 MB
-    const core::fb_prediction fb = core::fb_predict(flow, meas);
+    // Both predictor families come from the registry (MSS 1460, b = 2,
+    // W = 1 MB by default — core::predictor_config to change them).
+    const auto fb_pred = core::make_predictor("fb:pftk");
+    const core::prediction fb = fb_pred->predict(core::epoch_inputs::valid(meas));
     std::printf("FB prediction (Eq. 3): %.2f Mbps  [branch: %s]\n\n",
-                fb.throughput.value() / 1e6,
-                fb.branch == core::fb_branch::model_based ? "PFTK on (T^, p^)"
-                : fb.branch == core::fb_branch::avail_bw  ? "avail-bw"
-                                                          : "window bound W/T^");
+                fb.value_bps / 1e6,
+                fb.inputs_used.source == core::prediction_source::model_based
+                    ? "PFTK on (T^, p^)"
+                : fb.inputs_used.source == core::prediction_source::avail_bw
+                    ? "avail-bw"
+                    : "window bound W/T^");
 
     // --- 3. Run repeated bulk transfers; feed each observation to an
     //        HB predictor (Holt-Winters wrapped with the LSO heuristics)
     //        and forecast the next transfer one step ahead.
-    core::lso_predictor hb(std::make_unique<core::holt_winters>(0.8, 0.2));
+    const auto hb = core::make_predictor("0.8-HW-LSO");
     tcp::tcp_config tcp_cfg;
     tcp_cfg.initial_ssthresh_segments = 128;
 
     std::printf("%-6s %14s %14s %14s %10s\n", "run", "FB pred Mbps", "HB pred Mbps",
                 "actual Mbps", "HB error");
     for (int run = 0; run < 8; ++run) {
-        const double hb_forecast = hb.predict();
+        const core::prediction hb_forecast = hb->predict(core::epoch_inputs::absent());
 
         net::path_conduit conduit(path);
         probe::bulk_transfer xfer(sched, conduit, /*flow=*/100 + run,
@@ -84,14 +86,14 @@ int main() {
         while (!xfer.done()) sched.step();
         const double actual = xfer.result()->goodput().value();
 
-        std::printf("%-6d %14.2f", run, fb.throughput.value() / 1e6);
-        if (hb_forecast == hb_forecast) {  // not NaN
-            std::printf(" %14.2f %14.2f %+9.2f\n", hb_forecast / 1e6, actual / 1e6,
-                        core::relative_error(hb_forecast, actual));
+        std::printf("%-6d %14.2f", run, fb.value_bps / 1e6);
+        if (hb_forecast.usable()) {
+            std::printf(" %14.2f %14.2f %+9.2f\n", hb_forecast.value_bps / 1e6,
+                        actual / 1e6, core::relative_error(hb_forecast.value_bps, actual));
         } else {
             std::printf(" %14s %14.2f %10s\n", "(no history)", actual / 1e6, "-");
         }
-        hb.observe(actual);
+        hb->observe(actual);
         sched.run_until(sched.now() + 5.0);  // idle gap between transfers
     }
 

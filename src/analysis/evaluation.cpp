@@ -1,0 +1,335 @@
+#include "analysis/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/stats.hpp"
+#include "core/metrics.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace tcppred::analysis {
+
+namespace {
+
+/// One (path, trace) series prepared for the streaming walk: the walked
+/// (downsampled) records, each epoch's a-priori measurement view, and the
+/// masked actual throughputs (NaN = failed transfer measurement).
+struct trace_view {
+    int path_id{0};
+    int trace_id{0};
+    std::vector<const testbed::epoch_record*> recs;
+    std::vector<core::epoch_inputs> inputs;
+    std::vector<double> actuals;
+};
+
+trace_view build_view(std::pair<int, int> key,
+                      const std::vector<const testbed::epoch_record*>& recs,
+                      const engine_options& opts) {
+    trace_view v;
+    v.path_id = key.first;
+    v.trace_id = key.second;
+    for (std::size_t i = 0; i < recs.size(); i += opts.downsample) {
+        v.recs.push_back(recs[i]);
+    }
+    v.inputs.reserve(v.recs.size());
+    v.actuals.reserve(v.recs.size());
+
+    // Per-trace (p, T) history for input smoothing, in walked-epoch order.
+    std::vector<double> p_hist, t_hist;
+    for (const testbed::epoch_record* rec : v.recs) {
+        const auto& m = rec->m;
+
+        double loss_in = 0.0;
+        double rtt_in = 0.0;
+        if (opts.use_during_flow) {
+            loss_in = m.ptilde;
+            rtt_in = m.ttilde_s;
+        } else {
+            loss_in = opts.use_event_loss ? m.phat_events : m.phat;
+            rtt_in = m.that_s;
+        }
+
+        // A failed a-priori measurement (fault flags or NaN fields) never
+        // reaches a formula; FB-style predictors substitute the trace's
+        // last good measurement instead (their staleness fallback).
+        const bool meas_failed = testbed::apriori_faulty(m.fault_flags) ||
+                                 std::isnan(loss_in) || std::isnan(rtt_in) ||
+                                 std::isnan(m.avail_bw_bps);
+
+        if (opts.smooth_inputs && !meas_failed) {
+            // One-step-ahead moving average over the previous epochs' good
+            // measurements; the raw current measurement seeds the very
+            // first epoch of a trace.
+            if (!p_hist.empty()) {
+                const std::size_t n = std::min(opts.smooth_window, p_hist.size());
+                double ps = 0.0, ts = 0.0;
+                for (std::size_t k = p_hist.size() - n; k < p_hist.size(); ++k) {
+                    ps += p_hist[k];
+                    ts += t_hist[k];
+                }
+                loss_in = ps / static_cast<double>(n);
+                rtt_in = ts / static_cast<double>(n);
+            }
+            p_hist.push_back(opts.use_during_flow ? m.ptilde : m.phat);
+            t_hist.push_back(opts.use_during_flow ? m.ttilde_s : m.that_s);
+        }
+
+        if (meas_failed) {
+            v.inputs.push_back(core::epoch_inputs::failed_measurement());
+        } else if (rtt_in <= 0.0) {
+            // A zero RTT means the epoch never produced a prior view: the
+            // epoch carries no measurement at all (and is skipped without
+            // aging any fallback), rather than counting as a failure.
+            v.inputs.push_back(core::epoch_inputs::absent());
+        } else {
+            v.inputs.push_back(core::epoch_inputs::valid(core::path_measurement{
+                core::probability{loss_in}, core::seconds{rtt_in},
+                core::bits_per_second{m.avail_bw_bps}}));
+        }
+
+        const double actual = opts.small_window ? m.r_small_bps : m.r_large_bps;
+        v.actuals.push_back(testbed::actual_faulty(m.fault_flags)
+                                ? std::numeric_limits<double>::quiet_NaN()
+                                : actual);
+    }
+    return v;
+}
+
+/// The one scoring loop (see file comment of evaluation.hpp): per epoch,
+/// predict, score if scorable, then reveal the outcome. An epoch is scored
+/// unless it is within the warmup, the predictor produced no usable
+/// forecast, the actual throughput is missing or non-positive (the transfer
+/// never got going), or it was retrospectively excluded as an outlier.
+void score_walk(const std::vector<core::epoch_inputs>& inputs,
+                const std::vector<double>& actuals,
+                const std::vector<const testbed::epoch_record*>* recs,
+                core::predictor& pred, std::size_t warmup,
+                const std::vector<bool>* excluded, std::vector<epoch_score>& out) {
+    for (std::size_t i = 0; i < actuals.size(); ++i) {
+        const core::prediction p = pred.predict(inputs[i]);
+        const double actual = actuals[i];
+        const bool skip = i < warmup || !p.usable() || std::isnan(actual) ||
+                          actual <= 0.0 || (excluded != nullptr && (*excluded)[i]);
+        if (!skip) {
+            out.push_back(epoch_score{recs != nullptr ? (*recs)[i] : nullptr, i,
+                                      p.value_bps, actual,
+                                      core::relative_error(p.value_bps, actual),
+                                      p.inputs_used.source, p.inputs_used.staleness});
+        }
+        pred.observe_maybe(actual);
+    }
+}
+
+double rmsre_of_epochs(const std::vector<epoch_score>& epochs) {
+    std::vector<double> errors;
+    errors.reserve(epochs.size());
+    for (const auto& e : epochs) errors.push_back(e.error);
+    return core::rmsre(errors);
+}
+
+}  // namespace
+
+std::vector<double> predictor_result::trace_rmsres() const {
+    std::vector<double> out;
+    out.reserve(traces.size());
+    for (const auto& t : traces) out.push_back(t.rmsre);
+    return out;
+}
+
+std::vector<double> predictor_result::epoch_errors() const {
+    std::vector<double> out;
+    for (const auto& t : traces) {
+        for (const auto& e : t.epochs) out.push_back(e.error);
+    }
+    return out;
+}
+
+std::vector<epoch_score> predictor_result::all_epochs() const {
+    std::vector<epoch_score> out;
+    for (const auto& t : traces) out.insert(out.end(), t.epochs.begin(), t.epochs.end());
+    return out;
+}
+
+std::vector<predictor_result> evaluation_engine::run(
+    const testbed::dataset& data, const std::vector<std::string>& specs) const {
+    std::vector<std::unique_ptr<core::predictor>> owned;
+    owned.reserve(specs.size());
+    for (const auto& spec : specs) owned.push_back(core::make_predictor(spec, opts_.predictor));
+    std::vector<const core::predictor*> prototypes;
+    prototypes.reserve(owned.size());
+    for (const auto& p : owned) prototypes.push_back(p.get());
+    return run(data, prototypes);
+}
+
+std::vector<predictor_result> evaluation_engine::run(
+    const testbed::dataset& data,
+    const std::vector<const core::predictor*>& prototypes) const {
+    if (opts_.downsample == 0) {
+        throw std::invalid_argument("evaluation_engine: downsample must be >= 1");
+    }
+
+    const auto traces_map = data.traces();
+    std::vector<std::pair<std::pair<int, int>,
+                          const std::vector<const testbed::epoch_record*>*>>
+        traces;
+    traces.reserve(traces_map.size());
+    for (const auto& [key, recs] : traces_map) traces.emplace_back(key, &recs);
+
+    // Pre-sized result slots indexed by (predictor, trace) keep the output
+    // independent of worker completion order (determinism contract).
+    std::vector<std::vector<std::optional<trace_result>>> slots(
+        prototypes.size(),
+        std::vector<std::optional<trace_result>>(traces.size()));
+
+    const unsigned jobs =
+        opts_.jobs > 0 ? static_cast<unsigned>(opts_.jobs) : sim::jobs_from_env();
+    sim::parallel_for(traces.size(), jobs, [&](std::size_t ti) {
+        const trace_view view = build_view(traces[ti].first, *traces[ti].second, opts_);
+
+        std::optional<std::vector<bool>> excluded;
+        if (opts_.exclude_outliers) {
+            excluded = core::lso_scan(view.actuals, opts_.predictor.lso).is_outlier;
+        }
+
+        for (std::size_t pj = 0; pj < prototypes.size(); ++pj) {
+            if (view.actuals.size() < prototypes[pj]->min_trace_length()) continue;
+            const auto pred = prototypes[pj]->clone_empty();
+
+            trace_result tr;
+            tr.path_id = view.path_id;
+            tr.trace_id = view.trace_id;
+            score_walk(view.inputs, view.actuals, &view.recs, *pred, opts_.warmup,
+                       excluded ? &*excluded : nullptr, tr.epochs);
+            if (tr.epochs.empty()) continue;  // nothing scorable on this trace
+            tr.rmsre = rmsre_of_epochs(tr.epochs);
+            slots[pj][ti] = std::move(tr);
+        }
+    });
+
+    std::vector<predictor_result> out(prototypes.size());
+    for (std::size_t pj = 0; pj < prototypes.size(); ++pj) {
+        out[pj].name = prototypes[pj]->name();
+        for (auto& slot : slots[pj]) {
+            if (slot) out[pj].traces.push_back(std::move(*slot));
+        }
+    }
+    return out;
+}
+
+predictor_result evaluation_engine::run_one(const testbed::dataset& data,
+                                            const std::string& spec) const {
+    return run(data, std::vector<std::string>{spec}).front();
+}
+
+series_evaluation evaluate_series(const std::vector<double>& series,
+                                  const core::predictor& prototype,
+                                  series_options opts) {
+    const std::vector<core::epoch_inputs> inputs(series.size(),
+                                                 core::epoch_inputs::absent());
+    std::optional<std::vector<bool>> excluded;
+    if (opts.exclude_outliers) {
+        excluded = core::lso_scan(series, opts.lso).is_outlier;
+    }
+
+    const auto pred = prototype.clone_empty();
+    std::vector<epoch_score> epochs;
+    score_walk(inputs, series, nullptr, *pred, opts.warmup,
+               excluded ? &*excluded : nullptr, epochs);
+
+    series_evaluation out;
+    out.errors.reserve(epochs.size());
+    out.indices.reserve(epochs.size());
+    for (const auto& e : epochs) {
+        out.errors.push_back(e.error);
+        out.indices.push_back(e.index);
+    }
+    out.rmsre = core::rmsre(out.errors);
+    return out;
+}
+
+std::vector<double> downsample(const std::vector<double>& series, std::size_t factor) {
+    if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
+    std::vector<double> out;
+    out.reserve(series.size() / factor + 1);
+    for (std::size_t i = 0; i < series.size(); i += factor) out.push_back(series[i]);
+    return out;
+}
+
+conditioned_rmsre rmsre_conditioned(const predictor_result& result) {
+    std::vector<double> clean, faulty, stale;
+    for (const auto& t : result.traces) {
+        for (const auto& e : t.epochs) {
+            if (e.rec == nullptr || e.rec->m.fault_flags == testbed::fault_none) {
+                clean.push_back(e.error);
+            } else {
+                faulty.push_back(e.error);
+            }
+            if (e.staleness > 0) stale.push_back(e.error);
+        }
+    }
+    conditioned_rmsre out;
+    out.rmsre_clean = core::rmsre(clean);
+    out.n_clean = clean.size();
+    out.rmsre_faulty = core::rmsre(faulty);
+    out.n_faulty = faulty.size();
+    out.rmsre_stale = core::rmsre(stale);
+    out.n_stale = stale.size();
+    return out;
+}
+
+std::vector<path_error_summary> error_per_path(const predictor_result& result) {
+    std::map<int, std::vector<double>> grouped;
+    for (const auto& t : result.traces) {
+        for (const auto& e : t.epochs) grouped[t.path_id].push_back(e.error);
+    }
+    std::vector<path_error_summary> out;
+    out.reserve(grouped.size());
+    for (const auto& [path, errors] : grouped) {
+        out.push_back(path_error_summary{path, quantile(errors, 0.10),
+                                         quantile(errors, 0.50),
+                                         quantile(errors, 0.90), errors.size()});
+    }
+    return out;
+}
+
+std::vector<cov_rmsre_point> cov_vs_rmsre(const testbed::dataset& data,
+                                          const std::string& spec,
+                                          core::predictor_config cfg) {
+    const auto prototype = core::make_predictor(spec, cfg);
+
+    std::vector<cov_rmsre_point> out;
+    for (const auto& [key, recs] : data.traces()) {
+        std::vector<double> series;
+        series.reserve(recs.size());
+        for (const testbed::epoch_record* r : recs) {
+            series.push_back(testbed::actual_faulty(r->m.fault_flags)
+                                 ? std::numeric_limits<double>::quiet_NaN()
+                                 : r->m.r_large_bps);
+        }
+        if (series.size() < 3) continue;
+
+        // The CoV side has no gap concept: compute it over the usable
+        // samples only (identical to the full series when nothing faulted).
+        std::vector<double> usable;
+        usable.reserve(series.size());
+        for (const double v : series) {
+            if (!std::isnan(v)) usable.push_back(v);
+        }
+        if (usable.size() < 3) continue;
+
+        series_options so;
+        so.exclude_outliers = true;
+        so.lso = cfg.lso;
+        const series_evaluation eval = evaluate_series(series, *prototype, so);
+        out.push_back(cov_rmsre_point{key.first, key.second,
+                                      weighted_cov(usable, cfg.lso), eval.rmsre});
+    }
+    return out;
+}
+
+}  // namespace tcppred::analysis

@@ -15,6 +15,8 @@ void hybrid_predictor::set_formula_prediction(double fb_bps) { fb_bps_ = fb_bps;
 
 void hybrid_predictor::observe(double actual_bps) { history_->observe(actual_bps); }
 
+void hybrid_predictor::observe_gap() { history_->observe_gap(); }
+
 double hybrid_predictor::history_weight() const {
     const double hb = history_->predict();
     if (std::isnan(hb)) return 0.0;

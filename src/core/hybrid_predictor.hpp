@@ -38,6 +38,10 @@ public:
     /// Reveal the actual throughput of the transfer that just completed.
     void observe(double actual_bps);
 
+    /// Reveal that the transfer's throughput measurement is missing; the
+    /// history component records the gap (hb_predictor::observe_gap).
+    void observe_gap();
+
     /// The blended forecast. NaN only when there is neither history nor a
     /// formula prediction.
     [[nodiscard]] double predict() const;

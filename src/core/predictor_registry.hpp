@@ -1,0 +1,70 @@
+// The predictor registry: every predictor in the repository — FB, the HB
+// family, AR, the NWS-style selector, hybrids — is constructed from a spec
+// string through core::make_predictor, so benches, tools, examples, and any
+// future serving front-end share one naming scheme and one wiring point.
+//
+// Spec grammar (README "Predictor specs" has the full table):
+//
+//   fb | fb:pftk | fb:pftk-full | fb:sqrt | fb:minwa
+//       formula-based (Eq. 3) with the chosen lossy-branch model; "fb" is
+//       shorthand for "fb:pftk" (the paper's default). "fb:minwa" ignores
+//       the loss estimate and always predicts min(W/T̂, Â).
+//   <n>-MA | <a>-EWMA | <a>-HW | <p>-AR        history-based (§5.1)
+//       e.g. "10-MA", "0.8-EWMA", "0.8-HW", "4-AR". Append "-LSO" to wrap
+//       with the level-shift/outlier heuristics (§5.2): "10-MA-LSO".
+//   NWS
+//       adaptive selection racing the standard candidate set.
+//   hybrid:<hb-spec> | hybrid:<hb-spec>:<k>
+//       FB+HB blend (§7): e.g. "hybrid:0.8-HW-LSO", "hybrid:10-MA:5".
+//       k = history length at which HB and FB weigh equally.
+//
+// Malformed or unknown specs throw predictor_spec_error, which carries the
+// offending spec (tools map it to exit code 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/fb_formulas.hpp"
+#include "core/fb_predictor.hpp"
+#include "core/lso.hpp"
+#include "core/predictor.hpp"
+
+namespace tcppred::core {
+
+/// Thrown by make_predictor on an unknown or malformed spec.
+class predictor_spec_error : public std::invalid_argument {
+public:
+    predictor_spec_error(std::string spec, const std::string& reason)
+        : std::invalid_argument("bad predictor spec '" + spec + "': " + reason),
+          spec_(std::move(spec)) {}
+
+    /// The spec string that failed to parse.
+    [[nodiscard]] const std::string& spec() const noexcept { return spec_; }
+
+private:
+    std::string spec_;
+};
+
+/// Shared parameters a spec string does not encode: the modelled TCP flow,
+/// the prediction window, fallback/LSO tuning. One config serves every spec
+/// in an evaluation, so "fb:pftk" and "10-MA-LSO" are compared under the
+/// same assumptions.
+struct predictor_config {
+    tcp_flow_params flow{};
+    /// Sender window W for Eq. 3's W/T̂ bound; overrides flow.max_window.
+    std::uint64_t window_bytes{1 << 20};
+    degraded_fb_config degraded{};  ///< FB staleness fallback bound
+    lso_config lso{};               ///< parameters for "-LSO"-wrapped specs
+    double hw_beta{0.2};            ///< trend gain for "<a>-HW" specs
+    double hybrid_fb_weight_samples{3.0};  ///< default k for "hybrid:" specs
+};
+
+/// Build a predictor from its spec string (grammar above). Throws
+/// predictor_spec_error on unknown or malformed specs.
+[[nodiscard]] std::unique_ptr<predictor> make_predictor(
+    const std::string& spec, const predictor_config& cfg = {});
+
+}  // namespace tcppred::core

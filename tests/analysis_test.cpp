@@ -1,11 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
-#include "core/units.hpp"
-#include "analysis/fb_analysis.hpp"
-#include "analysis/hb_analysis.hpp"
+#include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
+#include "core/units.hpp"
 #include "testbed/campaign.hpp"
 
 namespace tcppred::analysis {
@@ -45,144 +45,125 @@ dataset synthetic_dataset() {
     return data;
 }
 
-TEST(fb_analysis, branches_follow_loss_state) {
+TEST(engine_fb, branches_follow_loss_state) {
     const auto data = synthetic_dataset();
-    const auto evals = evaluate_fb(data);
+    const auto fb = evaluation_engine{}.run_one(data, "fb:pftk");
+    const auto evals = fb.all_epochs();
     ASSERT_EQ(evals.size(), 12u);
     for (const auto& e : evals) {
         if (e.rec->path_id == 0) {
-            EXPECT_EQ(e.pred.branch, core::fb_branch::model_based);
+            EXPECT_EQ(e.source, core::prediction_source::model_based);
         } else {
-            EXPECT_EQ(e.pred.branch, core::fb_branch::avail_bw);
+            EXPECT_EQ(e.source, core::prediction_source::avail_bw);
         }
     }
 }
 
-TEST(fb_analysis, error_sign_matches_prediction_direction) {
+TEST(engine_fb, error_sign_matches_prediction_direction) {
     const auto data = synthetic_dataset();
-    for (const auto& e : evaluate_fb(data)) {
-        if (e.pred.throughput.value() > e.actual_bps) {
+    for (const auto& e : evaluation_engine{}.run_one(data, "fb:pftk").all_epochs()) {
+        if (e.predicted_bps > e.actual_bps) {
             EXPECT_GT(e.error, 0.0);
-        } else if (e.pred.throughput.value() < e.actual_bps) {
+        } else if (e.predicted_bps < e.actual_bps) {
             EXPECT_LT(e.error, 0.0);
         }
     }
 }
 
-TEST(fb_analysis, during_flow_option_changes_inputs) {
+TEST(engine_fb, during_flow_option_changes_inputs) {
     const auto data = synthetic_dataset();
-    fb_options during;
+    engine_options during;
     during.use_during_flow = true;
-    const auto prior_evals = evaluate_fb(data);
-    const auto during_evals = evaluate_fb(data, during);
+    const auto prior_evals = evaluation_engine{}.run_one(data, "fb:pftk").all_epochs();
+    const auto during_evals =
+        evaluation_engine{during}.run_one(data, "fb:pftk").all_epochs();
     // Lossy path: double loss rate and higher RTT => lower prediction.
-    EXPECT_LT(during_evals[0].pred.throughput.value(),
-              prior_evals[0].pred.throughput.value());
+    EXPECT_LT(during_evals[0].predicted_bps, prior_evals[0].predicted_bps);
 }
 
-TEST(fb_analysis, small_window_option_scores_companion_flow) {
+TEST(engine_fb, small_window_option_scores_companion_flow) {
     const auto data = synthetic_dataset();
-    fb_options small;
+    engine_options small;
     small.small_window = true;
-    small.window_bytes = 20 * 1024;
-    for (const auto& e : evaluate_fb(data, small)) {
+    small.predictor.window_bytes = 20 * 1024;
+    for (const auto& e : evaluation_engine{small}.run_one(data, "fb:pftk").all_epochs()) {
         EXPECT_DOUBLE_EQ(e.actual_bps, 1e6);
         // W/T = 20KB*8/0.05 = 3.27 Mbps bounds every branch.
-        EXPECT_LE(e.pred.throughput.value(), 20 * 1024 * 8 / 0.05 + 1);
+        EXPECT_LE(e.predicted_bps, 20 * 1024 * 8 / 0.05 + 1);
     }
 }
 
-TEST(fb_analysis, smoothing_uses_previous_epochs_only) {
+TEST(engine_fb, smoothing_uses_previous_epochs_only) {
     dataset data = synthetic_dataset();
     // Give path 0 a spiky loss sequence; with smoothing, epoch 1's input is
     // exactly epoch 0's measurement.
     for (auto& r : data.records) {
         if (r.path_id == 0) r.m.phat = r.epoch_index == 0 ? 0.04 : 0.0001;
     }
-    fb_options opts;
+    engine_options opts;
     opts.smooth_inputs = true;
-    const auto evals = evaluate_fb(data, opts);
-    const auto raw = evaluate_fb(data);
+    const auto evals = evaluation_engine{opts}.run_one(data, "fb:pftk").all_epochs();
+    const auto raw = evaluation_engine{}.run_one(data, "fb:pftk").all_epochs();
     // Epoch 1 smoothed input = history {0.04} -> much lower prediction than
     // the raw 0.0001-based one.
-    const auto find = [&](const std::vector<fb_epoch_eval>& v, int epoch) {
+    const auto find = [&](const std::vector<epoch_score>& v, int epoch) {
         for (const auto& e : v) {
             if (e.rec->path_id == 0 && e.rec->epoch_index == epoch) return e;
         }
         throw std::runtime_error("missing epoch");
     };
-    EXPECT_LT(find(evals, 1).pred.throughput.value(),
-              find(raw, 1).pred.throughput.value());
+    EXPECT_LT(find(evals, 1).predicted_bps, find(raw, 1).predicted_bps);
 }
 
-TEST(fb_analysis, per_trace_rmsre_groups_correctly) {
+TEST(engine_fb, per_trace_rmsre_groups_correctly) {
     const auto data = synthetic_dataset();
-    const auto groups = fb_rmsre_per_trace(evaluate_fb(data));
-    ASSERT_EQ(groups.size(), 2u);
-    for (const auto& g : groups) EXPECT_EQ(g.samples, 6u);
+    const auto fb = evaluation_engine{}.run_one(data, "fb:pftk");
+    ASSERT_EQ(fb.traces.size(), 2u);
+    for (const auto& t : fb.traces) EXPECT_EQ(t.forecasts(), 6u);
 }
 
-TEST(fb_analysis, per_path_summary_quantiles_ordered) {
+TEST(engine_fb, per_path_summary_quantiles_ordered) {
     const auto data = synthetic_dataset();
-    for (const auto& s : fb_error_per_path(evaluate_fb(data))) {
+    for (const auto& s : error_per_path(evaluation_engine{}.run_one(data, "fb:pftk"))) {
         EXPECT_LE(s.p10, s.median);
         EXPECT_LE(s.median, s.p90);
     }
 }
 
-TEST(make_predictor_factory, parses_all_specs) {
-    EXPECT_EQ(make_predictor("1-MA")->name(), "1-MA");
-    EXPECT_EQ(make_predictor("10-MA")->name(), "10-MA");
-    EXPECT_EQ(make_predictor("0.8-EWMA")->name(), "0.8-EWMA");
-    EXPECT_EQ(make_predictor("0.5-HW")->name(), "0.5-HW");
-    EXPECT_EQ(make_predictor("10-MA-LSO")->name(), "10-MA-LSO");
-    EXPECT_EQ(make_predictor("0.8-HW-LSO")->name(), "0.8-HW-LSO");
-}
-
-TEST(make_predictor_factory, rejects_malformed_specs) {
-    EXPECT_THROW(make_predictor("MA"), std::invalid_argument);
-    EXPECT_THROW(make_predictor("10-XX"), std::invalid_argument);
-    EXPECT_THROW(make_predictor(""), std::invalid_argument);
-}
-
-TEST(hb_analysis_suite, per_trace_rmsre_zero_on_constant_series) {
+TEST(engine_hb, per_trace_rmsre_zero_on_constant_series) {
     dataset data = synthetic_dataset();
     for (auto& r : data.records) r.m.r_large_bps = 4e6;
-    const auto pred = make_predictor("10-MA");
-    for (const auto& t : hb_rmsre_per_trace(data, *pred)) {
+    for (const auto& t : evaluation_engine{}.run_one(data, "10-MA").traces) {
         EXPECT_DOUBLE_EQ(t.rmsre, 0.0);
     }
 }
 
-TEST(hb_analysis_suite, downsample_reduces_forecast_count) {
+TEST(engine_hb, downsample_reduces_forecast_count) {
     const auto data = synthetic_dataset();
-    const auto pred = make_predictor("1-MA");
-    hb_options full, sparse;
+    engine_options sparse;
     sparse.downsample = 2;
-    const auto a = hb_rmsre_per_trace(data, *pred, full);
-    const auto b = hb_rmsre_per_trace(data, *pred, sparse);
+    const auto a = evaluation_engine{}.run_one(data, "1-MA").traces;
+    const auto b = evaluation_engine{sparse}.run_one(data, "1-MA").traces;
     ASSERT_FALSE(a.empty());
     ASSERT_FALSE(b.empty());
-    EXPECT_GT(a[0].forecasts, b[0].forecasts);
+    EXPECT_GT(a[0].forecasts(), b[0].forecasts());
 }
 
-TEST(hb_analysis_suite, small_window_option_switches_series) {
+TEST(engine_hb, small_window_option_switches_series) {
     dataset data = synthetic_dataset();
     for (auto& r : data.records) {
         r.m.r_large_bps = 4e6;            // constant: RMSRE 0
         r.m.r_small_bps = r.epoch_index % 2 == 0 ? 1e6 : 3e6;  // oscillating
     }
-    const auto pred = make_predictor("1-MA");
-    hb_options small;
+    engine_options small;
     small.small_window = true;
-    EXPECT_DOUBLE_EQ(hb_rmsre_per_trace(data, *pred)[0].rmsre, 0.0);
-    EXPECT_GT(hb_rmsre_per_trace(data, *pred, small)[0].rmsre, 1.0);
+    EXPECT_DOUBLE_EQ(evaluation_engine{}.run_one(data, "1-MA").traces[0].rmsre, 0.0);
+    EXPECT_GT(evaluation_engine{small}.run_one(data, "1-MA").traces[0].rmsre, 1.0);
 }
 
-TEST(hb_analysis_suite, cov_vs_rmsre_produces_point_per_trace) {
+TEST(engine_hb, cov_vs_rmsre_produces_point_per_trace) {
     const auto data = synthetic_dataset();
-    const auto pred = make_predictor("0.8-HW-LSO");
-    const auto pts = cov_vs_rmsre(data, *pred);
+    const auto pts = cov_vs_rmsre(data, "0.8-HW-LSO");
     EXPECT_EQ(pts.size(), 2u);
     for (const auto& p : pts) {
         EXPECT_GE(p.cov, 0.0);

@@ -52,6 +52,17 @@ check_exit "campaign tiny clean run" 0 $?
 check_exit "analyze clean dataset" 0 $?
 grep -q "formula-based" "$WORK/analyze.out" || { echo "FAIL: analyze summary missing"; FAILURES=$((FAILURES+1)); }
 
+# --- predictor specs: valid list -> 0 and per-spec rows; bad spec -> 2 with
+# the offending spec named on stderr
+"$ANALYZE" "$WORK/clean.csv" --predictors 5-MA,fb:sqrt,hybrid:0.8-HW >"$WORK/specs.out" 2>/dev/null
+check_exit "analyze custom --predictors" 0 $?
+for spec in 5-MA fb:sqrt hybrid:0.8-HW; do
+    grep -q "$spec" "$WORK/specs.out" || { echo "FAIL: --predictors row for $spec missing"; FAILURES=$((FAILURES+1)); }
+done
+"$ANALYZE" "$WORK/clean.csv" --predictors bogus >/dev/null 2>"$WORK/err"
+check_exit "analyze unknown predictor spec" 2 $?
+grep -q "bad predictor spec 'bogus'" "$WORK/err" || { echo "FAIL: spec error does not name the spec"; FAILURES=$((FAILURES+1)); }
+
 # --- faulty campaign: deterministic for a fixed seed, analyze conditions on it
 FAULTS="pathload=0.3,abort=0.4,seed=7"
 "$CAMPAIGN" $TINY --epochs 4 --out "$WORK/faulty1.csv" --faults "$FAULTS" --jobs 2 >/dev/null 2>&1

@@ -1,0 +1,102 @@
+// Golden regression test for the streaming evaluation engine: the Fig. 19
+// headline numbers (FB per-trace RMSRE quantiles, HB P(RMSRE < 0.4)) on the
+// two tiny campaigns, pinned BIT-EXACTLY as hex float literals. The values
+// were captured from the legacy per-family evaluation loops the engine
+// replaced, so this test is the permanent engine-vs-legacy equivalence
+// check; the campaign generator's determinism contract (same config + seed
+// -> byte-identical dataset) makes in-test regeneration safe.
+//
+// If a legitimate numerical change lands (e.g. a formula fix), re-capture
+// with: build the repo, run `bench/fig19_fb_vs_hb` per campaign, and print
+// the quantities below with %a.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/stats.hpp"
+#include "testbed/campaign.hpp"
+
+namespace tcppred::analysis {
+namespace {
+
+struct golden {
+    double fb_median;    ///< ecdf::quantile(0.5) of FB per-trace RMSREs
+    double fb_p90;       ///< ecdf::quantile(0.9) of FB per-trace RMSREs
+    double ma_p_lt_04;   ///< ecdf.at(0.4) of 10-MA-LSO per-trace RMSREs
+    double hw_p_lt_04;   ///< ecdf.at(0.4) of 0.8-HW-LSO per-trace RMSREs
+    std::size_t traces;  ///< per-trace sample count behind the CDFs
+};
+
+/// The goldens were captured on datasets LOADED from the cached campaign
+/// CSVs, whose serialized doubles differ from the in-memory campaign output
+/// in the last bits — round-trip through the same format before evaluating.
+testbed::dataset csv_round_trip(const testbed::dataset& data, const char* name) {
+    const auto file = std::filesystem::temp_directory_path() / name;
+    testbed::save_csv(data, file);
+    const testbed::dataset loaded = testbed::load_csv(file);
+    std::filesystem::remove(file);
+    return loaded;
+}
+
+void check_campaign(const testbed::dataset& data, const golden& g) {
+    // The scale is pinned in the config, NOT read from $REPRO_SCALE: the
+    // goldens are only valid for the tiny campaigns.
+    const std::vector<std::string> specs{"fb:pftk", "10-MA-LSO", "0.8-HW-LSO"};
+    const auto results = evaluation_engine{}.run(data, specs);
+
+    const auto fb_rmsres = results[0].trace_rmsres();
+    ASSERT_EQ(fb_rmsres.size(), g.traces);
+    const ecdf fb_cdf{std::vector<double>(fb_rmsres)};
+    EXPECT_EQ(fb_cdf.quantile(0.5), g.fb_median);
+    EXPECT_EQ(fb_cdf.quantile(0.9), g.fb_p90);
+
+    const auto ma_rmsres = results[1].trace_rmsres();
+    ASSERT_EQ(ma_rmsres.size(), g.traces);
+    EXPECT_EQ(ecdf{std::vector<double>(ma_rmsres)}.at(0.4), g.ma_p_lt_04);
+
+    const auto hw_rmsres = results[2].trace_rmsres();
+    ASSERT_EQ(hw_rmsres.size(), g.traces);
+    EXPECT_EQ(ecdf{std::vector<double>(hw_rmsres)}.at(0.4), g.hw_p_lt_04);
+
+    // The parallel engine must reproduce the serial numbers bitwise
+    // (determinism contract, DESIGN.md §6).
+    for (const int jobs : {2, 4}) {
+        engine_options par;
+        par.jobs = jobs;
+        const auto pr = evaluation_engine{par}.run(data, specs);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASSERT_EQ(pr[i].traces.size(), results[i].traces.size()) << jobs;
+            for (std::size_t t = 0; t < results[i].traces.size(); ++t) {
+                EXPECT_EQ(pr[i].traces[t].rmsre, results[i].traces[t].rmsre) << jobs;
+            }
+        }
+    }
+}
+
+TEST(engine_golden, campaign1_tiny_headline_numbers) {
+    const auto data = csv_round_trip(
+        testbed::run_campaign(testbed::campaign1_config(testbed::campaign_scale::tiny)),
+        "engine_golden_c1.csv");
+    check_campaign(data, golden{0x1.63fa5d235cb4ep+0,  // FB median RMSRE 1.3905
+                                0x1.e66bc32cafe19p+1,  // FB p90 RMSRE 3.8002
+                                0x1.cp-1,              // P(10-MA-LSO < 0.4) = 0.875
+                                0x1.8p-1,              // P(0.8-HW-LSO < 0.4) = 0.75
+                                8});
+}
+
+TEST(engine_golden, campaign2_tiny_headline_numbers) {
+    const auto data = csv_round_trip(
+        testbed::run_campaign(testbed::campaign2_config(testbed::campaign_scale::tiny)),
+        "engine_golden_c2.csv");
+    check_campaign(data, golden{0x1.4b2642668b93bp+0,  // FB median RMSRE 1.2936
+                                0x1.a51a66be21467p+0,  // FB p90 RMSRE 1.6449
+                                0x1.8p-1,              // P(10-MA-LSO < 0.4) = 0.75
+                                0x1p+0,                // P(0.8-HW-LSO < 0.4) = 1.0
+                                4});
+}
+
+}  // namespace
+}  // namespace tcppred::analysis

@@ -8,12 +8,14 @@
 
 #include "core/adaptive_selector.hpp"
 #include "core/ar_predictor.hpp"
-#include "core/hb_evaluation.hpp"
 #include "core/hybrid_predictor.hpp"
 #include "core/loss_events.hpp"
 #include "core/lso.hpp"
+#include "core/predictor.hpp"
 #include "core/seasonal_hw.hpp"
 #include "sim/rng.hpp"
+
+#include "analysis/evaluation.hpp"
 
 namespace tcppred::core {
 namespace {
@@ -72,8 +74,10 @@ TEST(ar_predictor_class, tracks_persistent_series_better_than_mean) {
         x = 4e6 + 0.85 * (x - 4e6) + r.normal(0.0, 2e5);
         series.push_back(std::max(x, 1e5));
     }
-    const hb_evaluation ar_eval = evaluate_one_step(series, ar_predictor(2));
-    const hb_evaluation ma_eval = evaluate_one_step(series, moving_average(20));
+    const auto ar_eval = analysis::evaluate_series(
+        series, history_predictor(std::make_unique<ar_predictor>(2)));
+    const auto ma_eval = analysis::evaluate_series(
+        series, history_predictor(std::make_unique<moving_average>(20)));
     EXPECT_LT(ar_eval.rmsre, ma_eval.rmsre);
 }
 
@@ -160,9 +164,11 @@ TEST(seasonal_hw, beats_nonseasonal_on_seasonal_series) {
         const double base = (i % 6 < 3) ? 9e6 : 3e6;  // square-wave "diurnal" load
         series.push_back(base * (1.0 + r.normal(0.0, 0.05)));
     }
-    const hb_evaluation seasonal =
-        evaluate_one_step(series, seasonal_holt_winters(0.3, 0.1, 0.4, 6));
-    const hb_evaluation plain = evaluate_one_step(series, holt_winters(0.8, 0.2));
+    const auto seasonal = analysis::evaluate_series(
+        series, history_predictor(
+                    std::make_unique<seasonal_holt_winters>(0.3, 0.1, 0.4, 6)));
+    const auto plain = analysis::evaluate_series(
+        series, history_predictor(std::make_unique<holt_winters>(0.8, 0.2)));
     EXPECT_LT(seasonal.rmsre, plain.rmsre);
 }
 

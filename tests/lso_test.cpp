@@ -5,7 +5,6 @@
 #include <cmath>
 #include <vector>
 
-#include "core/hb_evaluation.hpp"
 
 namespace tcppred::core {
 namespace {

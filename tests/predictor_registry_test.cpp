@@ -1,0 +1,108 @@
+#include "core/predictor_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace tcppred::core {
+namespace {
+
+TEST(make_predictor_factory, every_documented_spec_round_trips) {
+    // spec -> canonical name() ("fb" is shorthand, "NWS" names its set size,
+    // "hybrid:...:<k>" drops the k — every other spec is its own name).
+    const std::vector<std::pair<std::string, std::string>> specs{
+        {"fb", "fb:pftk"},
+        {"fb:pftk", "fb:pftk"},
+        {"fb:pftk-full", "fb:pftk-full"},
+        {"fb:sqrt", "fb:sqrt"},
+        {"fb:minwa", "fb:minwa"},
+        {"1-MA", "1-MA"},
+        {"10-MA", "10-MA"},
+        {"0.8-EWMA", "0.8-EWMA"},
+        {"0.5-HW", "0.5-HW"},
+        {"4-AR", "4-AR"},
+        {"10-MA-LSO", "10-MA-LSO"},
+        {"0.8-HW-LSO", "0.8-HW-LSO"},
+        {"4-AR-LSO", "4-AR-LSO"},
+        {"NWS", "NWS-4"},
+        {"hybrid:0.8-HW-LSO", "hybrid:0.8-HW-LSO"},
+        {"hybrid:10-MA:5", "hybrid:10-MA"},
+    };
+    for (const auto& [spec, canonical] : specs) {
+        const auto p = make_predictor(spec);
+        ASSERT_NE(p, nullptr) << spec;
+        EXPECT_EQ(p->name(), canonical) << spec;
+    }
+}
+
+TEST(make_predictor_factory, clone_empty_preserves_kind_and_parameters) {
+    for (const char* spec :
+         {"fb:sqrt", "10-MA", "0.8-EWMA", "0.5-HW", "4-AR-LSO", "NWS",
+          "hybrid:0.8-HW-LSO"}) {
+        const auto p = make_predictor(spec);
+        const auto clone = p->clone_empty();
+        EXPECT_EQ(clone->name(), p->name()) << spec;
+        EXPECT_EQ(clone->min_trace_length(), p->min_trace_length()) << spec;
+    }
+}
+
+TEST(make_predictor_factory, fresh_history_predictor_is_unusable) {
+    for (const char* spec : {"10-MA", "0.8-HW-LSO", "4-AR", "NWS"}) {
+        auto p = make_predictor(spec);
+        const prediction before = p->predict(epoch_inputs::absent());
+        EXPECT_FALSE(before.usable()) << spec;
+        EXPECT_EQ(before.status, prediction_status::no_history) << spec;
+        EXPECT_TRUE(std::isnan(before.value_bps)) << spec;
+
+        p->observe(5e6);
+        p->observe(5e6);
+        const prediction after = p->predict(epoch_inputs::absent());
+        EXPECT_TRUE(after.usable()) << spec;
+        EXPECT_GT(after.value_bps, 0.0) << spec;
+
+        // ... and a fresh clone starts over with no history.
+        const prediction cloned =
+            p->clone_empty()->predict(epoch_inputs::absent());
+        EXPECT_FALSE(cloned.usable()) << spec;
+    }
+}
+
+TEST(make_predictor_factory, config_controls_shared_parameters) {
+    predictor_config cfg;
+    cfg.window_bytes = 20 * 1024;
+    const auto p = make_predictor("fb:pftk", cfg);
+    path_measurement m;
+    m.rtt = seconds{0.05};
+    m.loss_rate = probability{0.0};
+    m.avail_bw = bits_per_second{50e6};
+    // Lossless branch with a tiny window: min(W/T, A) = W/T = 20KB*8/0.05.
+    const prediction pred = p->predict(epoch_inputs::valid(m));
+    ASSERT_TRUE(pred.usable());
+    EXPECT_EQ(pred.inputs_used.source, prediction_source::window_bound);
+    EXPECT_NEAR(pred.value_bps, 20 * 1024 * 8 / 0.05, 1.0);
+}
+
+TEST(make_predictor_factory, rejects_malformed_specs_with_payload) {
+    for (const char* bad : {"", "MA", "10-XX", "x-MA", "10x-MA", "-MA", "10-",
+                            "fb:bogus", "0-MA", "1.5-EWMA", "hybrid:",
+                            "hybrid:MA", "hybrid:10-MA:0", "hybrid:10-MA:x"}) {
+        try {
+            [[maybe_unused]] const auto p = make_predictor(bad);
+            FAIL() << "spec '" << bad << "' should have been rejected";
+        } catch (const predictor_spec_error& e) {
+            EXPECT_EQ(e.spec(), bad);
+            EXPECT_NE(std::string(e.what()).find("bad predictor spec"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(make_predictor_factory, spec_error_is_an_invalid_argument) {
+    // Callers that only know std::invalid_argument still catch it.
+    EXPECT_THROW(make_predictor("nonsense"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcppred::core

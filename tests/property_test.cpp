@@ -7,7 +7,6 @@
 #include <memory>
 
 #include "core/units.hpp"
-#include "core/hb_evaluation.hpp"
 #include "core/lso.hpp"
 #include "core/metrics.hpp"
 #include "net/cross_traffic.hpp"

@@ -1,11 +1,15 @@
 // tcppred_analyze — summarize a campaign dataset CSV: FB accuracy, HB
 // accuracy per predictor, and per-path predictability classes. The
 // command-line counterpart of the per-figure benches for ad-hoc datasets.
+// Every predictor is built from its registry spec (core::make_predictor)
+// and all of them are evaluated in ONE streaming pass over the dataset
+// (analysis::evaluation_engine).
 //
 //   tcppred_analyze DATASET.csv [--predictors SPEC,SPEC,...]
 //
 // Exit codes: 0 success, 1 bad arguments, 2 runtime failure (unreadable or
-// malformed dataset).
+// malformed dataset, unknown predictor spec).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -14,8 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/fb_analysis.hpp"
-#include "analysis/hb_analysis.hpp"
+#include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
 #include "testbed/dataset.hpp"
 
@@ -26,7 +29,10 @@ namespace {
 void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
-                 "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n",
+                 "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n"
+                 "  spec grammar: fb[:pftk|:pftk-full|:sqrt|:minwa], <n>-MA[-LSO],\n"
+                 "                <a>-EWMA[-LSO], <a>-HW[-LSO], <p>-AR[-LSO], NWS,\n"
+                 "                hybrid:<hb-spec>[:<k>]   (see README \"Predictor specs\")\n",
                  argv0);
 }
 
@@ -73,9 +79,26 @@ int main(int argc, char** argv) {
         }
         std::printf("\n\n");
 
+        // One engine pass evaluates the FB baseline, every requested HB
+        // spec, and the HW-LSO classifier input together.
+        std::vector<std::string> all_specs{"fb:pftk"};
+        for (const char* extra : {"0.8-HW-LSO"}) {
+            if (std::find(specs.begin(), specs.end(), extra) == specs.end()) {
+                all_specs.emplace_back(extra);
+            }
+        }
+        all_specs.insert(all_specs.end(), specs.begin(), specs.end());
+        const auto results = analysis::evaluation_engine{}.run(data, all_specs);
+        const auto result_of = [&](const std::string& spec) -> const auto& {
+            for (std::size_t i = 0; i < all_specs.size(); ++i) {
+                if (all_specs[i] == spec) return results[i];
+            }
+            throw std::logic_error("spec not evaluated: " + spec);
+        };
+
         // ---- FB summary
-        const auto evals = analysis::evaluate_fb(data);
-        const auto errors = analysis::errors_of(evals);
+        const auto& fb = result_of("fb:pftk");
+        const auto errors = fb.epoch_errors();
         if (errors.empty()) {
             std::printf("formula-based (Eq. 3): no scorable epochs\n");
         } else {
@@ -93,7 +116,7 @@ int main(int argc, char** argv) {
             if (faulty_epochs > 0) {
                 // Fault-conditioned accuracy: how much measurement failures
                 // (and the stale-fallback inputs they force) cost.
-                const auto cond = analysis::fb_rmsre_conditioned(evals);
+                const auto cond = analysis::rmsre_conditioned(fb);
                 std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
                             cond.rmsre_clean, cond.n_clean);
                 if (cond.n_faulty > 0) {
@@ -113,9 +136,7 @@ int main(int argc, char** argv) {
         std::printf("history-based, per-trace RMSRE:\n");
         std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
         for (const auto& spec : specs) {
-            const auto pred = analysis::make_predictor(spec);
-            const auto rmsres =
-                analysis::rmsre_of(analysis::hb_rmsre_per_trace(data, *pred));
+            const auto rmsres = result_of(spec).trace_rmsres();
             const analysis::ecdf cdf{std::vector<double>(rmsres)};
             std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
                         analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
@@ -123,11 +144,10 @@ int main(int argc, char** argv) {
         }
 
         // ---- per-path classes (HW-LSO)
-        const auto hw = analysis::make_predictor("0.8-HW-LSO");
-        const auto per_trace = analysis::hb_rmsre_per_trace(data, *hw);
+        const auto& hw = result_of("0.8-HW-LSO");
         std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
         std::map<int, std::vector<double>> per_path;
-        for (const auto& t : per_trace) per_path[t.path_id].push_back(t.rmsre);
+        for (const auto& t : hw.traces) per_path[t.path_id].push_back(t.rmsre);
         for (const auto& [path, rs] : per_path) {
             const double mean_err = analysis::mean(rs);
             const char* klass = mean_err < 0.2   ? "predictable"
@@ -136,6 +156,9 @@ int main(int argc, char** argv) {
             std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass,
                         mean_err, rs.size());
         }
+    } catch (const core::predictor_spec_error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
