@@ -19,14 +19,20 @@
 
 #include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
 
 namespace tcppred::bench {
 
 /// Evaluate several registry specs (core::make_predictor) in one streaming
 /// pass over the dataset — the shared entry point of every figure bench.
+/// Honors the observability environment ($REPRO_TRACE, $REPRO_METRICS) so
+/// any bench can be traced/timed without per-bench wiring.
 inline std::vector<analysis::predictor_result> run_predictors(
     const testbed::dataset& data, const std::vector<std::string>& specs,
     const analysis::engine_options& opts = {}) {
+    obs::init_from_env();
+    const obs::stage_timer timer("bench.run_predictors");
     return analysis::evaluation_engine(opts).run(data, specs);
 }
 
@@ -45,6 +51,10 @@ inline std::vector<std::pair<std::string, analysis::ecdf>> rmsre_cdf_series(
 /// Print the figure banner and, for the reader, the paper's qualitative
 /// claim this bench is supposed to reproduce.
 inline void banner(const std::string& title, const std::string& paper_claim) {
+    // Every bench prints a banner first, which makes this the one place to
+    // honor $REPRO_TRACE / $REPRO_METRICS regardless of which engine entry
+    // point the bench uses.
+    obs::init_from_env();
     std::printf("== %s ==\n", title.c_str());
     std::printf("paper: %s\n\n", paper_claim.c_str());
 }

@@ -10,11 +10,25 @@
 
 #include "analysis/stats.hpp"
 #include "core/metrics.hpp"
+#include "obs/counters.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace tcppred::analysis {
 
 namespace {
+
+const char* source_name(core::prediction_source s) {
+    switch (s) {
+        case core::prediction_source::history: return "history";
+        case core::prediction_source::model_based: return "model_based";
+        case core::prediction_source::avail_bw: return "avail_bw";
+        case core::prediction_source::window_bound: return "window_bound";
+        case core::prediction_source::blended: return "blended";
+    }
+    return "unknown";
+}
 
 /// One (path, trace) series prepared for the streaming walk: the walked
 /// (downsampled) records, each epoch's a-priori measurement view, and the
@@ -110,16 +124,56 @@ void score_walk(const std::vector<core::epoch_inputs>& inputs,
                 const std::vector<const testbed::epoch_record*>* recs,
                 core::predictor& pred, std::size_t warmup,
                 const std::vector<bool>* excluded, std::vector<epoch_score>& out) {
+    // Prediction-status catalogue (DESIGN.md §12): valid = usable on fresh
+    // inputs, degraded = usable but from the staleness fallback, absent = no
+    // usable forecast. All are functions of the data alone, so snapshots
+    // match across job counts.
+    static const obs::counter c_valid = obs::counter::get("engine.predictions_valid");
+    static const obs::counter c_degraded =
+        obs::counter::get("engine.predictions_degraded");
+    static const obs::counter c_absent = obs::counter::get("engine.predictions_absent");
+    static const obs::counter c_scored = obs::counter::get("engine.epochs_scored");
+    static const obs::counter c_skipped = obs::counter::get("engine.epochs_skipped");
+
     for (std::size_t i = 0; i < actuals.size(); ++i) {
         const core::prediction p = pred.predict(inputs[i]);
         const double actual = actuals[i];
+        if (!p.usable()) {
+            c_absent.add();
+        } else if (p.inputs_used.staleness > 0) {
+            c_degraded.add();
+        } else {
+            c_valid.add();
+        }
         const bool skip = i < warmup || !p.usable() || std::isnan(actual) ||
                           actual <= 0.0 || (excluded != nullptr && (*excluded)[i]);
         if (!skip) {
+            const double error = core::relative_error(p.value_bps, actual);
             out.push_back(epoch_score{recs != nullptr ? (*recs)[i] : nullptr, i,
-                                      p.value_bps, actual,
-                                      core::relative_error(p.value_bps, actual),
+                                      p.value_bps, actual, error,
                                       p.inputs_used.source, p.inputs_used.staleness});
+            c_scored.add();
+            if (obs::trace_enabled() && recs != nullptr) {
+                const testbed::epoch_record& rec = *(*recs)[i];
+                obs::trace_emit(
+                    obs::json_line{}
+                        .str("ev", "predict")
+                        .str("predictor", pred.name())
+                        .num("path", static_cast<std::int64_t>(rec.path_id))
+                        .num("trace", static_cast<std::int64_t>(rec.trace_id))
+                        .num("epoch", static_cast<std::int64_t>(rec.epoch_index))
+                        .num("predicted_bps", p.value_bps)
+                        .num("actual_bps", actual)
+                        .num("error", error)
+                        .str("source", source_name(p.inputs_used.source))
+                        .num("staleness",
+                             static_cast<std::uint64_t>(p.inputs_used.staleness))
+                        .num("fault_flags",
+                             static_cast<std::uint64_t>(rec.m.fault_flags))
+                        .done());
+            }
+        } else {
+            c_skipped.add();
         }
         pred.observe_maybe(actual);
     }
@@ -189,6 +243,7 @@ std::vector<predictor_result> evaluation_engine::run(
     const unsigned jobs =
         opts_.jobs > 0 ? static_cast<unsigned>(opts_.jobs) : sim::jobs_from_env();
     sim::parallel_for(traces.size(), jobs, [&](std::size_t ti) {
+        const obs::stage_timer t_trace("engine.trace");
         const trace_view view = build_view(traces[ti].first, *traces[ti].second, opts_);
 
         std::optional<std::vector<bool>> excluded;
@@ -211,12 +266,18 @@ std::vector<predictor_result> evaluation_engine::run(
         }
     });
 
+    static const obs::counter c_traces_scored = obs::counter::get("engine.traces_scored");
+    static const obs::counter c_traces_unscored =
+        obs::counter::get("engine.traces_unscored");
     std::vector<predictor_result> out(prototypes.size());
     for (std::size_t pj = 0; pj < prototypes.size(); ++pj) {
         out[pj].name = prototypes[pj]->name();
         for (auto& slot : slots[pj]) {
             if (slot) out[pj].traces.push_back(std::move(*slot));
         }
+        out[pj].traces_unscored = traces.size() - out[pj].traces.size();
+        c_traces_scored.add(out[pj].traces.size());
+        c_traces_unscored.add(out[pj].traces_unscored);
     }
     return out;
 }
@@ -326,6 +387,9 @@ std::vector<cov_rmsre_point> cov_vs_rmsre(const testbed::dataset& data,
         so.exclude_outliers = true;
         so.lso = cfg.lso;
         const series_evaluation eval = evaluate_series(series, *prototype, so);
+        // A trace where nothing was forecastable has no RMSRE (NaN since the
+        // empty-series fix) — it used to land here as a bogus 0.0 point.
+        if (eval.forecasts() == 0) continue;
         out.push_back(cov_rmsre_point{key.first, key.second,
                                       weighted_cov(usable, cfg.lso), eval.rmsre});
     }

@@ -82,10 +82,16 @@ struct trace_result {
 /// One predictor's results over the whole dataset, traces in
 /// dataset::traces() order. Traces shorter than the predictor's
 /// min_trace_length(), and traces where no epoch could be scored, are
-/// omitted.
+/// omitted from `traces` and tallied in `traces_unscored` — an all-faulty
+/// trace has NO error (core::rmsre of nothing is NaN), not a perfect one,
+/// and tools render the gap as "n/a" instead of silently shrinking the
+/// denominator.
 struct predictor_result {
     std::string name;  ///< canonical spec (predictor::name())
     std::vector<trace_result> traces;
+    /// Input traces that produced no scored epoch (too short for the
+    /// predictor, every epoch faulty/warmup/excluded, ...).
+    std::size_t traces_unscored{0};
 
     /// Per-trace RMSRE values, trace order (for CDFs over traces).
     [[nodiscard]] std::vector<double> trace_rmsres() const;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 
 #include "core/contracts.hpp"
@@ -11,16 +12,28 @@
 
 namespace tcppred::core {
 
+/// Smallest denominator relative_error will divide by, in bits per second.
+/// The quantities E compares are transfer throughputs — even the paper's
+/// DSL paths sit at hundreds of kbit/s — so anything below 1 kbit/s is a
+/// transfer that effectively never ran. Clamping the denominator here keeps
+/// a true-zero (or epsilon) measurement from turning one epoch into an
+/// E ≈ R/1e-12 ≈ 1e18 outlier that single-handedly dominates a RMSRE
+/// (Eq. 5 squares E). The old floor of 1e-12 was sized for unit-scale
+/// values and was meaningless at bps scale; see metrics_test for the pinned
+/// edge-case behaviour.
+inline constexpr double k_min_error_denominator_bps = 1e3;
+
 /// Relative prediction error (Eq. 4):
 ///   E = (R̂ − R) / min(R̂, R).
 /// Symmetric in over/under-estimation: predicting w·R or R/w both yield
-/// |E| = w − 1. Both arguments must be non-negative; a tiny floor guards
-/// degenerate zero measurements.
+/// |E| = w − 1. Both arguments must be non-negative; the denominator is
+/// clamped to k_min_error_denominator_bps so degenerate zero-throughput
+/// inputs yield large-but-bounded errors (R̂/1kbps) instead of ~1e18.
 [[nodiscard]] inline double relative_error(double predicted, double actual) {
     TCPPRED_EXPECTS(predicted >= 0.0);
     TCPPRED_EXPECTS(actual >= 0.0);
-    constexpr double floor = 1e-12;
-    const double denom = std::max(std::min(predicted, actual), floor);
+    const double denom =
+        std::max(std::min(predicted, actual), k_min_error_denominator_bps);
     return (predicted - actual) / denom;
 }
 
@@ -31,9 +44,13 @@ namespace tcppred::core {
 }
 
 /// Root Mean Square Relative Error (Eq. 5) over a series of relative errors.
-/// An empty series has zero error by convention (no forecasts were scored).
+/// An empty series has NO error, not zero error: zero would score an
+/// all-faulty or all-warmup trace as a perfect forecast. Returns NaN so the
+/// absence of evidence propagates visibly; consumers that tabulate RMSREs
+/// render it as "n/a" (evaluation_engine drops unscored traces from its
+/// per-trace output and counts them instead).
 [[nodiscard]] inline double rmsre(std::span<const double> errors) noexcept {
-    if (errors.empty()) return 0.0;
+    if (errors.empty()) return std::numeric_limits<double>::quiet_NaN();
     double sum = 0.0;
     for (const double e : errors) sum += e * e;
     return std::sqrt(sum / static_cast<double>(errors.size()));

@@ -1,0 +1,228 @@
+// Process-wide named counters and gauges — the counting half of the
+// observability layer (DESIGN.md §12).
+//
+// Counters are monotonically increasing event counts (epochs run, faults
+// injected by kind, checkpoint flushes, predictions by status, dataset rows
+// rejected). The hot path is a single relaxed fetch_add on a per-thread
+// shard cell: no locks, no allocation, no false sharing with other threads.
+// Shards are merged on snapshot(), and a thread's cells drain into a global
+// residue when the thread exits, so counts are never lost.
+//
+// Determinism contract: every counter in the catalogue counts a *logical*
+// event of the workload, never an artifact of scheduling — so for a fixed
+// seed the full counter snapshot is identical at any REPRO_JOBS value (the
+// trace/counter determinism tests pin this). Gauges are exempt: they record
+// last-written execution facts (e.g. worker count) and may legitimately
+// differ across job counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcppred::obs {
+
+/// Upper bound on distinct counter names with per-thread cells. Counters
+/// registered beyond this fall back to a shared atomic (still correct, just
+/// contended); the catalogue is nowhere near this size.
+inline constexpr std::size_t k_max_sharded_counters = 256;
+
+namespace detail {
+
+struct counter_info {
+    std::string name;
+    /// Contributions from exited threads (and the shared-slot fallback).
+    std::atomic<std::uint64_t> residue{0};
+};
+
+struct shard;
+
+/// The process-wide registry. Leaked on purpose: thread_local shard
+/// destructors may run during process teardown, after function-local
+/// statics would have been destroyed.
+struct registry_t {
+    std::mutex mu;
+    std::vector<std::unique_ptr<counter_info>> counters;  // id = index
+    std::map<std::string, std::size_t, std::less<>> ids;
+    std::vector<shard*> shards;  // live threads' shards
+};
+
+inline registry_t& registry() {
+    static registry_t* r = new registry_t;  // intentionally leaked
+    return *r;
+}
+
+/// One thread's counter cells. Registered on first use, drained into each
+/// counter's residue on thread exit. Fixed capacity keeps cell addresses
+/// stable so the hot path never takes the registry mutex.
+struct shard {
+    std::array<std::atomic<std::uint64_t>, k_max_sharded_counters> cells{};
+
+    shard() {
+        registry_t& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.shards.push_back(this);
+    }
+    ~shard() {
+        registry_t& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        for (std::size_t id = 0; id < r.counters.size() && id < cells.size(); ++id) {
+            const std::uint64_t v = cells[id].load(std::memory_order_relaxed);
+            if (v != 0) r.counters[id]->residue.fetch_add(v, std::memory_order_relaxed);
+        }
+        std::erase(r.shards, this);
+    }
+    shard(const shard&) = delete;
+    shard& operator=(const shard&) = delete;
+};
+
+inline shard& tl_shard() {
+    thread_local shard s;
+    return s;
+}
+
+}  // namespace detail
+
+/// Lightweight handle to a named process-wide counter. Interning (get) takes
+/// a mutex; cache the handle at the call site:
+///
+///     static const obs::counter c_epochs = obs::counter::get("campaign.epochs_run");
+///     c_epochs.add();
+class counter {
+public:
+    /// Intern `name` (creating it on first use) and return a handle.
+    [[nodiscard]] static counter get(std::string_view name) {
+        detail::registry_t& r = detail::registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        const auto it = r.ids.find(name);
+        if (it != r.ids.end()) return counter{it->second};
+        const std::size_t id = r.counters.size();
+        r.counters.push_back(std::make_unique<detail::counter_info>());
+        r.counters.back()->name = std::string(name);
+        r.ids.emplace(std::string(name), id);
+        return counter{id};
+    }
+
+    void add(std::uint64_t n = 1) const noexcept {
+        if (id_ < k_max_sharded_counters) {
+            detail::tl_shard().cells[id_].fetch_add(n, std::memory_order_relaxed);
+        } else {
+            detail::registry().counters[id_]->residue.fetch_add(
+                n, std::memory_order_relaxed);
+        }
+    }
+
+    [[nodiscard]] std::uint64_t value() const {
+        detail::registry_t& r = detail::registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        std::uint64_t sum = r.counters[id_]->residue.load(std::memory_order_relaxed);
+        if (id_ < k_max_sharded_counters) {
+            for (const detail::shard* s : r.shards) {
+                sum += s->cells[id_].load(std::memory_order_relaxed);
+            }
+        }
+        return sum;
+    }
+
+private:
+    explicit counter(std::size_t id) : id_(id) {}
+    std::size_t id_;
+};
+
+/// Merged view of every counter, sorted by name (map order). Zero-valued
+/// counters are included once registered — a counter that exists but never
+/// fired is information too.
+[[nodiscard]] inline std::map<std::string, std::uint64_t> counters_snapshot() {
+    detail::registry_t& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t id = 0; id < r.counters.size(); ++id) {
+        std::uint64_t sum = r.counters[id]->residue.load(std::memory_order_relaxed);
+        if (id < k_max_sharded_counters) {
+            for (const detail::shard* s : r.shards) {
+                sum += s->cells[id].load(std::memory_order_relaxed);
+            }
+        }
+        out.emplace(r.counters[id]->name, sum);
+    }
+    return out;
+}
+
+/// Zero every counter (names stay registered). Only meaningful while no
+/// other thread is incrementing — tests call this between measured runs.
+inline void reset_counters() {
+    detail::registry_t& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& c : r.counters) c->residue.store(0, std::memory_order_relaxed);
+    for (detail::shard* s : r.shards) {
+        for (auto& cell : s->cells) cell.store(0, std::memory_order_relaxed);
+    }
+}
+
+namespace detail {
+
+struct gauge_registry_t {
+    std::mutex mu;
+    std::map<std::string, std::shared_ptr<std::atomic<std::int64_t>>, std::less<>> values;
+};
+
+inline gauge_registry_t& gauge_registry() {
+    static gauge_registry_t* r = new gauge_registry_t;  // leaked, as above
+    return *r;
+}
+
+}  // namespace detail
+
+/// Last-write-wins named gauge (worker counts, queue depths). Excluded from
+/// the cross-job-count determinism contract — see the file comment.
+class gauge {
+public:
+    [[nodiscard]] static gauge get(std::string_view name) {
+        detail::gauge_registry_t& r = detail::gauge_registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        auto it = r.values.find(name);
+        if (it == r.values.end()) {
+            it = r.values
+                     .emplace(std::string(name),
+                              std::make_shared<std::atomic<std::int64_t>>(0))
+                     .first;
+        }
+        return gauge{it->second};
+    }
+
+    void set(std::int64_t v) const noexcept {
+        cell_->store(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return cell_->load(std::memory_order_relaxed);
+    }
+
+private:
+    explicit gauge(std::shared_ptr<std::atomic<std::int64_t>> cell)
+        : cell_(std::move(cell)) {}
+    std::shared_ptr<std::atomic<std::int64_t>> cell_;
+};
+
+[[nodiscard]] inline std::map<std::string, std::int64_t> gauges_snapshot() {
+    detail::gauge_registry_t& r = detail::gauge_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, cell] : r.values) {
+        out.emplace(name, cell->load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+inline void reset_gauges() {
+    detail::gauge_registry_t& r = detail::gauge_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, cell] : r.values) cell->store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tcppred::obs

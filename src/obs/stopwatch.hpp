@@ -1,0 +1,139 @@
+// Wall-clock stage timers and latency recorders — the timing half of the
+// observability layer (DESIGN.md §12).
+//
+// Sample collection is gated on metrics_enabled(): with metrics off (the
+// default) record() is one relaxed atomic load and a branch — no locking,
+// no allocation — so instrumented hot paths cost nothing in ordinary runs.
+// Tools flip the flag via --metrics-summary, benches via $REPRO_METRICS.
+//
+// Timings are wall-clock facts about *this* execution: they are reported in
+// the metrics summary and carried in trace events, but they are never part
+// of any determinism contract (the trace canonicalizer strips them).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcppred::obs {
+
+/// Plain steady-clock stopwatch; running from construction.
+class stopwatch {
+public:
+    stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+    [[nodiscard]] double elapsed_s() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Global switch for timing-sample collection (counters are always on).
+namespace detail {
+inline std::atomic<bool>& metrics_flag() {
+    static std::atomic<bool> f{false};
+    return f;
+}
+
+struct timer_registry_t {
+    std::mutex mu;
+    std::map<std::string, std::vector<double>, std::less<>> samples;
+};
+
+inline timer_registry_t& timer_registry() {
+    static timer_registry_t* r = new timer_registry_t;  // leaked; see counters.hpp
+    return *r;
+}
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+    return detail::metrics_flag().load(std::memory_order_relaxed);
+}
+inline void set_metrics_enabled(bool on) noexcept {
+    detail::metrics_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Record one duration sample under `name`. No-op (one atomic load) while
+/// metrics are disabled. A mutexed push_back otherwise: every instrumented
+/// site runs at per-epoch/per-trace granularity, where milliseconds of work
+/// amortize a sub-microsecond lock.
+inline void record_duration(std::string_view name, double seconds) {
+    if (!metrics_enabled()) return;
+    detail::timer_registry_t& r = detail::timer_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.samples.find(name);
+    if (it != r.samples.end()) {
+        it->second.push_back(seconds);
+    } else {
+        r.samples.emplace(std::string(name), std::vector<double>{seconds});
+    }
+}
+
+/// RAII stage timer: records the scope's wall time under `name` (e.g.
+/// "campaign.sweep", "engine.trace", "analyze.load_csv").
+class stage_timer {
+public:
+    explicit stage_timer(std::string_view name) : name_(name) {}
+    ~stage_timer() { record_duration(name_, watch_.elapsed_s()); }
+    stage_timer(const stage_timer&) = delete;
+    stage_timer& operator=(const stage_timer&) = delete;
+
+    [[nodiscard]] double elapsed_s() const { return watch_.elapsed_s(); }
+
+private:
+    std::string name_;
+    stopwatch watch_;
+};
+
+/// Aggregate view of one named timer's samples.
+struct timer_stats {
+    std::size_t count{0};
+    double total_s{0.0};
+    double p50_s{0.0};
+    double p95_s{0.0};
+    double max_s{0.0};
+};
+
+/// Stats for every named timer, sorted by name. Percentiles use the
+/// nearest-rank convention — good enough for a run summary.
+[[nodiscard]] inline std::map<std::string, timer_stats> timers_snapshot() {
+    detail::timer_registry_t& r = detail::timer_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, timer_stats> out;
+    for (const auto& [name, samples] : r.samples) {
+        timer_stats st;
+        st.count = samples.size();
+        if (!samples.empty()) {
+            std::vector<double> sorted(samples);
+            std::sort(sorted.begin(), sorted.end());
+            for (const double s : sorted) st.total_s += s;
+            const auto rank = [&](double q) {
+                const auto i = static_cast<std::size_t>(
+                    std::ceil(q * static_cast<double>(sorted.size())));
+                return sorted[std::min(i == 0 ? 0 : i - 1, sorted.size() - 1)];
+            };
+            st.p50_s = rank(0.50);
+            st.p95_s = rank(0.95);
+            st.max_s = sorted.back();
+        }
+        out.emplace(name, st);
+    }
+    return out;
+}
+
+inline void reset_timers() {
+    detail::timer_registry_t& r = detail::timer_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.samples.clear();
+}
+
+}  // namespace tcppred::obs

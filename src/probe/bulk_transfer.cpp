@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tcppred::probe {
 
@@ -62,6 +63,12 @@ void bulk_transfer::finalize(double t0, bool aborted) {
     m.tcp_stats = conn_->sender().stats();
     m.aborted = aborted;
     result_.status = aborted ? probe_status::degraded : probe_status::ok;
+
+    static const obs::counter c_transfers = obs::counter::get("probe.transfers");
+    static const obs::counter c_aborted = obs::counter::get("probe.transfers_aborted");
+    c_transfers.add();
+    if (aborted) c_aborted.add();
+
     if (on_done_) on_done_(result_);
 }
 

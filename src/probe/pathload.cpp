@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tcppred::probe {
 
@@ -172,6 +173,15 @@ void pathload::finish() {
     m.streams_used = streams_sent_;
     result_.status =
         cfg_.fault_nonconvergence ? probe_status::failed : probe_status::ok;
+
+    static const obs::counter c_runs = obs::counter::get("probe.pathload_runs");
+    static const obs::counter c_streams = obs::counter::get("probe.pathload_streams");
+    static const obs::counter c_failed =
+        obs::counter::get("probe.pathload_nonconverged");
+    c_runs.add();
+    c_streams.add(static_cast<std::uint64_t>(streams_sent_));
+    if (result_.status == probe_status::failed) c_failed.add();
+
     if (on_done_) on_done_(result_);
 }
 

@@ -1,6 +1,7 @@
 #include "probe/ping_prober.hpp"
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
 
 namespace tcppred::probe {
 
@@ -96,6 +97,22 @@ void ping_prober::check_done() {
     result_.status = session.injected_timeouts > 0 || session.truncated
                          ? probe_status::degraded
                          : probe_status::ok;
+
+    // Aggregated once per session (not per probe) so the hot send path stays
+    // untouched; all of these are seed-derived logical quantities.
+    static const obs::counter c_sessions = obs::counter::get("probe.ping_sessions");
+    static const obs::counter c_sent = obs::counter::get("probe.ping_probes_sent");
+    static const obs::counter c_recv = obs::counter::get("probe.ping_replies");
+    static const obs::counter c_injected =
+        obs::counter::get("probe.ping_injected_timeouts");
+    static const obs::counter c_truncated =
+        obs::counter::get("probe.ping_sessions_truncated");
+    c_sessions.add();
+    c_sent.add(session.sent);
+    c_recv.add(session.received);
+    if (session.injected_timeouts > 0) c_injected.add(session.injected_timeouts);
+    if (session.truncated) c_truncated.add();
+
     if (on_done_) on_done_(result_);
 }
 

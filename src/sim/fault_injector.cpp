@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
 #include "sim/rng.hpp"
 
 namespace tcppred::sim {
@@ -151,6 +152,20 @@ epoch_fault_plan plan_epoch_faults(const fault_profile& profile,
         plan.outage_start_fraction = outage_start;
         plan.outage_duration_fraction = outage_dur;
     }
+
+    // Planned-fault counters: these count logical decisions derived purely
+    // from seeds, so snapshots are identical at any REPRO_JOBS setting.
+    // (ping_timeout is a rate, not a plan-time decision; the probe counts
+    // the timeouts it actually injects.)
+    static const obs::counter c_pathload = obs::counter::get("fault.pathload_planned");
+    static const obs::counter c_truncate =
+        obs::counter::get("fault.ping_truncate_planned");
+    static const obs::counter c_abort = obs::counter::get("fault.abort_planned");
+    static const obs::counter c_outage = obs::counter::get("fault.outage_planned");
+    if (plan.pathload_fail) c_pathload.add();
+    if (truncate) c_truncate.add();
+    if (abort) c_abort.add();
+    if (outage) c_outage.add();
     return plan;
 }
 

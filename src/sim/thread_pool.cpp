@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace tcppred::sim {
 
 namespace {
@@ -79,12 +81,20 @@ void thread_pool::worker_loop() {
 void parallel_for(std::size_t n, unsigned jobs,
                   const std::function<void(std::size_t)>& body) {
     if (n == 0) return;
+    // Counts logical work items (not worker spawns), so the snapshot is
+    // identical whether the serial bypass or the pool runs the loop. The
+    // worker count is timing-dependent context and goes in a gauge, which
+    // the determinism contract exempts.
+    static const obs::counter c_items = obs::counter::get("sim.parallel_items");
+    c_items.add(n);
     if (jobs <= 1) {
+        obs::gauge::get("sim.pool_workers").set(1);
         for (std::size_t i = 0; i < n; ++i) body(i);
         return;
     }
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(resolve_threads(jobs), n));
+    obs::gauge::get("sim.pool_workers").set(static_cast<std::int64_t>(workers));
     thread_pool pool(workers);
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "obs/counters.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
@@ -48,12 +54,33 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
                                 : ron_like_catalog(cfg.paths, cfg.seed);
 
     const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
+
+    // Observability: logical-event counters (job-count-invariant; DESIGN.md
+    // §12), the per-epoch latency recorder, and the JSONL run trace.
+    static const obs::counter c_epochs = obs::counter::get("campaign.epochs_run");
+    static const obs::counter c_resumed = obs::counter::get("campaign.epochs_resumed");
+    static const obs::counter c_faulted = obs::counter::get("campaign.epochs_faulted");
+    static const obs::counter c_flushes =
+        obs::counter::get("campaign.checkpoint_flushes");
+    if (obs::trace_enabled()) {
+        obs::trace_emit(obs::json_line{}
+                            .str("ev", "campaign_start")
+                            .num("paths", static_cast<std::int64_t>(cfg.paths))
+                            .num("traces", static_cast<std::int64_t>(cfg.traces_per_path))
+                            .num("epochs", static_cast<std::int64_t>(cfg.epochs_per_trace))
+                            .num("seed", static_cast<std::uint64_t>(cfg.seed))
+                            .str("faults", cfg.faults.spec())
+                            .num("second_set",
+                                 static_cast<std::int64_t>(cfg.second_set ? 1 : 0))
+                            .done());
+    }
     const bool checkpointing = !opts.checkpoint.empty();
     const std::string fingerprint =
         checkpointing ? campaign_fingerprint(cfg) : std::string{};
 
     // Per-trace load trajectories are cheap; generate them up front so the
     // parallel sweep below is a pure fan-out over independent epochs.
+    const obs::stopwatch loads_watch;
     const std::size_t n_traces =
         data.paths.size() * static_cast<std::size_t>(cfg.traces_per_path);
     std::vector<std::vector<load_state>> loads(n_traces);
@@ -67,6 +94,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
                 load_trajectory(data.paths[p], trace_seed, cfg.epochs_per_trace);
         }
     }
+    obs::record_duration("campaign.load_trajectories", loads_watch.elapsed_s());
 
     // Records are pre-sized and indexed by the linearized (path, trace,
     // epoch) — identical to the serial iteration order — so completion order
@@ -91,6 +119,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
                 done[i] = 1;
                 ++out.epochs_resumed;
             }
+            c_resumed.add(static_cast<std::uint64_t>(out.epochs_resumed));
         }
     }
 
@@ -117,6 +146,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
             if (done[i]) ck.records[i] = data.records[i];
         }
         save_checkpoint(ck, opts.checkpoint);
+        c_flushes.add();
     };
 
     const auto run_one = [&](std::size_t idx) {
@@ -145,17 +175,44 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
             faulty_cfg = cfg.epoch;
             faulty_cfg.faults = sim::plan_epoch_faults(cfg.faults, cfg.seed,
                                                        profile.id, trace, epoch);
+            if (faulty_cfg.faults.any()) c_faulted.add();
             ecfg = &faulty_cfg;
         }
         epoch_record& rec = data.records[idx];
         rec.path_id = profile.id;
         rec.trace_id = trace;
         rec.epoch_index = epoch;
+        const bool observing = obs::metrics_enabled() || obs::trace_enabled();
+        const obs::stopwatch epoch_watch;  // read only when observing
         rec.m = run_epoch(
             profile,
             loads[p * static_cast<std::size_t>(cfg.traces_per_path) +
                   static_cast<std::size_t>(trace)][static_cast<std::size_t>(epoch)],
             epoch_seed, *ecfg);
+        c_epochs.add();
+        if (observing) {
+            const double dur_s = epoch_watch.elapsed_s();
+            obs::record_duration("campaign.epoch", dur_s);
+            if (obs::trace_enabled()) {
+                char seed_hex[20];
+                std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
+                              static_cast<unsigned long long>(epoch_seed));
+                obs::trace_emit(
+                    obs::json_line{}
+                        .str("ev", "epoch")
+                        .num("path", static_cast<std::int64_t>(profile.id))
+                        .num("trace", static_cast<std::int64_t>(trace))
+                        .num("epoch", static_cast<std::int64_t>(epoch))
+                        .str("seed", seed_hex)
+                        .num("fault_flags", static_cast<std::uint64_t>(rec.m.fault_flags))
+                        .num("sim_events", rec.m.events)
+                        .num("dur_s", dur_s)
+                        .num("thread",
+                             static_cast<std::uint64_t>(std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id())))
+                        .done());
+            }
+        }
         {
             const std::lock_guard<std::mutex> lock(ck_mutex);
             done[idx] = 1;
@@ -169,6 +226,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
     };
 
     try {
+        const obs::stage_timer t_sweep("campaign.sweep");
         sim::parallel_for(static_cast<std::size_t>(total), effective_jobs(cfg, total),
                           run_one);
     } catch (...) {

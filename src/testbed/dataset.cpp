@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/units.hpp"
+#include "obs/counters.hpp"
 
 namespace tcppred::testbed {
 
@@ -209,7 +210,11 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
     }
 }
 
-dataset load_csv(const std::filesystem::path& file) {
+namespace {
+
+/// load_csv with rejection accounting split out so the public entry point
+/// can count rejected rows without cluttering the parse itself.
+dataset load_csv_impl(const std::filesystem::path& file) {
     std::ifstream in(file);
     if (!in) throw dataset_error(file, 0, 0, "cannot open file");
 
@@ -302,6 +307,25 @@ dataset load_csv(const std::filesystem::path& file) {
         data.records.push_back(std::move(r));
     }
     return data;
+}
+
+}  // namespace
+
+dataset load_csv(const std::filesystem::path& file) {
+    try {
+        return load_csv_impl(file);
+    } catch (const dataset_error& e) {
+        // Parsing is fail-fast, so a load rejects at most one row — but the
+        // counter still distinguishes "campaign ran clean" from "some input
+        // was refused" in a metrics summary. A line number of 0 means the
+        // file itself was unreadable, which is not a row rejection.
+        if (e.line() > 0) {
+            static const obs::counter c_rejected =
+                obs::counter::get("testbed.dataset_rows_rejected");
+            c_rejected.add();
+        }
+        throw;
+    }
 }
 
 }  // namespace tcppred::testbed

@@ -7,6 +7,8 @@
 
 #include "core/loss_events.hpp"
 #include "net/cross_traffic.hpp"
+#include "obs/counters.hpp"
+#include "obs/stopwatch.hpp"
 #include "probe/bulk_transfer.hpp"
 #include "probe/pathload.hpp"
 #include "sim/rng.hpp"
@@ -291,8 +293,34 @@ epoch_measurement epoch_world::run() {
 
 epoch_measurement run_epoch(const path_profile& profile, const load_state& load,
                             std::uint64_t seed, const epoch_config& cfg) {
+    const obs::stage_timer timer("testbed.run_epoch");
     epoch_world world(profile, load, seed, cfg);
-    return world.run();
+    const epoch_measurement m = world.run();
+
+    static const obs::counter c_epochs = obs::counter::get("testbed.epochs_simulated");
+    static const obs::counter c_events = obs::counter::get("testbed.sim_events");
+    c_epochs.add();
+    c_events.add(m.events);
+    if (m.fault_flags != 0) {
+        // Observed (as opposed to planned) fault outcomes, keyed by the
+        // epoch_measurement flag they set.
+        static const obs::counter c_pathload =
+            obs::counter::get("testbed.faults.pathload_failed");
+        static const obs::counter c_ping_deg =
+            obs::counter::get("testbed.faults.ping_degraded");
+        static const obs::counter c_ping_part =
+            obs::counter::get("testbed.faults.ping_partial");
+        static const obs::counter c_aborted =
+            obs::counter::get("testbed.faults.transfer_aborted");
+        static const obs::counter c_outage =
+            obs::counter::get("testbed.faults.path_outage");
+        if ((m.fault_flags & fault_pathload_failed) != 0) c_pathload.add();
+        if ((m.fault_flags & fault_ping_degraded) != 0) c_ping_deg.add();
+        if ((m.fault_flags & fault_ping_partial) != 0) c_ping_part.add();
+        if ((m.fault_flags & fault_transfer_aborted) != 0) c_aborted.add();
+        if ((m.fault_flags & fault_path_outage) != 0) c_outage.add();
+    }
+    return m;
 }
 
 }  // namespace tcppred::testbed

@@ -77,6 +77,27 @@ grep -q "fault_flags" "$WORK/clean.csv" && { echo "FAIL: clean CSV has fault_fla
 check_exit "analyze faulty dataset" 0 $?
 grep -q "measurement status" "$WORK/faulty.out" || { echo "FAIL: analyze lacks fault-conditioned RMSRE"; FAILURES=$((FAILURES+1)); }
 
+# --- observability flags: --trace writes parseable JSONL, --metrics-summary
+# prints the counter table to stderr, --from-trace round-trips, and a
+# malformed trace is a runtime failure (2).
+"$CAMPAIGN" $TINY --out "$WORK/obs.csv" --trace "$WORK/obs.jsonl" \
+    --metrics-summary >/dev/null 2>"$WORK/obs.err"
+check_exit "campaign with --trace and --metrics-summary" 0 $?
+[ -s "$WORK/obs.jsonl" ] || { echo "FAIL: --trace wrote nothing"; FAILURES=$((FAILURES+1)); }
+grep -q '"ev":"epoch"' "$WORK/obs.jsonl" || { echo "FAIL: trace lacks epoch events"; FAILURES=$((FAILURES+1)); }
+grep -q "== metrics summary ==" "$WORK/obs.err" || { echo "FAIL: metrics summary not on stderr"; FAILURES=$((FAILURES+1)); }
+
+"$ANALYZE" "$WORK/obs.csv" --trace "$WORK/engine.jsonl" >/dev/null 2>&1
+check_exit "analyze with --trace" 0 $?
+"$ANALYZE" --from-trace "$WORK/engine.jsonl" >"$WORK/fromtrace.out" 2>/dev/null
+check_exit "analyze --from-trace round-trip" 0 $?
+grep -q "re-derived from trace" "$WORK/fromtrace.out" || { echo "FAIL: --from-trace table missing"; FAILURES=$((FAILURES+1)); }
+printf 'not json at all\n' > "$WORK/bad.jsonl"
+"$ANALYZE" --from-trace "$WORK/bad.jsonl" >/dev/null 2>&1
+check_exit "analyze malformed trace" 2 $?
+"$ANALYZE" --from-trace "$WORK/engine.jsonl" "$WORK/obs.csv" >/dev/null 2>&1
+check_exit "--from-trace plus dataset is a usage error" 1 $?
+
 # --- interrupt + resume: SIGINT mid-run exits 130, --resume completes, and
 # the result is byte-identical to an uninterrupted run.
 "$CAMPAIGN" $TINY --epochs 30 --out "$WORK/full.csv" --faults "$FAULTS" --jobs 2 >/dev/null 2>&1

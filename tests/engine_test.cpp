@@ -35,11 +35,14 @@ TEST(evaluate_series_fn, perfect_predictor_on_constant_series) {
 }
 
 TEST(evaluate_series_fn, errors_align_with_indices) {
-    const std::vector<double> series{10.0, 20.0, 20.0};
+    // bps-scale values: relative_error clamps its denominator at
+    // k_min_error_denominator_bps, so unit-scale toy numbers would hit the
+    // floor instead of exercising the ratio.
+    const std::vector<double> series{10e6, 20e6, 20e6};
     const series_evaluation e = evaluate_series(series, ma(1));
     ASSERT_EQ(e.errors.size(), 2u);
     EXPECT_EQ(e.indices[0], 1u);
-    // Forecast 10 for actual 20: E = (10-20)/10 = -1.
+    // Forecast 10M for actual 20M: E = (10M-20M)/10M = -1.
     EXPECT_DOUBLE_EQ(e.errors[0], -1.0);
     EXPECT_DOUBLE_EQ(e.errors[1], 0.0);
 }

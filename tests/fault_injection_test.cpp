@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
+#include "testbed/checkpoint.hpp"
 #include "testbed/epoch_runner.hpp"
 #include "testbed/load_process.hpp"
 #include "testbed/path_catalog.hpp"
@@ -201,4 +203,75 @@ TEST(epoch_faults, outage_flags_and_degrades_throughput) {
     EXPECT_TRUE(testbed::actual_faulty(m.fault_flags));
     // A 20% blackout inside the transfer costs real throughput.
     EXPECT_LT(m.r_large_bps, clean.r_large_bps);
+}
+
+// --- checkpoint fingerprint coverage of the fault profile -------------------
+// A resume under ANY changed fault knob must be refused: the records already
+// in the checkpoint were produced under the old profile, and mixing them
+// with epochs from a new one silently corrupts the dataset. The fingerprint
+// embeds fault_profile::spec(), which canonically encodes every knob the
+// $REPRO_FAULT_* environment can set.
+
+TEST(checkpoint_fingerprint, covers_every_fault_profile_knob) {
+    testbed::campaign_config base;
+    base.paths = 2;
+    base.traces_per_path = 1;
+    base.epochs_per_trace = 3;
+    const std::string fp = testbed::campaign_fingerprint(base);
+
+    const auto perturbed = [&](auto&& mutate) {
+        testbed::campaign_config c = base;
+        mutate(c.faults);
+        return testbed::campaign_fingerprint(c);
+    };
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.pathload_fail = 0.1; }));
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.ping_timeout = 0.1; }));
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.ping_truncate = 0.1; }));
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.transfer_abort = 0.1; }));
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.outage = 0.1; }));
+    // The fault seed only matters once some fault is enabled.
+    EXPECT_NE(perturbed([](fault_profile& f) {
+                  f.pathload_fail = 0.1;
+                  f.seed = 99;
+              }),
+              perturbed([](fault_profile& f) { f.pathload_fail = 0.1; }));
+}
+
+TEST(checkpoint_fingerprint, distinct_rates_of_the_same_knob_differ) {
+    testbed::campaign_config a, b;
+    a.faults.transfer_abort = 0.25;
+    b.faults.transfer_abort = 0.50;
+    EXPECT_NE(testbed::campaign_fingerprint(a), testbed::campaign_fingerprint(b));
+}
+
+TEST(checkpoint_fingerprint, resume_under_changed_fault_knob_is_rejected) {
+    testbed::campaign_config cfg;
+    cfg.paths = 1;
+    cfg.traces_per_path = 1;
+    cfg.epochs_per_trace = 2;
+    cfg.faults.ping_timeout = 0.05;  // as if REPRO_FAULT_PING_TIMEOUT=0.05
+
+    testbed::campaign_checkpoint ck;
+    ck.fingerprint = testbed::campaign_fingerprint(cfg);
+    ck.total = 2;
+    ck.done.assign(2, 0);
+    ck.done[0] = 1;
+    ck.records.resize(2);
+    const std::filesystem::path file =
+        std::filesystem::temp_directory_path() / "tcppred_fp_test.ckpt";
+    testbed::save_checkpoint(ck, file);
+
+    // Same profile: the checkpoint loads.
+    EXPECT_TRUE(testbed::load_checkpoint(file, testbed::campaign_fingerprint(cfg))
+                    .has_value());
+
+    // One knob nudged (the env override scenario): refused, not merged.
+    testbed::campaign_config changed = cfg;
+    changed.faults.ping_timeout = 0.10;
+    EXPECT_THROW(
+        (void)testbed::load_checkpoint(file,
+                                       testbed::campaign_fingerprint(changed)),
+        testbed::dataset_error);
+
+    std::filesystem::remove(file);
 }

@@ -96,8 +96,10 @@ TEST(rmsre_metric, matches_hand_computation) {
     EXPECT_NEAR(rmsre(errors), std::sqrt((1.0 + 1.0 + 4.0) / 3.0), 1e-12);
 }
 
-TEST(rmsre_metric, empty_is_zero) {
-    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{}), 0.0);
+TEST(rmsre_metric, empty_is_nan) {
+    // An empty series has no error evidence at all — NaN, not a perfect 0
+    // (0 would score an all-faulty trace as a flawless forecast).
+    EXPECT_TRUE(std::isnan(rmsre(std::vector<double>{})));
 }
 
 }  // namespace

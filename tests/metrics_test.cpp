@@ -38,6 +38,32 @@ TEST(relative_error_metric, zero_measurement_floor_keeps_error_finite) {
     EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
 }
 
+// Regression for the metrics-edge sweep: the old floor was 1e-12, sized for
+// unit-scale values — at bps scale a true-zero measurement made E blow up
+// to ~R/1e-12 ≈ 1e18 and one such epoch dominated any squared aggregate.
+// The denominator is now clamped at k_min_error_denominator_bps (1 kbit/s).
+TEST(relative_error_metric, zero_actual_is_bounded_by_the_bps_floor) {
+    EXPECT_DOUBLE_EQ(relative_error(1e6, 0.0), 1e6 / k_min_error_denominator_bps);
+    EXPECT_LT(relative_error(1e9, 0.0), 1e7);  // bounded even at Gbit scale
+}
+
+TEST(relative_error_metric, zero_predicted_is_bounded_by_the_bps_floor) {
+    EXPECT_DOUBLE_EQ(relative_error(0.0, 1e6), -1e6 / k_min_error_denominator_bps);
+}
+
+TEST(relative_error_metric, floor_is_inert_above_bps_scale) {
+    // Any real throughput pair (both ≥ the floor) must be untouched by the
+    // clamp: the paper's weakest paths run at hundreds of kbit/s.
+    EXPECT_DOUBLE_EQ(relative_error(2e5, 1e5), 1.0);
+    EXPECT_DOUBLE_EQ(relative_error(1e3, 2e3), -1.0);  // exactly at the floor
+}
+
+TEST(relative_error_metric, documented_floor_value) {
+    // The epsilon is part of the metric's contract (DESIGN.md, README);
+    // changing it rescales every degenerate-epoch error in every dataset.
+    EXPECT_DOUBLE_EQ(k_min_error_denominator_bps, 1e3);
+}
+
 TEST(relative_error_metric, contract_rejects_negative_arguments) {
 #if TCPPRED_CHECKS
     EXPECT_THROW((void)relative_error(-1.0, 2e6), contract_violation);
@@ -47,8 +73,10 @@ TEST(relative_error_metric, contract_rejects_negative_arguments) {
 #endif
 }
 
-TEST(rmsre_metric, empty_series_is_zero_by_convention) {
-    EXPECT_DOUBLE_EQ(rmsre(std::vector<double>{}), 0.0);
+TEST(rmsre_metric, empty_series_is_nan_not_perfect) {
+    // Zero error for zero evidence scored an all-faulty trace as a perfect
+    // forecast; NaN makes the absence propagate visibly ("n/a" in tables).
+    EXPECT_TRUE(std::isnan(rmsre(std::vector<double>{})));
 }
 
 TEST(rmsre_metric, single_element_is_its_magnitude) {

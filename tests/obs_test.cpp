@@ -1,0 +1,235 @@
+// The observability layer in isolation: counter sharding/merging across
+// threads, gauges, stage-timer statistics, the JSONL writer round-trip, and
+// the canonicalization contract the determinism tests build on.
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
+
+using namespace tcppred;
+
+namespace {
+
+// PID-suffixed: two instances of this binary (e.g. a sanitizer build
+// running alongside the plain one) must not share files.
+std::filesystem::path temp_file(const char* name) {
+    return std::filesystem::temp_directory_path() /
+           (std::string(name) + "." + std::to_string(::getpid()));
+}
+
+}  // namespace
+
+TEST(obs_counters, add_and_snapshot) {
+    obs::reset_counters();
+    const obs::counter c = obs::counter::get("test.alpha");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    const auto snap = obs::counters_snapshot();
+    EXPECT_EQ(snap.at("test.alpha"), 42u);
+}
+
+TEST(obs_counters, get_interns_one_id_per_name) {
+    obs::reset_counters();
+    const obs::counter a = obs::counter::get("test.same");
+    const obs::counter b = obs::counter::get("test.same");
+    a.add(2);
+    b.add(3);
+    EXPECT_EQ(a.value(), 5u);
+    EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(obs_counters, merges_live_shards_and_drains_exited_threads) {
+    obs::reset_counters();
+    const obs::counter c = obs::counter::get("test.threads");
+    constexpr int k_threads = 8;
+    constexpr int k_adds = 1000;
+    {
+        std::vector<std::thread> ts;
+        ts.reserve(k_threads);
+        for (int t = 0; t < k_threads; ++t) {
+            ts.emplace_back([&c] {
+                for (int i = 0; i < k_adds; ++i) c.add();
+            });
+        }
+        for (auto& t : ts) t.join();
+    }
+    // All worker threads exited: their cells must have drained into the
+    // residue without losing a single count.
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(k_threads) * k_adds);
+    c.add();  // main thread's live shard still contributes on top
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(k_threads) * k_adds + 1);
+}
+
+TEST(obs_counters, reset_zeroes_but_keeps_names_registered) {
+    const obs::counter c = obs::counter::get("test.reset");
+    c.add(7);
+    obs::reset_counters();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(obs::counters_snapshot().count("test.reset"), 1u);
+}
+
+TEST(obs_gauges, last_write_wins) {
+    obs::reset_gauges();
+    const obs::gauge g = obs::gauge::get("test.gauge");
+    g.set(4);
+    g.set(-2);
+    EXPECT_EQ(g.value(), -2);
+    EXPECT_EQ(obs::gauges_snapshot().at("test.gauge"), -2);
+}
+
+TEST(obs_timers, disabled_records_nothing) {
+    obs::reset_timers();
+    obs::set_metrics_enabled(false);
+    obs::record_duration("test.stage", 1.0);
+    {
+        const obs::stage_timer t("test.stage");
+    }
+    EXPECT_TRUE(obs::timers_snapshot().empty());
+}
+
+TEST(obs_timers, stats_over_known_samples) {
+    obs::reset_timers();
+    obs::set_metrics_enabled(true);
+    for (const double s : {0.1, 0.2, 0.3, 0.4, 1.0}) {
+        obs::record_duration("test.known", s);
+    }
+    const auto snap = obs::timers_snapshot();
+    obs::set_metrics_enabled(false);
+    const obs::timer_stats& st = snap.at("test.known");
+    EXPECT_EQ(st.count, 5u);
+    EXPECT_NEAR(st.total_s, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(st.p50_s, 0.3);  // nearest-rank
+    EXPECT_DOUBLE_EQ(st.p95_s, 1.0);
+    EXPECT_DOUBLE_EQ(st.max_s, 1.0);
+}
+
+TEST(obs_trace, writer_round_trips_through_parser) {
+    const auto file = temp_file("obs_test_roundtrip.jsonl");
+    obs::trace_writer& w = obs::trace_writer::instance();
+    ASSERT_FALSE(obs::trace_enabled());
+    w.open(file);
+    EXPECT_TRUE(obs::trace_enabled());
+    obs::trace_emit(obs::json_line{}
+                        .str("ev", "epoch")
+                        .num("path", std::int64_t{3})
+                        .num("dur_s", 0.25)
+                        .str("note", "quote \" backslash \\ tab \t")
+                        .done());
+    obs::trace_emit(obs::json_line{}
+                        .str("ev", "edge")
+                        .num("nan_field", std::nan(""))
+                        .num("big", std::uint64_t{1} << 53)
+                        .done());
+    w.close();
+    EXPECT_FALSE(obs::trace_enabled());
+
+    const auto events = obs::read_trace_file(file);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(std::get<std::string>(events[0].at("ev")), "epoch");
+    EXPECT_DOUBLE_EQ(std::get<double>(events[0].at("path")), 3.0);
+    EXPECT_DOUBLE_EQ(std::get<double>(events[0].at("dur_s")), 0.25);
+    EXPECT_EQ(std::get<std::string>(events[0].at("note")),
+              "quote \" backslash \\ tab \t");
+    // NaN is stringified (JSON has no NaN literal).
+    EXPECT_EQ(std::get<std::string>(events[1].at("nan_field")), "nan");
+    EXPECT_DOUBLE_EQ(std::get<double>(events[1].at("big")),
+                     static_cast<double>(std::uint64_t{1} << 53));
+    std::filesystem::remove(file);
+}
+
+TEST(obs_trace, emit_is_dropped_when_disabled) {
+    const auto file = temp_file("obs_test_drop.jsonl");
+    ASSERT_FALSE(obs::trace_enabled());
+    obs::trace_emit("{\"ev\":\"lost\"}");  // no open trace: silently dropped
+    obs::trace_writer& w = obs::trace_writer::instance();
+    w.open(file);
+    w.close();
+    EXPECT_TRUE(obs::read_trace_file(file).empty());
+    std::filesystem::remove(file);
+}
+
+TEST(obs_trace, drains_many_producers_without_loss) {
+    const auto file = temp_file("obs_test_many.jsonl");
+    obs::trace_writer& w = obs::trace_writer::instance();
+    w.open(file);
+    constexpr int k_threads = 4;
+    constexpr int k_events = 500;
+    {
+        std::vector<std::thread> ts;
+        for (int t = 0; t < k_threads; ++t) {
+            ts.emplace_back([t] {
+                for (int i = 0; i < k_events; ++i) {
+                    obs::trace_emit(obs::json_line{}
+                                        .str("ev", "tick")
+                                        .num("thread", std::int64_t{t})
+                                        .num("i", std::int64_t{i})
+                                        .done());
+                }
+            });
+        }
+        for (auto& t : ts) t.join();
+    }
+    w.close();
+    EXPECT_EQ(obs::read_trace_file(file).size(),
+              static_cast<std::size_t>(k_threads) * k_events);
+    std::filesystem::remove(file);
+}
+
+TEST(obs_trace, second_open_throws) {
+    const auto file = temp_file("obs_test_second.jsonl");
+    obs::trace_writer& w = obs::trace_writer::instance();
+    w.open(file);
+    EXPECT_THROW(w.open(temp_file("obs_test_other.jsonl")), std::runtime_error);
+    w.close();
+    std::filesystem::remove(file);
+}
+
+TEST(obs_trace, parser_rejects_malformed_lines) {
+    EXPECT_THROW((void)obs::parse_trace_line("not json"), std::runtime_error);
+    EXPECT_THROW((void)obs::parse_trace_line("{\"ev\":\"x\"} junk"),
+                 std::runtime_error);
+    EXPECT_THROW((void)obs::parse_trace_line("{\"ev\":}"), std::runtime_error);
+    EXPECT_THROW((void)obs::parse_trace_line("{\"no_ev_key\":1}"),
+                 std::runtime_error);
+    EXPECT_THROW((void)obs::parse_trace_line(""), std::runtime_error);
+}
+
+TEST(obs_trace, canonicalization_strips_volatile_keys_and_sorts) {
+    EXPECT_TRUE(obs::is_volatile_trace_key("ts"));
+    EXPECT_TRUE(obs::is_volatile_trace_key("dur_s"));
+    EXPECT_TRUE(obs::is_volatile_trace_key("thread"));
+    EXPECT_FALSE(obs::is_volatile_trace_key("seed"));
+
+    const obs::trace_event ev = obs::parse_trace_line(
+        "{\"zeta\":1,\"ev\":\"epoch\",\"dur_s\":0.5,\"thread\":7,\"alpha\":\"x\"}");
+    // Keys sorted, dur_s/thread gone; identical content at any job count
+    // therefore canonicalizes identically.
+    EXPECT_EQ(obs::canonical_trace_line(ev), "{\"alpha\":\"x\",\"ev\":\"epoch\",\"zeta\":1}");
+}
+
+TEST(obs_trace, canonical_lines_sorted_independent_of_file_order) {
+    const auto a = temp_file("obs_test_order_a.jsonl");
+    const auto b = temp_file("obs_test_order_b.jsonl");
+    {
+        std::ofstream fa(a), fb(b);
+        fa << "{\"ev\":\"e\",\"i\":1,\"ts\":0.1}\n{\"ev\":\"e\",\"i\":2,\"ts\":0.2}\n";
+        fb << "{\"ev\":\"e\",\"i\":2,\"ts\":9.0}\n{\"ev\":\"e\",\"i\":1,\"ts\":8.5}\n";
+    }
+    EXPECT_EQ(obs::canonical_trace_lines(a), obs::canonical_trace_lines(b));
+    std::filesystem::remove(a);
+    std::filesystem::remove(b);
+}

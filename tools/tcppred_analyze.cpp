@@ -6,13 +6,22 @@
 // (analysis::evaluation_engine).
 //
 //   tcppred_analyze DATASET.csv [--predictors SPEC,SPEC,...]
+//                   [--trace FILE] [--metrics-summary]
+//   tcppred_analyze --from-trace RUN.jsonl
+//
+// --from-trace re-derives the fault-conditioned RMSRE table from a JSONL
+// run trace (tcppred_campaign/tcppred_analyze --trace, $REPRO_TRACE)
+// without the dataset: every "predict" event carries the scored error, its
+// fault flags and its input staleness.
 //
 // Exit codes: 0 success, 1 bad arguments, 2 runtime failure (unreadable or
-// malformed dataset, unknown predictor spec).
+// malformed dataset/trace, unknown predictor spec).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -20,6 +29,9 @@
 
 #include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
+#include "core/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
 #include "testbed/dataset.hpp"
 
 using namespace tcppred;
@@ -29,42 +41,173 @@ namespace {
 void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
+                 "          [--trace FILE] [--metrics-summary]\n"
+                 "       %s --from-trace RUN.jsonl\n"
                  "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n"
                  "  spec grammar: fb[:pftk|:pftk-full|:sqrt|:minwa], <n>-MA[-LSO],\n"
                  "                <a>-EWMA[-LSO], <a>-HW[-LSO], <p>-AR[-LSO], NWS,\n"
-                 "                hybrid:<hb-spec>[:<k>]   (see README \"Predictor specs\")\n",
-                 argv0);
+                 "                hybrid:<hb-spec>[:<k>]   (see README \"Predictor specs\")\n"
+                 "  --trace FILE      write a JSONL run trace (also $REPRO_TRACE)\n"
+                 "  --metrics-summary print counters and stage timings to stderr on exit\n"
+                 "  --from-trace FILE re-derive the conditioned RMSRE table from a\n"
+                 "                    previously written run trace\n",
+                 argv0, argv0);
+}
+
+/// Render an RMSRE with its sample count, or "n/a" when nothing was scored
+/// (core::rmsre of an empty series is NaN, not a perfect 0).
+std::string fmt_rmsre(double rmsre, std::size_t n) {
+    if (n == 0) return "n/a";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f (%zu)", rmsre, n);
+    return buf;
+}
+
+/// Per-predictor accumulation of "predict" events from a run trace.
+struct trace_tally {
+    std::vector<double> all, clean, faulty, stale;
+};
+
+int analyze_from_trace(const std::string& file) {
+    const std::vector<obs::trace_event> events = obs::read_trace_file(file);
+    std::map<std::string, trace_tally> per_predictor;
+    std::size_t predict_events = 0;
+    for (const obs::trace_event& ev : events) {
+        if (std::get<std::string>(ev.at("ev")) != "predict") continue;
+        ++predict_events;
+        const auto field = [&](const char* key) -> double {
+            const auto it = ev.find(key);
+            if (it == ev.end()) {
+                throw std::runtime_error(file + ": predict event missing \"" +
+                                         key + "\"");
+            }
+            const double* v = std::get_if<double>(&it->second);
+            if (v == nullptr) {
+                throw std::runtime_error(file + ": predict event key \"" +
+                                         std::string(key) + "\" is not numeric");
+            }
+            return *v;
+        };
+        const auto pred_it = ev.find("predictor");
+        if (pred_it == ev.end()) {
+            throw std::runtime_error(file + ": predict event missing \"predictor\"");
+        }
+        trace_tally& t = per_predictor[std::get<std::string>(pred_it->second)];
+        const double error = field("error");
+        t.all.push_back(error);
+        if (field("fault_flags") != 0.0) {
+            t.faulty.push_back(error);
+        } else {
+            t.clean.push_back(error);
+        }
+        if (field("staleness") > 0.0) t.stale.push_back(error);
+    }
+
+    std::printf("trace %s: %zu events, %zu predict events, %zu predictors\n\n",
+                file.c_str(), events.size(), predict_events, per_predictor.size());
+    std::printf("RMSRE by measurement status (re-derived from trace):\n");
+    std::printf("  %-14s %-16s %-16s %-16s %-16s\n", "predictor", "all", "clean",
+                "faulty", "stale-input");
+    for (const auto& [name, t] : per_predictor) {
+        std::printf("  %-14s %-16s %-16s %-16s %-16s\n", name.c_str(),
+                    fmt_rmsre(core::rmsre(t.all), t.all.size()).c_str(),
+                    fmt_rmsre(core::rmsre(t.clean), t.clean.size()).c_str(),
+                    fmt_rmsre(core::rmsre(t.faulty), t.faulty.size()).c_str(),
+                    fmt_rmsre(core::rmsre(t.stale), t.stale.size()).c_str());
+    }
+    if (per_predictor.empty()) std::printf("  (no predict events in trace)\n");
+    return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
-                      std::strcmp(argv[1], "-h") == 0)) {
-        usage(argv[0]);
-        return 0;
-    }
-    if (argc < 2) {
-        usage(argv[0]);
-        return 1;
-    }
-
+    std::string input;
+    std::string from_trace;
+    std::string trace_file;
+    bool metrics_summary = false;
     std::vector<std::string> specs{"10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO", "NWS"};
-    for (int i = 2; i < argc; i += 2) {
-        if (std::strcmp(argv[i], "--predictors") == 0 && i + 1 < argc) {
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--predictors") {
             specs.clear();
-            std::stringstream ss(argv[i + 1]);
+            std::stringstream ss(next());
             std::string item;
             while (std::getline(ss, item, ',')) specs.push_back(item);
+        } else if (arg == "--from-trace") {
+            from_trace = next();
+        } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--metrics-summary") {
+            metrics_summary = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 1;
+        } else if (input.empty()) {
+            input = arg;
         } else {
-            std::fprintf(stderr, "unknown or incomplete argument: %s\n", argv[i]);
+            std::fprintf(stderr, "unexpected extra argument: %s\n", arg.c_str());
             usage(argv[0]);
             return 1;
         }
     }
 
+    if (!from_trace.empty()) {
+        if (!input.empty()) {
+            std::fprintf(stderr, "--from-trace takes no dataset argument\n");
+            return 1;
+        }
+        try {
+            return analyze_from_trace(from_trace);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    // --trace opens first so init_from_env() skips $REPRO_TRACE (the flag
+    // overrides the environment, with no stray env-named file).
+    if (!trace_file.empty()) {
+        try {
+            tcppred::obs::trace_writer::instance().open(trace_file);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    tcppred::obs::init_from_env();
+    if (metrics_summary) tcppred::obs::set_metrics_enabled(true);
+    const auto finish_observability = [&]() -> int {
+        if (metrics_summary) tcppred::obs::write_metrics_summary(std::cerr);
+        if (!trace_file.empty()) {
+            try {
+                tcppred::obs::trace_writer::instance().close();
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+        }
+        return 0;
+    };
+
     try {
-        const testbed::dataset data = testbed::load_csv(argv[1]);
+        const testbed::dataset data = testbed::load_csv(input);
         std::size_t faulty_epochs = 0;
         for (const auto& r : data.records) {
             faulty_epochs += r.m.fault_flags != testbed::fault_none;
@@ -117,8 +260,12 @@ int main(int argc, char** argv) {
                 // Fault-conditioned accuracy: how much measurement failures
                 // (and the stale-fallback inputs they force) cost.
                 const auto cond = analysis::rmsre_conditioned(fb);
-                std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
-                            cond.rmsre_clean, cond.n_clean);
+                if (cond.n_clean == 0) {
+                    std::printf("  RMSRE by measurement status: clean n/a");
+                } else {
+                    std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
+                                cond.rmsre_clean, cond.n_clean);
+                }
                 if (cond.n_faulty > 0) {
                     std::printf(" | faulty %.3f (%zu)", cond.rmsre_faulty,
                                 cond.n_faulty);
@@ -136,7 +283,16 @@ int main(int argc, char** argv) {
         std::printf("history-based, per-trace RMSRE:\n");
         std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
         for (const auto& spec : specs) {
-            const auto rmsres = result_of(spec).trace_rmsres();
+            const auto& res = result_of(spec);
+            const auto rmsres = res.trace_rmsres();
+            if (rmsres.empty()) {
+                // Every trace was unscorable (too short / all-faulty): there
+                // is no RMSRE distribution, which is not the same as a
+                // perfect one.
+                std::printf("  %-14s %8s %8s %10s (%zu traces unscored)\n",
+                            spec.c_str(), "n/a", "n/a", "n/a", res.traces_unscored);
+                continue;
+            }
             const analysis::ecdf cdf{std::vector<double>(rmsres)};
             std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
                         analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
@@ -158,10 +314,12 @@ int main(int argc, char** argv) {
         }
     } catch (const core::predictor_spec_error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        finish_observability();
         return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        finish_observability();
         return 2;
     }
-    return 0;
+    return finish_observability();
 }

@@ -5,7 +5,7 @@
 //   tcppred_campaign --out data/my.csv [--paths N] [--traces N]
 //                    [--epochs N] [--seed S] [--transfer-s T] [--second-set]
 //                    [--jobs N] [--faults SPEC] [--checkpoint-every N]
-//                    [--resume]
+//                    [--resume] [--trace FILE] [--metrics-summary]
 //
 // Exit codes: 0 success, 1 bad arguments, 2 runtime failure,
 // 130 interrupted (SIGINT; progress is checkpointed when enabled).
@@ -16,8 +16,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <iostream>
 #include <string>
 
+#include "obs/stopwatch.hpp"
+#include "obs/trace_writer.hpp"
 #include "sim/fault_injector.hpp"
 #include "testbed/campaign.hpp"
 
@@ -44,7 +47,11 @@ void usage(const char* argv0) {
                  "  --checkpoint-every N  flush a resume checkpoint (FILE.ckpt)\n"
                  "                    every N completed epochs (default 32 once\n"
                  "                    checkpointing is on; SIGINT also flushes)\n"
-                 "  --resume          resume from FILE.ckpt if present\n",
+                 "  --resume          resume from FILE.ckpt if present\n"
+                 "  --trace FILE      write a JSONL run trace (also $REPRO_TRACE;\n"
+                 "                    off by default, zero hot-path cost when off)\n"
+                 "  --metrics-summary print counters and stage timings to stderr\n"
+                 "                    on exit (also $REPRO_METRICS=1)\n",
                  argv0);
 }
 
@@ -61,6 +68,8 @@ int main(int argc, char** argv) {
     std::string out;
     int jobs = 0;  // applied after parsing so --second-set cannot reset it
     bool checkpointing = false;
+    bool metrics_summary = false;
+    std::string trace_file;
     tcppred::sim::fault_profile faults;
     try {
         faults = tcppred::sim::fault_profile::from_env();
@@ -111,6 +120,10 @@ int main(int argc, char** argv) {
         } else if (arg == "--resume") {
             run_opts.resume = true;
             checkpointing = true;
+        } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--metrics-summary") {
+            metrics_summary = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -130,6 +143,34 @@ int main(int argc, char** argv) {
     if (checkpointing) run_opts.checkpoint = out + ".ckpt";
     run_opts.cancelled = [] { return g_interrupted != 0; };
     std::signal(SIGINT, on_sigint);
+
+    // --trace opens first so init_from_env() skips $REPRO_TRACE (the flag
+    // overrides the environment, with no stray env-named file).
+    if (!trace_file.empty()) {
+        try {
+            tcppred::obs::trace_writer::instance().open(trace_file);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    tcppred::obs::init_from_env();
+    if (metrics_summary) tcppred::obs::set_metrics_enabled(true);
+    // Runs on every exit path (success, SIGINT, runtime failure): the
+    // summary covers whatever work completed, and close() surfaces drain
+    // write errors that would otherwise vanish with the process.
+    const auto finish_observability = [&]() -> int {
+        if (metrics_summary) tcppred::obs::write_metrics_summary(std::cerr);
+        if (!trace_file.empty()) {
+            try {
+                tcppred::obs::trace_writer::instance().close();
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+        }
+        return 0;
+    };
 
     try {
         std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu%s)...\n",
@@ -160,6 +201,7 @@ int main(int argc, char** argv) {
                          outcome.epochs_completed,
                          checkpointing ? "; progress saved to " : "",
                          checkpointing ? run_opts.checkpoint.string().c_str() : "");
+            finish_observability();  // partial summary/trace is still useful
             return 130;
         }
         save_csv(outcome.data, out);
@@ -172,7 +214,8 @@ int main(int argc, char** argv) {
                          : 0.0);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        finish_observability();
         return 2;
     }
-    return 0;
+    return finish_observability();
 }

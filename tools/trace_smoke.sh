@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Observability smoke gate, run by check.sh and CI:
+#   trace_smoke.sh CAMPAIGN_BIN ANALYZE_BIN
+#
+# Runs a tiny faulted campaign with --trace and --metrics-summary, validates
+# every trace line against the JSONL schema (DESIGN.md §12), round-trips the
+# engine trace through `tcppred_analyze --from-trace`, and re-checks the
+# zero-overhead contract: with tracing off the CSV is byte-identical to a
+# traced run's CSV.
+set -u
+
+CAMPAIGN=${1:?usage: trace_smoke.sh CAMPAIGN_BIN ANALYZE_BIN}
+ANALYZE=${2:?usage: trace_smoke.sh CAMPAIGN_BIN ANALYZE_BIN}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+fail() { echo "FAIL: $1"; FAILURES=$((FAILURES + 1)); }
+ok()   { echo "ok: $1"; }
+
+TINY="--paths 2 --traces 1 --epochs 5 --transfer-s 1.5"
+FAULTS="pathload=0.3,abort=0.3,seed=11"
+
+# --- traced faulted campaign + metrics summary -----------------------------
+"$CAMPAIGN" $TINY --out "$WORK/traced.csv" --faults "$FAULTS" --jobs 2 \
+    --trace "$WORK/run.jsonl" --metrics-summary >/dev/null 2>"$WORK/err"
+[ $? -eq 0 ] && ok "traced campaign exits 0" || fail "traced campaign failed"
+[ -s "$WORK/run.jsonl" ] || fail "no trace written"
+grep -q "== metrics summary ==" "$WORK/err" \
+    && ok "--metrics-summary prints the summary table on stderr" \
+    || fail "metrics summary missing from stderr"
+grep -q "counter  campaign.epochs_run" "$WORK/err" \
+    || fail "summary lacks the counter catalogue"
+
+# --- JSONL schema: every line is flat JSON with an "ev" key; epoch events
+# carry the documented fields; a campaign_start event exists.
+if python3 - "$WORK/run.jsonl" <<'EOF'
+import json, sys
+
+epoch_keys = {"path", "trace", "epoch", "seed", "fault_flags", "sim_events",
+              "dur_s", "thread"}
+saw_start = saw_epoch = False
+for n, line in enumerate(open(sys.argv[1]), 1):
+    ev = json.loads(line)          # malformed JSON raises -> exit 1
+    assert isinstance(ev, dict) and "ev" in ev, f"line {n}: no 'ev' key"
+    for v in ev.values():
+        assert not isinstance(v, (dict, list)), f"line {n}: nested value"
+    if ev["ev"] == "campaign_start":
+        saw_start = True
+        assert "seed" in ev and "faults" in ev, f"line {n}: start schema"
+    elif ev["ev"] == "epoch":
+        saw_epoch = True
+        missing = epoch_keys - ev.keys()
+        assert not missing, f"line {n}: epoch event missing {missing}"
+assert saw_start and saw_epoch, "trace lacks campaign_start/epoch events"
+EOF
+then ok "trace lines validate against the JSONL schema"
+else fail "trace schema validation"
+fi
+
+# --- zero-overhead contract: tracing must not change the dataset -----------
+"$CAMPAIGN" $TINY --out "$WORK/plain.csv" --faults "$FAULTS" --jobs 2 \
+    >/dev/null 2>&1
+cmp -s "$WORK/plain.csv" "$WORK/traced.csv" \
+    && ok "CSV byte-identical with tracing on and off" \
+    || fail "tracing changed the dataset bytes"
+
+# --- analyze: engine trace round-trips through --from-trace ----------------
+"$ANALYZE" "$WORK/traced.csv" --trace "$WORK/engine.jsonl" >/dev/null 2>&1
+[ $? -eq 0 ] && ok "analyze --trace exits 0" || fail "analyze --trace failed"
+grep -q '"ev":"predict"' "$WORK/engine.jsonl" \
+    || fail "engine trace has no predict events"
+"$ANALYZE" --from-trace "$WORK/engine.jsonl" >"$WORK/fromtrace.out" 2>&1
+[ $? -eq 0 ] && ok "--from-trace exits 0" || fail "--from-trace failed"
+grep -q "re-derived from trace" "$WORK/fromtrace.out" \
+    || fail "--from-trace table missing"
+grep -q "fb:pftk" "$WORK/fromtrace.out" \
+    || fail "--from-trace table lacks predictor rows"
+
+# --- malformed trace -> runtime failure (exit 2) ---------------------------
+printf 'this is not json\n' > "$WORK/bad.jsonl"
+"$ANALYZE" --from-trace "$WORK/bad.jsonl" >/dev/null 2>&1
+[ $? -eq 2 ] && ok "malformed trace exits 2" \
+    || fail "malformed trace did not exit 2"
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES trace smoke check(s) failed"
+    exit 1
+fi
+echo "all trace smoke checks passed"
