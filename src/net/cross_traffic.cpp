@@ -4,19 +4,39 @@ namespace tcppred::net {
 
 poisson_source::poisson_source(sim::scheduler& sched, duplex_path& path,
                                std::size_t link_index, flow_id flow, std::uint64_t seed,
-                               double rate_bps, packet_size_mix mix)
+                               double rate_bps, packet_size_mix mix, cross_model model)
     : sched_(&sched),
       path_(&path),
       link_index_(link_index),
       flow_(flow),
       rng_(seed),
       rate_bps_(rate_bps),
-      mix_(mix) {}
+      mix_(mix),
+      model_(model) {}
 
 void poisson_source::start() {
     if (running_) return;
     running_ = true;
+    if (model_ == cross_model::fluid) {
+        // A Poisson aggregate is a constant-rate fluid: no events, ever.
+        path_->forward_link(link_index_).add_fluid_rate(rate_bps_);
+        return;
+    }
     schedule_next();
+}
+
+void poisson_source::stop() {
+    if (running_ && model_ == cross_model::fluid) {
+        path_->forward_link(link_index_).add_fluid_rate(-rate_bps_);
+    }
+    running_ = false;
+}
+
+void poisson_source::set_rate(double rate_bps) {
+    if (running_ && model_ == cross_model::fluid) {
+        path_->forward_link(link_index_).add_fluid_rate(rate_bps - rate_bps_);
+    }
+    rate_bps_ = rate_bps;
 }
 
 void poisson_source::schedule_next() {
@@ -37,13 +57,15 @@ void poisson_source::schedule_next() {
 
 pareto_onoff_source::pareto_onoff_source(sim::scheduler& sched, duplex_path& path,
                                          std::size_t link_index, flow_id flow,
-                                         std::uint64_t seed, pareto_onoff_config cfg)
+                                         std::uint64_t seed, pareto_onoff_config cfg,
+                                         cross_model model)
     : sched_(&sched),
       path_(&path),
       link_index_(link_index),
       flow_(flow),
       rng_(seed),
-      cfg_(cfg) {}
+      cfg_(cfg),
+      model_(model) {}
 
 void pareto_onoff_source::start() {
     if (running_) return;
@@ -52,12 +74,47 @@ void pareto_onoff_source::start() {
     sched_->schedule_in(rng_.exponential(cfg_.mean_off_s), [this] { begin_on_period(); });
 }
 
+void pareto_onoff_source::stop() {
+    if (applied_rate_bps_ != 0.0) {
+        path_->forward_link(link_index_).add_fluid_rate(-applied_rate_bps_);
+        applied_rate_bps_ = 0.0;
+    }
+    running_ = false;
+}
+
+void pareto_onoff_source::set_mean_rate(double rate_bps) {
+    const double peak =
+        rate_bps * (cfg_.mean_on_s + cfg_.mean_off_s) / cfg_.mean_on_s;
+    if (applied_rate_bps_ != 0.0) {
+        // Mid-ON-period rate change: re-apply the fluid delta immediately.
+        path_->forward_link(link_index_).add_fluid_rate(peak - applied_rate_bps_);
+        applied_rate_bps_ = peak;
+    }
+    cfg_.peak_rate_bps = peak;
+}
+
 void pareto_onoff_source::begin_on_period() {
     if (!running_) return;
     // Pareto with mean = mean_on_s: xmin = mean * (shape-1)/shape.
     const double xmin = cfg_.mean_on_s * (cfg_.pareto_shape - 1.0) / cfg_.pareto_shape;
     const double on = rng_.pareto(cfg_.pareto_shape, xmin);
+    if (model_ == cross_model::fluid) {
+        // One burst = two events: rate up now, rate down at the burst end.
+        path_->forward_link(link_index_).add_fluid_rate(cfg_.peak_rate_bps);
+        applied_rate_bps_ = cfg_.peak_rate_bps;
+        sched_->schedule_in(on, [this] { end_on_period(); });
+        return;
+    }
     emit(sched_->now() + on);
+}
+
+void pareto_onoff_source::end_on_period() {
+    if (applied_rate_bps_ != 0.0) {
+        path_->forward_link(link_index_).add_fluid_rate(-applied_rate_bps_);
+        applied_rate_bps_ = 0.0;
+    }
+    if (!running_) return;
+    sched_->schedule_in(rng_.exponential(cfg_.mean_off_s), [this] { begin_on_period(); });
 }
 
 void pareto_onoff_source::emit(double until) {

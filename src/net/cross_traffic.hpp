@@ -13,6 +13,23 @@
 
 namespace tcppred::net {
 
+/// How unresponsive cross traffic is realized at the shared queue.
+///
+///  - `packet`: every cross packet is a scheduler event transiting the link
+///    (exact drop-tail interaction; the default, and the model all default
+///    goldens are pinned against).
+///  - `fluid`: the aggregate is a piecewise-constant fluid rate applied to
+///    the link (net::link::add_fluid_rate). Foreground packets wait behind
+///    the fluid backlog and are dropped when packets + fluid overflow the
+///    buffer, but no per-packet cross events exist — a Poisson source costs
+///    zero events, an on/off source two per burst cycle. Statistically
+///    equivalent at burst granularity, not packet granularity: see
+///    DESIGN.md §13.5 for the equivalence argument and pinned goldens.
+enum class cross_model {
+    packet,
+    fluid,
+};
+
 /// Empirical-style Internet packet size mix (40/576/1500 with the classic
 /// trimodal weights). Gives the cross traffic realistic per-packet
 /// granularity at the queue.
@@ -41,14 +58,16 @@ class poisson_source {
 public:
     poisson_source(sim::scheduler& sched, duplex_path& path, std::size_t link_index,
                    flow_id flow, std::uint64_t seed, double rate_bps,
-                   packet_size_mix mix = {});
+                   packet_size_mix mix = {}, cross_model model = cross_model::packet);
 
-    /// Begin emitting packets (idempotent).
+    /// Begin emitting packets (idempotent). In fluid mode this applies the
+    /// constant rate to the link instead — no events at all.
     void start();
     /// Stop emitting (already-queued packets still drain).
-    void stop() { running_ = false; }
-    /// Change the offered load; takes effect from the next arrival.
-    void set_rate(double rate_bps) { rate_bps_ = rate_bps; }
+    void stop();
+    /// Change the offered load; takes effect from the next arrival (packet
+    /// mode) or immediately (fluid mode).
+    void set_rate(double rate_bps);
     [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
 
 private:
@@ -61,6 +80,7 @@ private:
     sim::rng rng_;
     double rate_bps_;
     packet_size_mix mix_;
+    cross_model model_;
     bool running_{false};
     std::uint64_t seq_{0};
 };
@@ -79,10 +99,11 @@ struct pareto_onoff_config {
 class pareto_onoff_source {
 public:
     pareto_onoff_source(sim::scheduler& sched, duplex_path& path, std::size_t link_index,
-                        flow_id flow, std::uint64_t seed, pareto_onoff_config cfg);
+                        flow_id flow, std::uint64_t seed, pareto_onoff_config cfg,
+                        cross_model model = cross_model::packet);
 
     void start();
-    void stop() { running_ = false; }
+    void stop();
 
     /// Long-run average offered rate.
     [[nodiscard]] double mean_rate_bps() const noexcept {
@@ -90,12 +111,11 @@ public:
     }
 
     /// Scale the peak rate so the mean offered rate equals `rate_bps`.
-    void set_mean_rate(double rate_bps) {
-        cfg_.peak_rate_bps = rate_bps * (cfg_.mean_on_s + cfg_.mean_off_s) / cfg_.mean_on_s;
-    }
+    void set_mean_rate(double rate_bps);
 
 private:
     void begin_on_period();
+    void end_on_period();
     void emit(double until);
 
     sim::scheduler* sched_;
@@ -104,7 +124,9 @@ private:
     flow_id flow_;
     sim::rng rng_;
     pareto_onoff_config cfg_;
+    cross_model model_;
     bool running_{false};
+    double applied_rate_bps_{0.0};  ///< fluid rate currently on the link
     std::uint64_t seq_{0};
 };
 

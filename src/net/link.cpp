@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include <algorithm>
+
 namespace tcppred::net {
 
 void link::set_random_loss(double probability, std::uint64_t seed,
@@ -42,6 +44,46 @@ void link::set_outage(double from_s, double until_s) {
     outage_until_ = until_s;
 }
 
+void link::add_fluid_rate(double delta_bps) {
+    if (!fluid_active_) {
+        fluid_active_ = true;
+        fluid_updated_ = sched_->now();
+    }
+    advance_fluid();  // integrate the old rate up to the change instant
+    fluid_rate_ += delta_bps;
+    if (fluid_rate_ < 0.0) fluid_rate_ = 0.0;
+}
+
+void link::advance_fluid() {
+    const double now = sched_->now();
+    const double dt = now - fluid_updated_;
+    fluid_updated_ = now;
+    if (dt <= 0.0) return;
+    if (transmitting_) {
+        // The server is held by a packet: fluid accumulates behind the queue.
+        const double arrived = fluid_rate_ * dt;
+        fluid_tail_bits_ += arrived;
+        fluid_total_bits_ += arrived;
+    } else {
+        // Idle server: fluid is served at capacity while arriving at its
+        // rate. All fluid is tail fluid here (no packets are queued).
+        const double delta = (fluid_rate_ - capacity_bps_) * dt;
+        fluid_tail_bits_ = std::max(0.0, fluid_tail_bits_ + delta);
+        fluid_total_bits_ = fluid_tail_bits_;
+    }
+    // Fluid overflowing the shared drop-tail buffer is lost, exactly like a
+    // cross packet arriving to a full queue.
+    const double cap_bits =
+        (static_cast<double>(buffer_packets_) - static_cast<double>(queue_.size())) *
+        fluid_pkt_bits_;
+    if (fluid_total_bits_ > cap_bits) {
+        const double excess = fluid_total_bits_ - std::max(cap_bits, 0.0);
+        const double removed = std::min(excess, fluid_tail_bits_);
+        fluid_tail_bits_ -= removed;
+        fluid_total_bits_ -= removed;
+    }
+}
+
 bool link::enqueue(packet p) {
     const double now = sched_->now();
     if (now >= outage_from_ && now < outage_until_) {
@@ -52,27 +94,46 @@ bool link::enqueue(packet p) {
         ++stats_.dropped;
         return false;
     }
+    if (fluid_active_) advance_fluid();
     if (!transmitting_) {
+        // Fluid already queued ahead may fill the buffer on its own.
+        if (fluid_active_ &&
+            fluid_total_bits_ / fluid_pkt_bits_ >= static_cast<double>(buffer_packets_)) {
+            ++stats_.dropped;
+            return false;
+        }
         ++stats_.enqueued;
-        start_transmission(p);
+        const double ahead = fluid_tail_bits_;
+        fluid_tail_bits_ = 0.0;
+        start_transmission(p, ahead);
         return true;
     }
-    if (queue_.size() >= buffer_packets_) {
+    double occupancy = static_cast<double>(queue_.size());
+    if (fluid_active_) occupancy += fluid_total_bits_ / fluid_pkt_bits_;
+    if (occupancy >= static_cast<double>(buffer_packets_)) {
         ++stats_.dropped;
         return false;
     }
     ++stats_.enqueued;
-    queue_.push_back(p);
+    queue_.push_back(queued{p, fluid_tail_bits_});
+    fluid_tail_bits_ = 0.0;
     return true;
 }
 
-void link::start_transmission(packet p) {
+void link::start_transmission(packet p, double fluid_ahead_bits) {
     transmitting_ = true;
-    const double tx = tx_time(p.size_bytes);
+    double tx = tx_time(p.size_bytes);
+    if (fluid_ahead_bits > 0.0) {
+        // Serve the fluid queued ahead of this packet first (FIFO): its
+        // flush time delays the packet's transmission completion.
+        tx += fluid_ahead_bits / capacity_bps_;
+        fluid_total_bits_ = std::max(0.0, fluid_total_bits_ - fluid_ahead_bits);
+    }
     stats_.busy_time += tx;
     sched_->schedule_in(tx, [this, p] {
         // Transmission finished: the packet leaves onto the wire and the
         // next queued packet starts serializing immediately.
+        if (fluid_active_) advance_fluid();
         ++stats_.delivered;
         stats_.bytes_delivered += p.size_bytes;
         sched_->schedule_in(prop_delay_, [this, p] {
@@ -87,9 +148,9 @@ void link::on_tx_complete() {
         transmitting_ = false;
         return;
     }
-    packet next = queue_.front();
+    queued next = queue_.front();
     queue_.pop_front();
-    start_transmission(next);
+    start_transmission(next.p, next.fluid_ahead_bits);
 }
 
 }  // namespace tcppred::net

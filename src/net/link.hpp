@@ -69,6 +69,25 @@ public:
     /// without consuming any RNG draws. A later call replaces the window.
     void set_outage(double from_s, double until_s);
 
+    // --- fluid background load (cross_model::fluid; DESIGN.md §13.5) ---
+    //
+    // Aggregate unresponsive cross traffic modelled as a piecewise-constant
+    // fluid rate instead of per-packet events. The fluid occupies capacity
+    // and buffer space: packets arriving to the link wait behind the fluid
+    // backlog queued ahead of them (FIFO) and are dropped when packets plus
+    // fluid exceed the buffer. Fluid arriving while the server is busy with
+    // a packet queues behind the packets already waiting.
+
+    /// Change the aggregate fluid arrival rate by `delta_bps` (sources call
+    /// this on start/stop and at on/off transitions). Enables fluid
+    /// accounting on first use.
+    void add_fluid_rate(double delta_bps);
+    [[nodiscard]] double fluid_rate_bps() const noexcept { return fluid_rate_; }
+    /// Mean packet size used to convert fluid bits into buffer slots.
+    void set_fluid_mean_packet_bytes(double bytes) {
+        fluid_pkt_bits_ = bytes * 8.0;
+    }
+
     [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
     [[nodiscard]] double prop_delay() const noexcept { return prop_delay_; }
     [[nodiscard]] std::size_t buffer_packets() const noexcept { return buffer_packets_; }
@@ -90,8 +109,18 @@ public:
     }
 
 private:
-    void start_transmission(packet p);
+    /// A queued packet plus the fluid volume that arrived before it and is
+    /// therefore served ahead of it (FIFO).
+    struct queued {
+        packet p;
+        double fluid_ahead_bits{0.0};
+    };
+
+    void start_transmission(packet p, double fluid_ahead_bits);
     void on_tx_complete();
+    /// Integrate the fluid process up to now() under the current server
+    /// state; must be called at every state-transition or rate-change point.
+    void advance_fluid();
 
     sim::scheduler* sched_;
     double capacity_bps_;
@@ -100,8 +129,14 @@ private:
     [[nodiscard]] bool random_loss_hit();
 
     std::function<void(packet)> sink_;
-    std::deque<packet> queue_;
+    std::deque<queued> queue_;
     bool transmitting_{false};
+    bool fluid_active_{false};
+    double fluid_rate_{0.0};        ///< aggregate fluid arrival rate, bps
+    double fluid_tail_bits_{0.0};   ///< fluid behind the last queued packet
+    double fluid_total_bits_{0.0};  ///< all unserved fluid (tail + attributed)
+    double fluid_updated_{0.0};     ///< last integration instant
+    double fluid_pkt_bits_{1500.0 * 8.0};
     double outage_from_{0.0};
     double outage_until_{0.0};  ///< <= outage_from_: no outage scheduled
     double random_loss_{0.0};

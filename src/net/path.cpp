@@ -32,17 +32,21 @@ duplex_path::duplex_path(sim::scheduler& sched, std::span<const hop_config> forw
 }
 
 void duplex_path::inject_forward(std::size_t link_index, packet p) {
-    cross_members_[p.flow] = link_index;
+    const auto flow = static_cast<std::size_t>(p.flow);
+    if (flow >= cross_members_.size()) {
+        cross_members_.resize(flow + 1, k_not_cross);
+    }
+    cross_members_[flow] = link_index;
     forward_.at(link_index)->enqueue(p);
 }
 
 void duplex_path::route_forward(std::size_t link_index, packet p) {
     // Cross traffic leaves right after its shared link.
     if (link_index > 0) {
-        if (auto member = cross_members_.find(p.flow); member != cross_members_.end() &&
-            member->second == link_index - 1) {
-            if (auto exit = cross_exits_.find(p.flow); exit != cross_exits_.end()) {
-                exit->second(p);
+        const auto flow = static_cast<std::size_t>(p.flow);
+        if (flow < cross_members_.size() && cross_members_[flow] == link_index - 1) {
+            if (const delivery_handler* exit = cross_exits_.find(p.flow)) {
+                (*exit)(p);
             }
             return;
         }
@@ -63,14 +67,14 @@ void duplex_path::route_reverse(std::size_t link_index, packet p) {
 }
 
 void duplex_path::deliver_forward(packet p) {
-    if (auto it = forward_endpoints_.find(p.flow); it != forward_endpoints_.end()) {
-        it->second(p);
+    if (const delivery_handler* h = forward_endpoints_.find(p.flow)) {
+        (*h)(p);
     }
 }
 
 void duplex_path::deliver_reverse(packet p) {
-    if (auto it = reverse_endpoints_.find(p.flow); it != reverse_endpoints_.end()) {
-        it->second(p);
+    if (const delivery_handler* h = reverse_endpoints_.find(p.flow)) {
+        (*h)(p);
     }
 }
 

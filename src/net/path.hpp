@@ -8,7 +8,6 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "core/units.hpp"
@@ -30,6 +29,32 @@ struct hop_config {
 
 /// Delivery callback for packets reaching an endpoint.
 using delivery_handler = std::function<void(packet)>;
+
+/// Flat per-flow handler table. Flow ids are small dense integers allocated
+/// by the world that builds the topology (testbed plan: 1..5 for tools,
+/// 10..13 for open-loop cross traffic, 100+ for elastic flows), so a
+/// direct-indexed vector replaces the hash map on the per-packet delivery
+/// path. Registration grows the table; lookup is a bounds check + load.
+class flow_table {
+public:
+    void set(flow_id flow, delivery_handler h) {
+        if (flow >= slots_.size()) {
+            if (!h) return;  // unregistering a never-registered flow
+            slots_.resize(static_cast<std::size_t>(flow) + 1);
+        }
+        slots_[static_cast<std::size_t>(flow)] = std::move(h);
+    }
+
+    /// Handler for `flow`, or nullptr when none is registered.
+    [[nodiscard]] const delivery_handler* find(flow_id flow) const noexcept {
+        if (flow >= slots_.size()) return nullptr;
+        const delivery_handler& h = slots_[static_cast<std::size_t>(flow)];
+        return h ? &h : nullptr;
+    }
+
+private:
+    std::vector<delivery_handler> slots_;
+};
 
 /// Duplex multi-hop path.
 ///
@@ -56,19 +81,11 @@ public:
     /// Register the destination-side delivery handler for `flow`; a null
     /// handler unregisters (late packets are then silently dropped).
     void on_deliver_forward(flow_id flow, delivery_handler h) {
-        if (h) {
-            forward_endpoints_[flow] = std::move(h);
-        } else {
-            forward_endpoints_.erase(flow);
-        }
+        forward_endpoints_.set(flow, std::move(h));
     }
     /// Register the source-side delivery handler for `flow`; null unregisters.
     void on_deliver_reverse(flow_id flow, delivery_handler h) {
-        if (h) {
-            reverse_endpoints_[flow] = std::move(h);
-        } else {
-            reverse_endpoints_.erase(flow);
-        }
+        reverse_endpoints_.set(flow, std::move(h));
     }
 
     /// Inject cross traffic directly into forward link `link_index`.
@@ -78,7 +95,7 @@ public:
     /// goes after transiting that link. Without a handler the packet is
     /// silently sunk.
     void on_cross_exit(flow_id flow, delivery_handler h) {
-        cross_exits_[flow] = std::move(h);
+        cross_exits_.set(flow, std::move(h));
     }
 
     [[nodiscard]] std::size_t forward_hops() const noexcept { return forward_.size(); }
@@ -106,10 +123,12 @@ private:
     sim::scheduler* sched_;
     std::vector<std::unique_ptr<link>> forward_;
     std::vector<std::unique_ptr<link>> reverse_;
-    std::unordered_map<flow_id, delivery_handler> forward_endpoints_;
-    std::unordered_map<flow_id, delivery_handler> reverse_endpoints_;
-    std::unordered_map<flow_id, delivery_handler> cross_exits_;
-    std::unordered_map<flow_id, std::size_t> cross_members_;  ///< flow -> exit-after index
+    static constexpr std::size_t k_not_cross = static_cast<std::size_t>(-1);
+
+    flow_table forward_endpoints_;
+    flow_table reverse_endpoints_;
+    flow_table cross_exits_;
+    std::vector<std::size_t> cross_members_;  ///< flow -> exit-after index (k_not_cross: end-to-end)
     std::size_t bottleneck_{0};
     double base_rtt_{0.0};
 

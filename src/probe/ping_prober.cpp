@@ -20,14 +20,15 @@ ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flo
     });
     // Near end: match echoes against outstanding probes.
     path_->on_deliver_reverse(flow_, [this](net::packet p) {
-        auto it = outstanding_.find(p.seq);
-        if (it == outstanding_.end()) return;  // echo arrived after timeout
+        if (p.seq >= outstanding_.size()) return;
+        pending& entry = outstanding_[p.seq];
+        if (!entry.outstanding) return;  // echo arrived after timeout
+        entry.outstanding = false;
         ping_result& session = result_.measurement;
-        session.rtts.push_back(sched_->now() - it->second.sent_at);
+        session.rtts.push_back(sched_->now() - entry.sent_at);
         ++session.received;
         if (p.seq < session.outcomes.size()) session.outcomes[p.seq] = 1;
-        sched_->cancel(it->second.timeout);
-        outstanding_.erase(it);
+        sched_->cancel(entry.timeout);
         ++resolved_;
         check_done();
     });
@@ -35,7 +36,9 @@ ping_prober::ping_prober(sim::scheduler& sched, net::duplex_path& path, net::flo
 
 ping_prober::~ping_prober() {
     sched_->cancel(next_probe_event_);
-    for (auto& [seq, p] : outstanding_) sched_->cancel(p.timeout);
+    for (pending& p : outstanding_) {
+        if (p.outstanding) sched_->cancel(p.timeout);
+    }
     path_->on_deliver_forward(flow_, nullptr);
     path_->on_deliver_reverse(flow_, nullptr);
 }
@@ -60,7 +63,9 @@ void ping_prober::send_probe() {
     }
     const std::uint64_t seq = next_seq_++;
     ping_result& session = result_.measurement;
-    pending& entry = outstanding_[seq];
+    TCPPRED_ASSERT(seq == outstanding_.size());  // sequence numbers are dense
+    pending& entry = outstanding_.emplace_back();
+    entry.outstanding = true;
     entry.sent_at = sched_->now();
     ++session.sent;
     if (session.outcomes.size() <= seq) session.outcomes.resize(seq + 1, 0);
@@ -81,7 +86,9 @@ void ping_prober::send_probe() {
     }
 
     entry.timeout = sched_->schedule_in(cfg_.reply_timeout.value(), [this, seq] {
-        if (outstanding_.erase(seq) > 0) {
+        pending& out = outstanding_[seq];
+        if (out.outstanding) {
+            out.outstanding = false;
             ++resolved_;  // timed out: lost
             check_done();
         }

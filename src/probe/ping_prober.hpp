@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/units.hpp"
@@ -98,8 +97,12 @@ private:
     struct pending {
         double sent_at{0.0};
         sim::event_handle timeout{};
+        bool outstanding{false};
     };
-    std::unordered_map<std::uint64_t, pending> outstanding_;
+    /// Direct-indexed by probe sequence number (sequential from 0), replacing
+    /// the per-probe hash-map find/erase on the echo path; bounded by
+    /// cfg_.count entries per session.
+    std::vector<pending> outstanding_;
     sim::event_handle next_probe_event_{};
     std::optional<sim::rng> fault_rng_;
     std::uint64_t next_seq_{0};

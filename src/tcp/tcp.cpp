@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace tcppred::tcp {
 
 namespace {
@@ -28,6 +30,8 @@ tcp_sender::tcp_sender(sim::scheduler& sched, net::conduit& conduit, net::flow_i
 
 tcp_sender::~tcp_sender() {
     disarm_rto();
+    sched_->cancel(rto_event_);  // eager: the callback captures `this`
+    rto_event_live_ = false;
     conduit_->on_deliver_ack(flow_, nullptr);
 }
 
@@ -43,6 +47,8 @@ void tcp_sender::quiesce() {
     active_ = false;
     quiesced_ = true;
     disarm_rto();
+    sched_->cancel(rto_event_);  // a quiesced sender schedules nothing more
+    rto_event_live_ = false;
 }
 
 std::uint64_t tcp_sender::usable_window() const noexcept {
@@ -53,7 +59,20 @@ std::uint64_t tcp_sender::usable_window() const noexcept {
 }
 
 tcp_sender::seg_meta& tcp_sender::meta(std::uint64_t seq) {
-    return metas_.at(static_cast<std::size_t>(seq - snd_una_));
+    return metas_.at(metas_head_ + static_cast<std::size_t>(seq - snd_una_));
+}
+
+void tcp_sender::metas_pop_front(std::size_t n) {
+    metas_head_ += n;
+    TCPPRED_ASSERT(metas_head_ <= metas_.size());
+    if (metas_head_ == metas_.size()) {
+        metas_clear();
+    } else if (metas_head_ > metas_.size() / 2 && metas_head_ >= 64) {
+        // Amortized compaction: each element is moved at most once per
+        // doubling of consumed prefix, keeping ACK processing O(newly acked).
+        metas_.erase(metas_.begin(), metas_.begin() + static_cast<std::ptrdiff_t>(metas_head_));
+        metas_head_ = 0;
+    }
 }
 
 void tcp_sender::try_send() {
@@ -131,7 +150,9 @@ void tcp_sender::apply_sack_block(std::uint64_t begin, std::uint64_t end) {
 
 std::uint64_t tcp_sender::sacked_count() const noexcept {
     std::uint64_t n = 0;
-    for (const seg_meta& m : metas_) n += m.sacked ? 1 : 0;
+    for (std::size_t i = metas_head_; i < metas_.size(); ++i) {
+        n += metas_[i].sacked ? 1 : 0;
+    }
     return n;
 }
 
@@ -171,14 +192,14 @@ void tcp_sender::on_new_ack(std::uint64_t ack, std::uint64_t newly) {
 
     // RTT sample from the highest newly-acked segment we still have timing
     // for, only if it was never retransmitted (Karn's algorithm).
-    const std::uint64_t covered = std::min<std::uint64_t>(newly, metas_.size());
+    const std::uint64_t covered = std::min<std::uint64_t>(newly, metas_live());
     if (covered > 0) {
-        const seg_meta& last = metas_[static_cast<std::size_t>(covered - 1)];
+        const seg_meta& last = metas_[metas_head_ + static_cast<std::size_t>(covered - 1)];
         if (!last.retransmitted) update_rtt(sched_->now() - last.send_time);
     }
 
     snd_una_ = ack;
-    metas_.erase(metas_.begin(), metas_.begin() + static_cast<std::ptrdiff_t>(covered));
+    metas_pop_front(static_cast<std::size_t>(covered));
     stats_.segments_delivered += newly;
     backoff_ = 0;
     dupacks_ = 0;
@@ -229,7 +250,7 @@ void tcp_sender::enter_fast_recovery() {
         cwnd_ = 1.0;
         dupacks_ = 0;
         next_seq_ = snd_una_;
-        metas_.clear();
+        metas_clear();
         highest_sacked_ = snd_una_;
         try_send();
         disarm_rto();
@@ -267,22 +288,43 @@ void tcp_sender::update_rtt(double sample) {
     rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto_s, cfg_.max_rto_s);
 }
 
+void tcp_sender::schedule_rto_event(double when) {
+    rto_event_live_ = true;
+    rto_event_when_ = when;
+    rto_event_ = sched_->schedule_at(when, [this] { on_rto_event(); });
+}
+
 void tcp_sender::arm_rto(double timeout) {
     rto_armed_ = true;
-    const std::uint64_t generation = ++rto_generation_;
-    rto_event_ =
-        sched_->schedule_in(timeout, [this, generation] { on_rto_fire(generation); });
+    rto_deadline_ = sched_->now() + timeout;
+    if (!rto_event_live_) {
+        schedule_rto_event(rto_deadline_);
+    } else if (rto_deadline_ < rto_event_when_) {
+        // The pending event fires too late for the new deadline (RTT
+        // collapsed, or a backed-off timer was replaced): replace it.
+        sched_->cancel(rto_event_);
+        schedule_rto_event(rto_deadline_);
+    }
+    // Otherwise the pending event fires at or before the deadline and
+    // lazily re-schedules itself for the remainder.
 }
 
 void tcp_sender::disarm_rto() {
     rto_armed_ = false;
-    ++rto_generation_;            // invalidate in-flight timer callbacks
-    sched_->cancel(rto_event_);   // and drop the event so `this` is never touched
-    rto_event_ = {};
+    // The pending event, if any, stays in the scheduler and no-ops on fire
+    // (or is superseded by a later arm_rto). The destructor and quiesce()
+    // cancel it eagerly so `this` is never touched after teardown.
 }
 
-void tcp_sender::on_rto_fire(std::uint64_t generation) {
-    if (generation != rto_generation_ || !rto_armed_) return;
+void tcp_sender::on_rto_event() {
+    rto_event_live_ = false;
+    if (!rto_armed_) return;  // lazily disarmed since scheduling
+    if (sched_->now() < rto_deadline_) {
+        // Re-armed to a later deadline since this event was scheduled:
+        // sleep for the remainder.
+        schedule_rto_event(rto_deadline_);
+        return;
+    }
     rto_armed_ = false;
     if (flight() == 0) return;
 
@@ -298,7 +340,7 @@ void tcp_sender::on_rto_fire(std::uint64_t generation) {
     // SACK this is how a timeout recovers a multi-loss window. Segments the
     // receiver already buffered are re-ACKed past in on_new_ack.
     next_seq_ = snd_una_;
-    metas_.clear();
+    metas_clear();
     highest_sacked_ = snd_una_;
     try_send();  // cwnd = 1: retransmits exactly the first hole
     const double backed_off =
@@ -322,9 +364,16 @@ void tcp_receiver::on_data(const net::packet& p) {
     last_arrival_ = p.seq;
     if (p.seq == rcv_next_) {
         ++rcv_next_;
-        while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
-            out_of_order_.erase(out_of_order_.begin());
+        // Drain the contiguous run at the front in one erase (the vector is
+        // sorted, so consecutive buffered seqs are adjacent).
+        std::size_t run = 0;
+        while (run < out_of_order_.size() && out_of_order_[run] == rcv_next_) {
+            ++run;
             ++rcv_next_;
+        }
+        if (run > 0) {
+            out_of_order_.erase(out_of_order_.begin(),
+                                out_of_order_.begin() + static_cast<std::ptrdiff_t>(run));
         }
         if (!out_of_order_.empty()) {
             // Still a hole: keep the sender's dupack clock running.
@@ -337,7 +386,8 @@ void tcp_receiver::on_data(const net::packet& p) {
         return;
     }
     if (p.seq > rcv_next_) {
-        out_of_order_.insert(p.seq);
+        const auto it = std::lower_bound(out_of_order_.begin(), out_of_order_.end(), p.seq);
+        if (it == out_of_order_.end() || *it != p.seq) out_of_order_.insert(it, p.seq);
         send_ack_now();  // duplicate ACK
         return;
     }
@@ -360,7 +410,12 @@ void tcp_receiver::maybe_delay_ack() {
 
 void tcp_receiver::send_ack_now() {
     unacked_segments_ = 0;
-    delack_armed_ = false;
+    if (delack_armed_) {
+        // O(1) with the pooled scheduler: reclaim the pending timer instead
+        // of letting it fire as a generation-checked no-op.
+        sched_->cancel(delack_event_);
+        delack_armed_ = false;
+    }
     ++delack_generation_;
 
     net::packet a;
@@ -371,12 +426,18 @@ void tcp_receiver::send_ack_now() {
     // SACK option: report the out-of-order run containing the most recently
     // received segment (one block per ACK, as real stacks lead with the
     // most recent block).
-    if (!out_of_order_.empty() && out_of_order_.count(last_arrival_) > 0) {
-        std::uint64_t lo = last_arrival_, hi = last_arrival_ + 1;
-        while (out_of_order_.count(lo - 1) > 0) --lo;
-        while (out_of_order_.count(hi) > 0) ++hi;
-        a.sack_begin = lo;
-        a.sack_end = hi;
+    if (!out_of_order_.empty()) {
+        const auto it =
+            std::lower_bound(out_of_order_.begin(), out_of_order_.end(), last_arrival_);
+        if (it != out_of_order_.end() && *it == last_arrival_) {
+            // Expand to the contiguous run around last_arrival_: in a sorted
+            // unique vector, consecutive seqs sit in adjacent slots.
+            auto lo = it, hi = it;
+            while (lo != out_of_order_.begin() && *(lo - 1) == *lo - 1) --lo;
+            while (hi + 1 != out_of_order_.end() && *(hi + 1) == *hi + 1) ++hi;
+            a.sack_begin = *lo;
+            a.sack_end = *hi + 1;
+        }
     }
     a.sent_at = sched_->now();
     conduit_->send_ack(a);

@@ -8,9 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <set>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -121,8 +119,18 @@ private:
     void update_rtt(double sample);
     void arm_rto(double timeout);
     void disarm_rto();
-    void on_rto_fire(std::uint64_t generation);
+    void schedule_rto_event(double when);
+    void on_rto_event();
     [[nodiscard]] seg_meta& meta(std::uint64_t seq);
+    /// Number of live metadata entries (segments in [snd_una_, next_seq_)).
+    [[nodiscard]] std::size_t metas_live() const noexcept {
+        return metas_.size() - metas_head_;
+    }
+    void metas_pop_front(std::size_t n);
+    void metas_clear() noexcept {
+        metas_.clear();
+        metas_head_ = 0;
+    }
 
     sim::scheduler* sched_;
     net::conduit* conduit_;
@@ -134,7 +142,12 @@ private:
     std::uint64_t snd_una_{0};      ///< lowest unacknowledged segment
     std::uint64_t next_seq_{0};     ///< next segment to transmit
     std::uint64_t max_seq_sent_{0}; ///< high-water mark: transmissions below it are retransmits
-    std::deque<seg_meta> metas_;    ///< metadata for [snd_una_, next_seq_)
+    /// Metadata for [snd_una_, next_seq_), stored flat: entry for seq lives
+    /// at metas_[metas_head_ + (seq - snd_una_)]. ACK progress advances the
+    /// head index; the vector is compacted (or cleared) amortized-O(1), so
+    /// the per-ACK path never shifts elements or frees memory.
+    std::vector<seg_meta> metas_;
+    std::size_t metas_head_{0};
 
     double cwnd_{1.0};           ///< congestion window, segments (fractional in CA)
     double ssthresh_;
@@ -153,8 +166,14 @@ private:
     bool have_rtt_{false};
     double rto_;
     std::uint32_t backoff_{0};
-    std::uint64_t rto_generation_{0};
+    // Lazy RTO timer: re-arming per ACK only moves `rto_deadline_` forward;
+    // the single scheduled event checks the deadline when it fires and
+    // re-schedules itself for the remainder. This replaces a cancel +
+    // schedule pair per ACK with plain stores (the common case).
     bool rto_armed_{false};
+    bool rto_event_live_{false};  ///< an event is pending in the scheduler
+    double rto_deadline_{0.0};
+    double rto_event_when_{0.0};  ///< firing time of the pending event
     sim::event_handle rto_event_{};
 
     sender_stats stats_{};
@@ -189,7 +208,10 @@ private:
     tcp_config cfg_;
 
     std::uint64_t rcv_next_{0};
-    std::set<std::uint64_t> out_of_order_;
+    /// Sorted unique seqs above rcv_next_ (a flat replacement for the old
+    /// std::set: holes are few and short-lived, so sorted-vector insertion
+    /// and run-scans beat node allocation on the per-segment path).
+    std::vector<std::uint64_t> out_of_order_;
     std::uint32_t unacked_segments_{0};
     std::uint64_t delack_generation_{0};
     bool delack_armed_{false};

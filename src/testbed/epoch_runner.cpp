@@ -84,19 +84,31 @@ void epoch_world::build_cross_traffic(std::uint64_t seed) {
     const std::size_t bn = profile_.bottleneck;
     const double open_loop_bps = load_.utilization * cap;
 
+    const net::packet_size_mix mix{};
     poisson_ = std::make_unique<net::poisson_source>(
         sched_, path_, bn, k_flow_poisson, sim::derive_seed(seed, "poisson"),
-        open_loop_bps * (1.0 - profile_.burstiness));
+        open_loop_bps * (1.0 - profile_.burstiness), mix, cfg_.cross);
     // The bursty share is an aggregate of a few independent on/off sources:
     // statistical multiplexing keeps single-burst amplitude realistic.
     constexpr int k_onoff_sources = 3;
+    net::pareto_onoff_config pcfg0;
     for (int i = 0; i < k_onoff_sources; ++i) {
         net::pareto_onoff_config pcfg;
         pareto_.push_back(std::make_unique<net::pareto_onoff_source>(
             sched_, path_, bn, k_flow_pareto + static_cast<net::flow_id>(i),
-            sim::derive_seed(seed, "pareto", static_cast<std::uint64_t>(i)), pcfg));
+            sim::derive_seed(seed, "pareto", static_cast<std::uint64_t>(i)), pcfg,
+            cfg_.cross));
         pareto_.back()->set_mean_rate(open_loop_bps * profile_.burstiness /
                                       k_onoff_sources);
+    }
+    if (cfg_.cross == net::cross_model::fluid) {
+        // Buffer-occupancy conversion for the fluid aggregate: mean packet
+        // size blended across the Poisson mix and the on/off sources' MTU
+        // packets, weighted by their shares of the open-loop load.
+        const double blended = (1.0 - profile_.burstiness) * mix.mean_bytes() +
+                               profile_.burstiness *
+                                   static_cast<double>(pcfg0.packet_bytes);
+        path_.forward_link(bn).set_fluid_mean_packet_bytes(blended);
     }
 
     sim::rng er(sim::derive_seed(seed, "elastic"));

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "net/cross_traffic.hpp"
 #include "probe/ping_prober.hpp"
 #include "sim/fault_injector.hpp"
 #include "tcp/tcp.hpp"
@@ -76,6 +77,11 @@ struct epoch_config {
     /// Resolved measurement faults for this specific epoch (default: none).
     /// Planned by the campaign from its fault_profile; see DESIGN.md §10.
     sim::epoch_fault_plan faults{};
+    /// How the open-loop background traffic is realized at the bottleneck
+    /// (net/cross_traffic.hpp). Defaults to the exact per-packet model; the
+    /// fluid aggregate trades packet granularity for a large event-count
+    /// reduction (DESIGN.md §13.5).
+    net::cross_model cross{net::cross_model::packet};
 };
 
 /// Everything one epoch measures. Under fault injection a field may be NaN:

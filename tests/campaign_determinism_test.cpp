@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "net/cross_traffic.hpp"
 #include "sim/fault_injector.hpp"
 #include "testbed/dataset.hpp"
 
@@ -106,6 +107,28 @@ TEST(campaign_determinism, identical_dataset_for_1_2_and_4_jobs) {
     const std::string csv1 = csv_bytes(serial);
     EXPECT_EQ(csv1, csv_bytes(two)) << "CSV differs between 1 and 2 jobs";
     EXPECT_EQ(csv1, csv_bytes(four)) << "CSV differs between 1 and 4 jobs";
+}
+
+TEST(campaign_determinism, fluid_cross_model_identical_across_jobs) {
+    // The fluid cross-traffic model (DESIGN.md §13.5) integrates a
+    // continuous backlog alongside discrete packets; its state is still
+    // wholly per-epoch, so the same jobs-independence contract applies.
+    campaign_config cfg = tiny_config();
+    cfg.epoch.cross = tcppred::net::cross_model::fluid;
+
+    cfg.jobs = 1;
+    const dataset serial = run_campaign(cfg);
+    cfg.jobs = 2;
+    const dataset two = run_campaign(cfg);
+    cfg.jobs = 4;
+    const dataset four = run_campaign(cfg);
+
+    expect_identical(serial, two, "fluid jobs=2 vs jobs=1");
+    expect_identical(serial, four, "fluid jobs=4 vs jobs=1");
+
+    const std::string csv1 = csv_bytes(serial);
+    EXPECT_EQ(csv1, csv_bytes(two)) << "fluid CSV differs between 1 and 2 jobs";
+    EXPECT_EQ(csv1, csv_bytes(four)) << "fluid CSV differs between 1 and 4 jobs";
 }
 
 TEST(campaign_determinism, records_are_in_serial_iteration_order) {

@@ -17,6 +17,7 @@
 
 #include "analysis/evaluation.hpp"
 #include "analysis/stats.hpp"
+#include "net/cross_traffic.hpp"
 #include "testbed/campaign.hpp"
 
 namespace tcppred::analysis {
@@ -95,6 +96,38 @@ TEST(engine_golden, campaign2_tiny_headline_numbers) {
                                 0x1.a51a66be21467p+0,  // FB p90 RMSRE 1.6449
                                 0x1.8p-1,              // P(10-MA-LSO < 0.4) = 0.75
                                 0x1p+0,                // P(0.8-HW-LSO < 0.4) = 1.0
+                                4});
+}
+
+// Fluid-cross-traffic goldens (DESIGN.md §13.5). The fluid model replaces
+// open-loop cross packets with an aggregate rate at the link, so its epochs
+// are legitimately different simulations — these goldens are pinned from
+// the first fluid implementation, not carried over from packet mode. The
+// packet-mode goldens above are untouched: fluid mode is opt-in and the
+// headline numbers stay in family (medians within ~10% of packet mode),
+// which is the regression signal these pins protect.
+
+TEST(engine_golden, campaign1_tiny_fluid_headline_numbers) {
+    auto cfg = testbed::campaign1_config(testbed::campaign_scale::tiny);
+    cfg.epoch.cross = net::cross_model::fluid;
+    const auto data =
+        csv_round_trip(testbed::run_campaign(cfg), "engine_golden_c1_fluid.csv");
+    check_campaign(data, golden{0x1.304929ee0e518p+0,  // FB median RMSRE 1.1886
+                                0x1.18d2a3953faeep+2,  // FB p90 RMSRE 4.3879
+                                0x1.cp-1,              // P(10-MA-LSO < 0.4) = 0.875
+                                0x1.cp-1,              // P(0.8-HW-LSO < 0.4) = 0.875
+                                8});
+}
+
+TEST(engine_golden, campaign2_tiny_fluid_headline_numbers) {
+    auto cfg = testbed::campaign2_config(testbed::campaign_scale::tiny);
+    cfg.epoch.cross = net::cross_model::fluid;
+    const auto data =
+        csv_round_trip(testbed::run_campaign(cfg), "engine_golden_c2_fluid.csv");
+    check_campaign(data, golden{0x1.200452bca2855p+0,  // FB median RMSRE 1.1251
+                                0x1.b0d43a12f381dp+0,  // FB p90 RMSRE 1.6907
+                                0x1.8p-1,              // P(10-MA-LSO < 0.4) = 0.75
+                                0x1.8p-1,              // P(0.8-HW-LSO < 0.4) = 0.75
                                 4});
 }
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Perf report generator: runs the micro-benchmarks and timed campaign runs
+# and emits two machine-readable JSON files (see PERFORMANCE.md for the
+# schema and how to read a trajectory of these):
+#
+#   BENCH_scheduler.json  event-substrate micro-benchmarks (google-benchmark
+#                         numbers for the scheduler, link forwarding and
+#                         TCP hot loops, from bench/micro_engine)
+#   BENCH_campaign.json   end-to-end campaign throughput in epochs/s, per
+#                         campaign and cross-traffic model
+#
+# Usage: tools/bench_report.sh [options]
+#   --build-dir DIR   build tree with bench/ and tools/ binaries
+#                     (default: build)
+#   --out-dir DIR     where to write the BENCH_*.json files
+#                     (default: repository root — the committed copies)
+#   --scale S         tiny | normal   campaign geometry (default: tiny;
+#                     committed files are regenerated at normal scale)
+#   --jobs N          worker threads for the campaign runs (default: 1,
+#                     serial — the number quoted in the perf trajectory)
+#
+# The campaign runs write their CSVs to a temp dir and discard them: this
+# script measures, it does not produce datasets. Runs are serial by default
+# so the epochs/s numbers compare across machines with different core
+# counts. CI runs this at tiny scale and gates on >2x regression against
+# the committed numbers (.github/workflows/ci.yml, "perf smoke").
+set -eu
+
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+BUILD_DIR="$SRC_DIR/build"
+OUT_DIR="$SRC_DIR"
+SCALE="tiny"
+JOBS=1
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) BUILD_DIR="$2"; shift 2 ;;
+        --out-dir) OUT_DIR="$2"; shift 2 ;;
+        --scale) SCALE="$2"; shift 2 ;;
+        --jobs) JOBS="$2"; shift 2 ;;
+        *) echo "bench_report.sh: unknown option: $1" >&2; exit 2 ;;
+    esac
+done
+
+case "$SCALE" in tiny|normal) ;; *)
+    echo "bench_report.sh: --scale must be tiny or normal, got: $SCALE" >&2
+    exit 2 ;;
+esac
+
+MICRO="$BUILD_DIR/bench/micro_engine"
+CAMPAIGN="$BUILD_DIR/tools/tcppred_campaign"
+for bin in "$MICRO" "$CAMPAIGN"; do
+    if [ ! -x "$bin" ]; then
+        echo "bench_report.sh: missing binary: $bin (build the repo first)" >&2
+        exit 1
+    fi
+done
+
+TMP_DIR="$(mktemp -d /tmp/bench_report.XXXXXX)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# --- micro-benchmarks -> BENCH_scheduler.json -----------------------------
+echo "running micro_engine benchmarks..." >&2
+"$MICRO" --benchmark_format=json > "$TMP_DIR/micro.json"
+
+python3 - "$TMP_DIR/micro.json" "$OUT_DIR/BENCH_scheduler.json" <<'PY'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+out = {
+    "schema": "tcppred-bench-scheduler-v1",
+    "source": "bench/micro_engine --benchmark_format=json",
+    "benchmarks": [
+        {
+            "name": b["name"],
+            "real_time_ns": round(b["real_time"], 1),
+            **(
+                {"items_per_second": round(b["items_per_second"], 1)}
+                if "items_per_second" in b
+                else {}
+            ),
+        }
+        for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    ],
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+open(sys.argv[2], "a").write("\n")
+print("wrote", sys.argv[2], file=sys.stderr)
+PY
+
+# --- campaign throughput -> BENCH_campaign.json ---------------------------
+# Tiny geometry mirrors testbed::campaign{1,2}_config(campaign_scale::tiny);
+# normal scale is the tool's defaults.
+if [ "$SCALE" = "tiny" ]; then
+    C1_FLAGS="--paths 8 --traces 1 --epochs 45"
+    C2_FLAGS="--second-set --paths 4 --traces 1 --epochs 15"
+else
+    C1_FLAGS=""
+    C2_FLAGS="--second-set"
+fi
+
+: > "$TMP_DIR/campaign_runs.txt"
+for model in packet fluid; do
+    for set in 1 2; do
+        if [ "$set" = 1 ]; then flags="$C1_FLAGS"; else flags="$C2_FLAGS"; fi
+        echo "running campaign$set ($SCALE, $model, jobs=$JOBS)..." >&2
+        # shellcheck disable=SC2086  # flags is a word list by construction
+        "$CAMPAIGN" --out "$TMP_DIR/c$set-$model.csv" --jobs "$JOBS" \
+            --cross-model "$model" $flags 2> "$TMP_DIR/c$set-$model.log"
+        line="$(grep 'epochs in' "$TMP_DIR/c$set-$model.log")"
+        echo "$set $model $line" >> "$TMP_DIR/campaign_runs.txt"
+        echo "  $line" >&2
+    done
+done
+
+python3 - "$TMP_DIR/campaign_runs.txt" "$OUT_DIR/BENCH_campaign.json" \
+    "$SCALE" "$JOBS" <<'PY'
+import json, re, sys
+runs = []
+for line in open(sys.argv[1]):
+    # "<set> <model> <N> epochs in <S> s (<R> epochs/s)"
+    m = re.match(r"(\d) (\w+) (\d+) epochs in ([\d.]+) s \(([\d.]+) epochs/s\)",
+                 line.strip())
+    if not m:
+        sys.exit(f"unparseable campaign timing line: {line!r}")
+    runs.append({
+        "campaign": int(m.group(1)),
+        "cross_model": m.group(2),
+        "epochs": int(m.group(3)),
+        "seconds": float(m.group(4)),
+        "epochs_per_s": float(m.group(5)),
+    })
+out = {
+    "schema": "tcppred-bench-campaign-v1",
+    "scale": sys.argv[3],
+    "jobs": int(sys.argv[4]),
+    "runs": runs,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+open(sys.argv[2], "a").write("\n")
+print("wrote", sys.argv[2], file=sys.stderr)
+PY
+
+echo "bench report complete: $OUT_DIR/BENCH_scheduler.json $OUT_DIR/BENCH_campaign.json" >&2

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: validate BENCH_*.json schemas and fail on regression.
+
+Usage:
+    tools/check_bench_regression.py COMMITTED_DIR FRESH_DIR [--factor 2.0]
+
+Loads BENCH_campaign.json and BENCH_scheduler.json from both directories,
+validates the schemas (see PERFORMANCE.md), then compares each campaign
+run's epochs/s: a fresh number more than `factor` times slower than the
+committed one fails the check. Only runs present in BOTH files are
+compared (so adding a new campaign/model doesn't break the gate), but the
+committed runs must all still exist. The micro-benchmark file is schema-
+validated only: google-benchmark timings on shared CI runners are too
+noisy for a hard numeric gate, the end-to-end epochs/s is the contract.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: pathlib.Path) -> dict:
+    if not path.is_file():
+        fail(f"missing file: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"invalid JSON in {path}: {e}")
+    raise AssertionError  # unreachable
+
+
+def validate_campaign(doc: dict, origin: pathlib.Path) -> dict:
+    """Schema check; returns {(campaign, cross_model): epochs_per_s}."""
+    if doc.get("schema") != "tcppred-bench-campaign-v1":
+        fail(f"{origin}: bad schema tag: {doc.get('schema')!r}")
+    if doc.get("scale") not in ("tiny", "normal"):
+        fail(f"{origin}: bad scale: {doc.get('scale')!r}")
+    if not isinstance(doc.get("jobs"), int) or doc["jobs"] < 1:
+        fail(f"{origin}: bad jobs: {doc.get('jobs')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{origin}: runs must be a non-empty list")
+    table = {}
+    for r in runs:
+        for key, typ in (("campaign", int), ("cross_model", str),
+                         ("epochs", int), ("seconds", (int, float)),
+                         ("epochs_per_s", (int, float))):
+            if not isinstance(r.get(key), typ):
+                fail(f"{origin}: run field {key} bad or missing: {r!r}")
+        if r["cross_model"] not in ("packet", "fluid"):
+            fail(f"{origin}: bad cross_model: {r['cross_model']!r}")
+        if r["epochs_per_s"] <= 0:
+            fail(f"{origin}: non-positive epochs_per_s: {r!r}")
+        table[(r["campaign"], r["cross_model"])] = r["epochs_per_s"]
+    return table
+
+
+def validate_scheduler(doc: dict, origin: pathlib.Path) -> None:
+    if doc.get("schema") != "tcppred-bench-scheduler-v1":
+        fail(f"{origin}: bad schema tag: {doc.get('schema')!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail(f"{origin}: benchmarks must be a non-empty list")
+    for b in benches:
+        if not isinstance(b.get("name"), str):
+            fail(f"{origin}: benchmark without a name: {b!r}")
+        if not isinstance(b.get("real_time_ns"), (int, float)) or b["real_time_ns"] <= 0:
+            fail(f"{origin}: bad real_time_ns: {b!r}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("committed_dir", type=pathlib.Path)
+    ap.add_argument("fresh_dir", type=pathlib.Path)
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="max allowed slowdown vs committed (default 2.0)")
+    args = ap.parse_args()
+
+    committed = validate_campaign(
+        load(args.committed_dir / "BENCH_campaign.json"),
+        args.committed_dir / "BENCH_campaign.json")
+    fresh = validate_campaign(
+        load(args.fresh_dir / "BENCH_campaign.json"),
+        args.fresh_dir / "BENCH_campaign.json")
+    validate_scheduler(load(args.committed_dir / "BENCH_scheduler.json"),
+                       args.committed_dir / "BENCH_scheduler.json")
+    validate_scheduler(load(args.fresh_dir / "BENCH_scheduler.json"),
+                       args.fresh_dir / "BENCH_scheduler.json")
+
+    failed = False
+    for key, old in sorted(committed.items()):
+        new = fresh.get(key)
+        if new is None:
+            print(f"MISSING: campaign {key[0]} ({key[1]}) absent from fresh run",
+                  file=sys.stderr)
+            failed = True
+            continue
+        ratio = old / new
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        print(f"{verdict}: campaign {key[0]} ({key[1]}): "
+              f"{new:.1f} epochs/s vs committed {old:.1f} "
+              f"({ratio:.2f}x slower, limit {args.factor:.1f}x)")
+        if ratio > args.factor:
+            failed = True
+    if failed:
+        sys.exit(1)
+    print("perf smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,9 @@ void usage(const char* argv0) {
                  "  --seed S          campaign seed          (default 20040501)\n"
                  "  --transfer-s T    target transfer length (default 10)\n"
                  "  --second-set      use the campaign-2 catalogue & plan\n"
+                 "  --cross-model M   open-loop cross-traffic model: packet (exact,\n"
+                 "                    default) or fluid (aggregate rate, far fewer\n"
+                 "                    events; also $REPRO_CROSS_MODEL)\n"
                  "  --jobs N          worker threads; 1 = serial\n"
                  "                    (default $REPRO_JOBS, else all cores)\n"
                  "  --faults SPEC     measurement-fault rates, e.g.\n"
@@ -67,6 +70,9 @@ int main(int argc, char** argv) {
     campaign_run_options run_opts;
     std::string out;
     int jobs = 0;  // applied after parsing so --second-set cannot reset it
+    // Applied after parsing for the same reason: --second-set replaces cfg.
+    std::string cross_model_name;
+    if (const char* env = std::getenv("REPRO_CROSS_MODEL")) cross_model_name = env;
     bool checkpointing = false;
     bool metrics_summary = false;
     std::string trace_file;
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
             cfg.epoch.transfer = tcppred::core::seconds{std::atof(next())};
         } else if (arg == "--second-set") {
             cfg = campaign2_config(campaign_scale::normal);
+        } else if (arg == "--cross-model") {
+            cross_model_name = next();
         } else if (arg == "--jobs") {
             jobs = std::atoi(next());
         } else if (arg == "--faults") {
@@ -140,6 +148,17 @@ int main(int argc, char** argv) {
     }
     cfg.jobs = jobs;
     cfg.faults = faults;
+    if (!cross_model_name.empty()) {
+        if (cross_model_name == "packet") {
+            cfg.epoch.cross = tcppred::net::cross_model::packet;
+        } else if (cross_model_name == "fluid") {
+            cfg.epoch.cross = tcppred::net::cross_model::fluid;
+        } else {
+            std::fprintf(stderr, "bad --cross-model: %s (want packet or fluid)\n",
+                         cross_model_name.c_str());
+            return 1;
+        }
+    }
     if (checkpointing) run_opts.checkpoint = out + ".ckpt";
     run_opts.cancelled = [] { return g_interrupted != 0; };
     std::signal(SIGINT, on_sigint);
