@@ -1,0 +1,9 @@
+// Clean header: included by the layer fixtures and linted directly as the
+// "no findings" case.
+#pragma once
+
+namespace fixture::alpha {
+
+int answer() noexcept;
+
+}  // namespace fixture::alpha

@@ -1,0 +1,6 @@
+// Fixture: must trigger det-clock (and nothing else).
+#include <chrono>
+
+long wall_clock_read() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

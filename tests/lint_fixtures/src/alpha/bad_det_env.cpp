@@ -1,0 +1,4 @@
+// Fixture: must trigger det-env (and nothing else).
+#include <cstdlib>
+
+const char* read_environment() { return std::getenv("FIXTURE_VAR"); }

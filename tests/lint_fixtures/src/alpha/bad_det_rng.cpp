@@ -1,0 +1,7 @@
+// Fixture: must trigger det-rng (and nothing else).
+#include <random>
+
+int nondeterministic_seed() {
+    std::random_device rd;
+    return static_cast<int>(rd());
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger det-thread (and nothing else).
+#include <thread>
+
+void spawn_worker() {
+    std::thread worker([] {});
+    worker.join();
+}

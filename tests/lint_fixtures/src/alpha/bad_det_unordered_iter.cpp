@@ -1,0 +1,9 @@
+// Fixture: must trigger det-unordered-iter (and nothing else).
+#include <string>
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<std::string, int>& histogram) {
+    int total = 0;
+    for (const auto& [key, value] : histogram) total += value;
+    return total;
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger ser-hexfloat (and nothing else). Declared as a
+// serialization TU in fixtures.conf, so streaming a bare double is illegal.
+#include <ostream>
+
+void write_record(std::ostream& out, double measured_rtt_s) {
+    out << measured_rtt_s << '\n';
+}

@@ -1,0 +1,9 @@
+// Fixture: must trigger units-boundary (and nothing else). A public header
+// passing a dimensioned quantity as a bare, unsuffixed double.
+#pragma once
+
+namespace fixture::alpha {
+
+double predict_throughput(double rtt, double loss);
+
+}  // namespace fixture::alpha

@@ -1,0 +1,15 @@
+// Clean TU: mentions every banned token *inside comments and strings* to
+// prove the stripper keeps them from matching: std::random_device, getenv,
+// std::thread, steady_clock.
+#include "alpha/alpha.hpp"
+
+namespace fixture::alpha {
+
+namespace {
+const char* const k_doc =
+    "tokens in string literals must not fire: rand() time() getenv";
+}  // namespace
+
+int answer() noexcept { return k_doc[0] == 't' ? 42 : 0; }
+
+}  // namespace fixture::alpha

@@ -1,0 +1,6 @@
+// Fixture: a real det-env violation silenced by an inline allow pragma —
+// must lint clean, proving suppression works.
+#include <cstdlib>
+
+// tcppred-lint: allow(det-env): fixture exercising the suppression pragma
+const char* suppressed_env_read() { return std::getenv("FIXTURE_VAR"); }

@@ -1,0 +1,6 @@
+// Fixture: must trigger layer-include (and nothing else). gamma's declared
+// dependency set in fixtures.conf is empty, so including alpha is an edge
+// outside the DAG.
+#include "alpha/alpha.hpp"
+
+int use_alpha() { return fixture::alpha::answer(); }

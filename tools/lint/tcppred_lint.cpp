@@ -1,0 +1,184 @@
+// tcppred_lint — CLI driver. Walks src/, tools/, tests/, bench/ and
+// examples/ under --root, runs every rule in lint.hpp over each C++ source,
+// and prints findings as `path:line: [rule-id] message`.
+//
+//   tcppred_lint [--root DIR] [--config FILE] [--compile-commands FILE]
+//                [--list-rules] [paths...]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/config error. Explicit `paths`
+// restrict the walk (files or directories, repo-relative or absolute) —
+// that is what the fixture self-tests use.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace tcppred::lint;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [options] [paths...]\n"
+                 "  --root DIR             repository root (default: .)\n"
+                 "  --config FILE          rule table (default:\n"
+                 "                         ROOT/tools/lint/tcppred_lint.conf)\n"
+                 "  --compile-commands F   resolve includes via the -I dirs of a\n"
+                 "                         cmake compile_commands.json (missing\n"
+                 "                         file: noted, falls back to ROOT/src)\n"
+                 "  --list-rules           print the rule catalogue and exit\n"
+                 "  paths                  files/dirs to lint instead of the\n"
+                 "                         default src tools tests bench examples\n",
+                 argv0);
+}
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::string rel_to(const fs::path& root, const fs::path& p) {
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    return (ec ? p : rel).generic_string();
+}
+
+void collect(const fs::path& root, const fs::path& at, const config& cfg,
+             std::vector<fs::path>& out) {
+    const std::string rel = rel_to(root, at);
+    for (const auto& g : cfg.skips) {
+        if (glob_match(g, rel)) return;
+    }
+    if (fs::is_directory(at)) {
+        std::vector<fs::path> entries;
+        for (const auto& e : fs::directory_iterator(at)) entries.push_back(e.path());
+        std::sort(entries.begin(), entries.end());
+        for (const auto& e : entries) collect(root, e, cfg, out);
+    } else if (fs::is_regular_file(at) && lintable(at)) {
+        out.push_back(at);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fs::path root = ".";
+    fs::path config_file;
+    fs::path compile_commands;
+    std::vector<std::string> explicit_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = next();
+        } else if (arg == "--config") {
+            config_file = next();
+        } else if (arg == "--compile-commands") {
+            compile_commands = next();
+        } else if (arg == "--list-rules") {
+            for (const auto& [rule, desc] : rule_catalog()) {
+                std::printf("%-20s %s\n", rule.c_str(), desc.c_str());
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            explicit_paths.push_back(arg);
+        }
+    }
+
+    if (config_file.empty()) {
+        config_file = root / "tools" / "lint" / "tcppred_lint.conf";
+    }
+
+    config cfg;
+    try {
+        cfg = parse_config(config_file);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "tcppred_lint: %s\n", e.what());
+        return 2;
+    }
+
+    std::vector<fs::path> include_dirs;
+    if (!compile_commands.empty()) {
+        include_dirs = include_dirs_from_compile_commands(compile_commands);
+        if (include_dirs.empty()) {
+            std::fprintf(stderr,
+                         "tcppred_lint: note: no -I directories from %s; "
+                         "falling back to %s\n",
+                         compile_commands.string().c_str(),
+                         (root / "src").string().c_str());
+        }
+    }
+    if (include_dirs.empty()) include_dirs.push_back(root / "src");
+
+    std::vector<fs::path> files;
+    try {
+        if (explicit_paths.empty()) {
+            for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+                const fs::path dir = root / top;
+                if (fs::exists(dir)) collect(root, dir, cfg, files);
+            }
+        } else {
+            for (const auto& p : explicit_paths) {
+                const fs::path at = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+                if (!fs::exists(at)) {
+                    std::fprintf(stderr, "tcppred_lint: no such path: %s\n",
+                                 p.c_str());
+                    return 2;
+                }
+                collect(root, at, cfg, files);
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "tcppred_lint: walk failed: %s\n", e.what());
+        return 2;
+    }
+
+    std::vector<finding> findings;
+    for (const auto& file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "tcppred_lint: cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const source_file src = prepare_source(rel_to(root, file), buf.str());
+        const auto found = lint_file(src, cfg, include_dirs);
+        findings.insert(findings.end(), found.begin(), found.end());
+    }
+
+    for (const auto& f : findings) {
+        std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                    f.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::fprintf(stderr, "tcppred_lint: %zu finding(s) in %zu file(s)\n",
+                     findings.size(), files.size());
+        return 1;
+    }
+    std::fprintf(stderr, "tcppred_lint: clean (%zu files)\n", files.size());
+    return 0;
+}
