@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -326,7 +325,7 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
               << " not found; running measurement campaign on " << jobs
               << " thread(s) (this is done once and cached)...\n";
     int last_percent = -1;
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::stopwatch watch;
     dataset data = run_campaign(cfg, [&](int done, int total) {
         const int percent = done * 100 / total;
         if (percent / 5 != last_percent / 5) {
@@ -335,8 +334,7 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
             last_percent = percent;
         }
     });
-    const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double wall_s = watch.elapsed_s();
     std::filesystem::create_directories(file.parent_path().empty() ? "."
                                                                    : file.parent_path());
     save_csv(data, file);

@@ -10,7 +10,6 @@
 // Exit codes: 0 success, 1 bad arguments, 2 runtime failure,
 // 130 interrupted (SIGINT; progress is checkpointed when enabled).
 #include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -199,7 +198,7 @@ int main(int argc, char** argv) {
                          ? (", faults " + cfg.faults.spec()).c_str()
                          : "");
         int last = -1;
-        const auto t0 = std::chrono::steady_clock::now();
+        const tcppred::obs::stopwatch watch;
         const campaign_outcome outcome =
             run_campaign_resumable(cfg, run_opts, [&](int done, int total) {
                 const int pct = done * 100 / total;
@@ -208,8 +207,7 @@ int main(int argc, char** argv) {
                     last = pct;
                 }
             });
-        const double wall_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        const double wall_s = watch.elapsed_s();
         if (outcome.epochs_resumed > 0) {
             std::fprintf(stderr, "resumed %d completed epoch(s) from %s\n",
                          outcome.epochs_resumed, run_opts.checkpoint.string().c_str());
