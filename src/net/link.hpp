@@ -89,7 +89,7 @@ public:
     }
 
     [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
-    [[nodiscard]] double prop_delay() const noexcept { return prop_delay_; }
+    [[nodiscard]] double prop_delay_s() const noexcept { return prop_delay_; }
     [[nodiscard]] std::size_t buffer_packets() const noexcept { return buffer_packets_; }
     [[nodiscard]] std::size_t queue_length() const noexcept {
         return queue_.size() + (transmitting_ ? 1u : 0u);

@@ -36,7 +36,7 @@ struct knob {
 
 constexpr knob k_knobs[] = {
     {"pathload", "REPRO_FAULT_PATHLOAD", &fault_profile::pathload_fail},
-    {"ping-timeout", "REPRO_FAULT_PING_TIMEOUT", &fault_profile::ping_timeout},
+    {"ping-timeout", "REPRO_FAULT_PING_TIMEOUT", &fault_profile::ping_timeout_rate},
     {"ping-truncate", "REPRO_FAULT_PING_TRUNCATE", &fault_profile::ping_truncate},
     {"abort", "REPRO_FAULT_ABORT", &fault_profile::transfer_abort},
     {"outage", "REPRO_FAULT_OUTAGE", &fault_profile::outage},
@@ -130,7 +130,7 @@ epoch_fault_plan plan_epoch_faults(const fault_profile& profile,
     // the draws (and hence the placement) of another.
     plan.pathload_fail = r.chance(profile.pathload_fail);
 
-    plan.ping_timeout_rate = profile.ping_timeout;
+    plan.ping_timeout_rate = profile.ping_timeout_rate;
     plan.ping_fault_seed = derive_seed(master, "ping-drops",
                                        static_cast<std::uint64_t>(path_id),
                                        static_cast<std::uint64_t>(trace),
@@ -155,7 +155,7 @@ epoch_fault_plan plan_epoch_faults(const fault_profile& profile,
 
     // Planned-fault counters: these count logical decisions derived purely
     // from seeds, so snapshots are identical at any REPRO_JOBS setting.
-    // (ping_timeout is a rate, not a plan-time decision; the probe counts
+    // (ping_timeout_rate is a rate, not a plan-time decision; the probe counts
     // the timeouts it actually injects.)
     static const obs::counter c_pathload = obs::counter::get("fault.pathload_planned");
     static const obs::counter c_truncate =

@@ -19,11 +19,11 @@
 namespace tcppred::sim {
 
 /// Per-path fault rates for a campaign. All rates are probabilities per
-/// epoch (per probe for ping_timeout). Everything defaults to 0, i.e. the
+/// epoch (per probe for ping_timeout_rate). Everything defaults to 0, i.e. the
 /// fault layer is off and campaigns behave exactly as before it existed.
 struct fault_profile {
     double pathload_fail{0.0};    ///< P[pathload fails to converge this epoch]
-    double ping_timeout{0.0};     ///< P[an individual probe gets no echo]
+    double ping_timeout_rate{0.0};///< P[an individual probe gets no echo]
     double ping_truncate{0.0};    ///< P[the a-priori ping session ends early]
     double transfer_abort{0.0};   ///< P[the target transfer aborts mid-flight]
     double outage{0.0};           ///< P[a transient path blackout during the transfer]
@@ -33,7 +33,7 @@ struct fault_profile {
     std::uint64_t seed{0};
 
     [[nodiscard]] bool enabled() const noexcept {
-        return pathload_fail > 0.0 || ping_timeout > 0.0 || ping_truncate > 0.0 ||
+        return pathload_fail > 0.0 || ping_timeout_rate > 0.0 || ping_truncate > 0.0 ||
                transfer_abort > 0.0 || outage > 0.0;
     }
 

@@ -294,9 +294,9 @@ void tcp_sender::schedule_rto_event(double when) {
     rto_event_ = sched_->schedule_at(when, [this] { on_rto_event(); });
 }
 
-void tcp_sender::arm_rto(double timeout) {
+void tcp_sender::arm_rto(double timeout_s) {
     rto_armed_ = true;
-    rto_deadline_ = sched_->now() + timeout;
+    rto_deadline_ = sched_->now() + timeout_s;
     if (!rto_event_live_) {
         schedule_rto_event(rto_deadline_);
     } else if (rto_deadline_ < rto_event_when_) {

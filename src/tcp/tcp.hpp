@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/path.hpp"
 #include "sim/scheduler.hpp"
@@ -91,7 +92,9 @@ public:
     [[nodiscard]] std::uint64_t acked_bytes() const noexcept {
         return snd_una_ * cfg_.mss_bytes;
     }
-    [[nodiscard]] double smoothed_rtt() const noexcept { return srtt_; }
+    [[nodiscard]] core::seconds smoothed_rtt() const noexcept {
+        return core::seconds{srtt_};
+    }
     [[nodiscard]] double current_rto() const noexcept { return rto_; }
     [[nodiscard]] double cwnd_segments() const noexcept { return cwnd_; }
     [[nodiscard]] const tcp_config& config() const noexcept { return cfg_; }
@@ -117,7 +120,7 @@ private:
     [[nodiscard]] std::uint64_t sacked_count() const noexcept;
     void on_new_ack(std::uint64_t ack, std::uint64_t newly);
     void update_rtt(double sample);
-    void arm_rto(double timeout);
+    void arm_rto(double timeout_s);
     void disarm_rto();
     void schedule_rto_event(double when);
     void on_rto_event();

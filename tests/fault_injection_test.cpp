@@ -46,7 +46,7 @@ TEST(fault_profile, parse_roundtrip_and_validation) {
         "pathload=0.1,ping-timeout=0.02,ping-truncate=0.05,abort=0.2,outage=0.03,"
         "seed=99");
     EXPECT_DOUBLE_EQ(p.pathload_fail, 0.1);
-    EXPECT_DOUBLE_EQ(p.ping_timeout, 0.02);
+    EXPECT_DOUBLE_EQ(p.ping_timeout_rate, 0.02);
     EXPECT_DOUBLE_EQ(p.ping_truncate, 0.05);
     EXPECT_DOUBLE_EQ(p.transfer_abort, 0.2);
     EXPECT_DOUBLE_EQ(p.outage, 0.03);
@@ -225,7 +225,7 @@ TEST(checkpoint_fingerprint, covers_every_fault_profile_knob) {
         return testbed::campaign_fingerprint(c);
     };
     EXPECT_NE(fp, perturbed([](fault_profile& f) { f.pathload_fail = 0.1; }));
-    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.ping_timeout = 0.1; }));
+    EXPECT_NE(fp, perturbed([](fault_profile& f) { f.ping_timeout_rate = 0.1; }));
     EXPECT_NE(fp, perturbed([](fault_profile& f) { f.ping_truncate = 0.1; }));
     EXPECT_NE(fp, perturbed([](fault_profile& f) { f.transfer_abort = 0.1; }));
     EXPECT_NE(fp, perturbed([](fault_profile& f) { f.outage = 0.1; }));
@@ -249,7 +249,7 @@ TEST(checkpoint_fingerprint, resume_under_changed_fault_knob_is_rejected) {
     cfg.paths = 1;
     cfg.traces_per_path = 1;
     cfg.epochs_per_trace = 2;
-    cfg.faults.ping_timeout = 0.05;  // as if REPRO_FAULT_PING_TIMEOUT=0.05
+    cfg.faults.ping_timeout_rate = 0.05;  // as if REPRO_FAULT_PING_TIMEOUT=0.05
 
     testbed::campaign_checkpoint ck;
     ck.fingerprint = testbed::campaign_fingerprint(cfg);
@@ -267,7 +267,7 @@ TEST(checkpoint_fingerprint, resume_under_changed_fault_knob_is_rejected) {
 
     // One knob nudged (the env override scenario): refused, not merged.
     testbed::campaign_config changed = cfg;
-    changed.faults.ping_timeout = 0.10;
+    changed.faults.ping_timeout_rate = 0.10;
     EXPECT_THROW(
         (void)testbed::load_checkpoint(file,
                                        testbed::campaign_fingerprint(changed)),

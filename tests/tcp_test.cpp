@@ -106,7 +106,7 @@ TEST(tcp, rtt_estimate_tracks_path_rtt) {
     conn.start();
     w.sched.run_until(5.0);
     conn.quiesce();
-    EXPECT_NEAR(conn.sender().smoothed_rtt(), 0.060, 0.015);
+    EXPECT_NEAR(conn.sender().smoothed_rtt().value(), 0.060, 0.015);
 }
 
 TEST(tcp, delayed_ack_halves_ack_volume) {
