@@ -248,10 +248,16 @@ void write_metrics_summary(std::ostream& os) {
         os << "    " << std::left << std::setw(34) << "stage" << std::right
            << std::setw(8) << "count" << std::setw(12) << "total_s" << std::setw(12)
            << "p50_s" << std::setw(12) << "p95_s" << std::setw(12) << "max_s" << '\n';
+        // The metrics summary is a human-oriented stderr table of wall-clock
+        // timings — explicitly volatile, never parsed, never compared across
+        // runs — so fixed-precision decimal is the right rendering here.
         for (const auto& [name, st] : timers) {
             os << "    " << std::left << std::setw(34) << name << std::right
+               // tcppred-lint: allow(ser-hexfloat): human-facing wall-clock table
                << std::setw(8) << st.count << std::fixed << std::setprecision(4)
+               // tcppred-lint: allow(ser-hexfloat): human-facing wall-clock table
                << std::setw(12) << st.total_s << std::setw(12) << st.p50_s
+               // tcppred-lint: allow(ser-hexfloat): human-facing wall-clock table
                << std::setw(12) << st.p95_s << std::setw(12) << st.max_s << '\n';
             os.unsetf(std::ios::fixed);
         }

@@ -42,18 +42,23 @@ constexpr std::size_t k_fixed_doubles = 12;  // measurement doubles per record
 }  // namespace
 
 std::string campaign_fingerprint(const campaign_config& cfg) {
+    // v2: every double goes through hexd so the identity string is a pure
+    // function of the config bits, not of decimal formatting. A fingerprint
+    // is write-only (compared for equality, never parsed), so the version
+    // bump simply refuses to resume checkpoints written by older binaries.
     std::ostringstream os;
-    os.precision(17);
-    os << "v1|" << cfg.paths << '|' << cfg.traces_per_path << '|'
+    os << "v2|" << cfg.paths << '|' << cfg.traces_per_path << '|'
        << cfg.epochs_per_trace << '|' << cfg.seed << '|' << cfg.second_set << '|'
-       << cfg.faults.spec() << '|' << cfg.epoch.warmup.value() << '|'
-       << cfg.epoch.transfer.value() << '|' << cfg.epoch.during_ping_interval.value()
+       << cfg.faults.spec() << '|' << hexd(cfg.epoch.warmup.value()) << '|'
+       << hexd(cfg.epoch.transfer.value()) << '|'
+       << hexd(cfg.epoch.during_ping_interval.value())
+       // tcppred-lint: allow(ser-hexfloat): *_window_bytes are integral fields
        << '|' << cfg.epoch.large_window_bytes << '|' << cfg.epoch.small_window_bytes
        << '|' << cfg.epoch.run_small_window << '|' << cfg.epoch.run_pathload << '|'
-       << cfg.epoch.prior_ping.count << '|' << cfg.epoch.prior_ping.interval.value()
-       << '|' << cfg.epoch.pathload_max_rate_factor << '|'
-       << cfg.epoch.hard_cap.value();
-    for (const double s : cfg.epoch.prefix_s) os << "|px" << s;
+       << cfg.epoch.prior_ping.count << '|' << hexd(cfg.epoch.prior_ping.interval.value())
+       << '|' << hexd(cfg.epoch.pathload_max_rate_factor) << '|'
+       << hexd(cfg.epoch.hard_cap.value());
+    for (const double s : cfg.epoch.prefix_s) os << "|px" << hexd(s);
     return os.str();
 }
 
