@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <stdexcept>
 
@@ -166,14 +167,23 @@ const path_profile& dataset::profile(int path_id) const {
 }
 
 void save_csv(const dataset& data, const std::filesystem::path& file) {
+    // The dataset CSV is the *legacy v1 analysis format*: decimal at
+    // precision 10, pinned byte-for-byte by the campaign goldens and every
+    // downstream analysis script. Its determinism contract is "same
+    // computation -> same bytes", not "parse back bit-exactly" — the
+    // bit-exact path is the checkpoint (hexd). Hence the explicit
+    // ser-hexfloat allowances below; new serialization formats must not
+    // copy this pattern.
     std::ofstream out(file);
     if (!out) throw std::runtime_error("save_csv: cannot open " + file.string());
-    out.precision(10);
+    out.precision(10);  // tcppred-lint: allow(ser-hexfloat): legacy v1 format
 
     // Catalogue summary lines: what post-hoc analysis needs about each path.
     for (const auto& p : data.paths) {
         out << "#path," << p.id << ',' << p.name << ',' << to_string(p.klass) << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << p.bottleneck_capacity().value() << ',' << p.base_rtt().value() << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << p.forward.at(p.bottleneck).buffer_packets << ',' << p.base_utilization << ','
             << p.elastic_flows << '\n';
     }
@@ -193,9 +203,13 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
     for (const auto& r : data.records) {
         const auto& m = r.m;
         out << r.path_id << ',' << r.trace_id << ',' << r.epoch_index << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << m.avail_bw_bps << ',' << m.phat << ',' << m.phat_events << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << m.that_s << ',' << m.ptilde << ',' << m.ttilde_s << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << m.r_large_bps << ',' << m.r_small_bps << ','
+            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << m.tcp_loss_rate << ',' << m.tcp_event_rate << ',' << m.tcp_mean_rtt_s;
         for (int i = 0; i < k_max_prefixes; ++i) {
             if (static_cast<std::size_t>(i) < m.prefix_goodputs.size()) {
@@ -212,12 +226,11 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
 
 namespace {
 
-/// load_csv with rejection accounting split out so the public entry point
-/// can count rejected rows without cluttering the parse itself.
-dataset load_csv_impl(const std::filesystem::path& file) {
-    std::ifstream in(file);
-    if (!in) throw dataset_error(file, 0, 0, "cannot open file");
-
+/// load_csv with rejection accounting split out so the public entry points
+/// can count rejected rows without cluttering the parse itself. Takes the
+/// stream rather than a path so the same code serves files and in-memory
+/// buffers (the fuzz harness); `file` is error-message context only.
+dataset load_csv_impl(std::istream& in, const std::filesystem::path& file) {
     dataset data;
     std::string line;
     std::size_t line_no = 0;
@@ -309,11 +322,10 @@ dataset load_csv_impl(const std::filesystem::path& file) {
     return data;
 }
 
-}  // namespace
-
-dataset load_csv(const std::filesystem::path& file) {
+/// Shared rejection accounting for both public load_csv entry points.
+dataset load_csv_counted(std::istream& in, const std::filesystem::path& context) {
     try {
-        return load_csv_impl(file);
+        return load_csv_impl(in, context);
     } catch (const dataset_error& e) {
         // Parsing is fail-fast, so a load rejects at most one row — but the
         // counter still distinguishes "campaign ran clean" from "some input
@@ -326,6 +338,18 @@ dataset load_csv(const std::filesystem::path& file) {
         }
         throw;
     }
+}
+
+}  // namespace
+
+dataset load_csv(const std::filesystem::path& file) {
+    std::ifstream in(file);
+    if (!in) throw dataset_error(file, 0, 0, "cannot open file");
+    return load_csv_counted(in, file);
+}
+
+dataset load_csv(std::istream& in, const std::filesystem::path& context) {
+    return load_csv_counted(in, context);
 }
 
 }  // namespace tcppred::testbed

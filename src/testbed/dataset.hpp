@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <iosfwd>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -70,5 +71,12 @@ void save_csv(const dataset& data, const std::filesystem::path& file);
 /// measurement); everything else malformed throws dataset_error with the
 /// offending file/line/column.
 [[nodiscard]] dataset load_csv(const std::filesystem::path& file);
+
+/// Same parse over an already-open stream. `context` only labels
+/// dataset_error messages; nothing is read from the filesystem. This is the
+/// entry point the fuzz harness drives, so it must stay safe on arbitrary
+/// bytes: throw dataset_error, never crash or allocate unboundedly.
+[[nodiscard]] dataset load_csv(std::istream& in,
+                               const std::filesystem::path& context = "<stream>");
 
 }  // namespace tcppred::testbed

@@ -1,0 +1,35 @@
+// Fuzz harness: core::make_predictor over arbitrary spec strings.
+//
+// Contract under test — the spec grammar parser takes strings from CLI flags
+// and config files and must either build a predictor or throw
+// predictor_spec_error; nothing else may escape. Specs that parse are also
+// driven through a short predict/observe cycle so accepted-but-degenerate
+// parameters (giant MA orders, extreme EWMA gains) get a smoke run too.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "core/predictor_registry.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string spec(reinterpret_cast<const char*>(data), size);
+    try {
+        namespace core = tcppred::core;
+        const auto p = core::make_predictor(spec);
+        const auto in = core::epoch_inputs::valid(core::path_measurement{
+            core::probability{0.01}, core::seconds{0.08},
+            core::bits_per_second{50e6}});
+        for (int i = 0; i < 8; ++i) {
+            (void)p->predict(i == 5 ? core::epoch_inputs::failed_measurement() : in);
+            p->observe_maybe(i == 3 ? std::nan("") : 40e6 + 1e5 * i);
+        }
+        (void)p->name();
+        (void)p->clone_empty();
+        p->reset();
+    } catch (const tcppred::core::predictor_spec_error&) {
+        // The documented rejection path for malformed specs.
+    }
+    return 0;
+}

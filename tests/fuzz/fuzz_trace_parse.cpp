@@ -1,0 +1,30 @@
+// Fuzz harness: obs::parse_trace_line over arbitrary bytes.
+//
+// Contract under test — the flat-JSON trace reader parses JSONL files that
+// may come from other tools or truncated runs, and must either return a
+// trace_event or throw std::runtime_error. Input is split on newlines so one
+// fuzz input exercises many line shapes; events that parse are re-serialized
+// through canonical_trace_line (the determinism-diff path) as well.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/trace_writer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    std::string_view rest(reinterpret_cast<const char*>(data), size);
+    while (!rest.empty()) {
+        const std::size_t nl = rest.find('\n');
+        const std::string_view line = rest.substr(0, nl);
+        rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+        try {
+            const tcppred::obs::trace_event ev =
+                tcppred::obs::parse_trace_line(line, "<fuzz>");
+            (void)tcppred::obs::canonical_trace_line(ev);
+        } catch (const std::runtime_error&) {
+            // The documented rejection path for malformed lines.
+        }
+    }
+    return 0;
+}
