@@ -201,7 +201,7 @@ void trace_writer::drain_loop() {
 void init_from_env() {
     static std::atomic<bool> done{false};
     if (done.exchange(true)) return;
-    if (const char* env = std::getenv("REPRO_METRICS")) {
+    if (const char* env = std::getenv("REPRO_METRICS")) {  // NOLINT(concurrency-mt-unsafe)
         if (*env != '\0' && std::string_view(env) != "0") {
             set_metrics_enabled(true);
             std::atexit([] {
@@ -212,7 +212,7 @@ void init_from_env() {
         }
     }
     // A trace the caller already opened (--trace) wins over $REPRO_TRACE.
-    if (const char* env = std::getenv("REPRO_TRACE")) {
+    if (const char* env = std::getenv("REPRO_TRACE")) {  // NOLINT(concurrency-mt-unsafe)
         if (*env != '\0' && !trace_writer::enabled()) {
             trace_writer::instance().open(env);
             // The singleton is leaked (see instance()), so an env-opened

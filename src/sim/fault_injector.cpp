@@ -98,11 +98,11 @@ fault_profile fault_profile::parse(std::string_view spec) {
 
 fault_profile fault_profile::from_env() {
     fault_profile p;
-    if (const char* spec = std::getenv("REPRO_FAULTS")) p = parse(spec);
+    if (const char* spec = std::getenv("REPRO_FAULTS")) p = parse(spec);  // NOLINT(concurrency-mt-unsafe)
     for (const knob& k : k_knobs) {
-        if (const char* v = std::getenv(k.env)) p.*k.field = parse_rate(k.key, v);
+        if (const char* v = std::getenv(k.env)) p.*k.field = parse_rate(k.key, v);  // NOLINT(concurrency-mt-unsafe)
     }
-    if (const char* v = std::getenv("REPRO_FAULT_SEED")) {
+    if (const char* v = std::getenv("REPRO_FAULT_SEED")) {  // NOLINT(concurrency-mt-unsafe)
         try {
             p.seed = std::stoull(v);
         } catch (const std::exception&) {

@@ -117,7 +117,7 @@ void parallel_for(std::size_t n, unsigned jobs,
 }
 
 unsigned jobs_from_env() {
-    if (const char* env = std::getenv("REPRO_JOBS")) {
+    if (const char* env = std::getenv("REPRO_JOBS")) {  // NOLINT(concurrency-mt-unsafe)
         const long v = std::strtol(env, nullptr, 10);
         if (v > 0) return static_cast<unsigned>(v);
     }

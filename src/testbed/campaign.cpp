@@ -256,7 +256,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
 }
 
 campaign_scale scale_from_env() {
-    const char* env = std::getenv("REPRO_SCALE");
+    const char* env = std::getenv("REPRO_SCALE");  // NOLINT(concurrency-mt-unsafe)
     if (!env) return campaign_scale::normal;
     const std::string s(env);
     if (s == "tiny") return campaign_scale::tiny;
@@ -346,7 +346,7 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
 }
 
 std::filesystem::path data_dir() {
-    if (const char* env = std::getenv("REPRO_DATA_DIR")) return env;
+    if (const char* env = std::getenv("REPRO_DATA_DIR")) return env;  // NOLINT(concurrency-mt-unsafe)
     return "data";
 }
 

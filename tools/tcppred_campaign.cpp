@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     int jobs = 0;  // applied after parsing so --second-set cannot reset it
     // Applied after parsing for the same reason: --second-set replaces cfg.
     std::string cross_model_name;
-    if (const char* env = std::getenv("REPRO_CROSS_MODEL")) cross_model_name = env;
+    if (const char* env = std::getenv("REPRO_CROSS_MODEL")) cross_model_name = env;  // NOLINT(concurrency-mt-unsafe)
     bool checkpointing = false;
     bool metrics_summary = false;
     std::string trace_file;
