@@ -149,6 +149,7 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
     };
 
     const auto run_one = [&](std::size_t idx) {
+        if (opts.epoch_filter && !opts.epoch_filter(idx)) return;  // not ours
         if (done[idx]) return;  // restored from the checkpoint
         if (cancel.load(std::memory_order_relaxed)) return;
         if (opts.cancelled && opts.cancelled()) {
@@ -240,16 +241,29 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
     }
 
     out.epochs_completed = completed;
-    out.complete = completed == total;
+    // Complete = every claimed epoch done. Without a filter that is the
+    // whole grid; a shard is complete when its slice is, regardless of the
+    // other shards' slots.
+    out.complete = true;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(total); ++i) {
+        if (opts.epoch_filter && !opts.epoch_filter(i)) continue;
+        if (!done[i]) {
+            out.complete = false;
+            break;
+        }
+    }
     if (checkpointing) {
-        if (!out.complete) {
-            // Final flush so everything finished since the last periodic
-            // flush survives the interruption.
-            const std::lock_guard<std::mutex> lock(ck_mutex);
-            if (since_flush > 0 || out.epochs_completed == 0) flush_checkpoint();
-        } else {
+        if (out.complete && !opts.keep_checkpoint) {
             std::error_code ec;  // best-effort cleanup; absence is fine
             std::filesystem::remove(opts.checkpoint, ec);
+        } else {
+            // Final flush so everything finished since the last periodic
+            // flush survives the interruption — and so a kept (shard)
+            // checkpoint exists even when the run had nothing left to do.
+            const std::lock_guard<std::mutex> lock(ck_mutex);
+            if (since_flush > 0 || !std::filesystem::exists(opts.checkpoint)) {
+                flush_checkpoint();
+            }
         }
     }
     return out;

@@ -61,6 +61,15 @@ struct campaign_run_options {
     /// checkpoint must carry this config's fingerprint (checkpoint.hpp);
     /// job count may differ freely.
     bool resume{false};
+    /// Claim only linear epoch indices for which this returns true (null =
+    /// claim everything). Off-claim epochs are neither simulated nor marked
+    /// done — this is how a shard worker runs its slice of the grid
+    /// (testbed/shard.hpp); `complete` then means "every claimed epoch done".
+    /// Must be pure and thread-safe: it is called from worker threads.
+    std::function<bool(std::size_t)> epoch_filter{};
+    /// Keep the checkpoint file after a complete run instead of removing it.
+    /// A shard's checkpoint IS its output — the merge step consumes it.
+    bool keep_checkpoint{false};
     /// Polled between epochs; return true to stop claiming new epochs. The
     /// in-flight ones finish and are checkpointed.
     std::function<bool()> cancelled{};
@@ -74,7 +83,7 @@ struct campaign_run_options {
 /// What a (possibly interrupted) campaign run produced.
 struct campaign_outcome {
     dataset data;             ///< complete iff `complete`; else done slots only
-    bool complete{true};
+    bool complete{true};      ///< every *claimed* epoch done (see epoch_filter)
     int epochs_completed{0};  ///< including epochs restored from the checkpoint
     int epochs_resumed{0};    ///< epochs restored from the checkpoint
 };

@@ -1,9 +1,14 @@
 #include "testbed/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace tcppred::testbed {
 
@@ -41,62 +46,191 @@ constexpr std::size_t k_fixed_doubles = 12;  // measurement doubles per record
 
 }  // namespace
 
-std::string campaign_fingerprint(const campaign_config& cfg) {
+std::vector<fingerprint_field> campaign_fingerprint_fields(const campaign_config& cfg) {
     // v2: every double goes through hexd so the identity string is a pure
     // function of the config bits, not of decimal formatting. A fingerprint
-    // is write-only (compared for equality, never parsed), so the version
-    // bump simply refuses to resume checkpoints written by older binaries.
+    // is compared for equality (and positionally diffed on mismatch), never
+    // parsed back into a config, so the version bump simply refuses to
+    // resume checkpoints written by older binaries. The value serialization
+    // here must never change without bumping the version field.
+    std::vector<fingerprint_field> f;
+    f.push_back({"version", "v2"});
+    f.push_back({"paths", std::to_string(cfg.paths)});
+    f.push_back({"traces_per_path", std::to_string(cfg.traces_per_path)});
+    f.push_back({"epochs_per_trace", std::to_string(cfg.epochs_per_trace)});
+    f.push_back({"seed", std::to_string(cfg.seed)});
+    f.push_back({"second_set", std::to_string(cfg.second_set ? 1 : 0)});
+    f.push_back({"faults", cfg.faults.spec()});
+    f.push_back({"epoch.warmup_s", hexd(cfg.epoch.warmup.value())});
+    f.push_back({"epoch.transfer_s", hexd(cfg.epoch.transfer.value())});
+    f.push_back({"epoch.during_ping_interval_s",
+                 hexd(cfg.epoch.during_ping_interval.value())});
+    f.push_back({"epoch.large_window_bytes",
+                 std::to_string(cfg.epoch.large_window_bytes)});
+    f.push_back({"epoch.small_window_bytes",
+                 std::to_string(cfg.epoch.small_window_bytes)});
+    f.push_back({"epoch.run_small_window",
+                 std::to_string(cfg.epoch.run_small_window ? 1 : 0)});
+    f.push_back({"epoch.run_pathload", std::to_string(cfg.epoch.run_pathload ? 1 : 0)});
+    f.push_back({"epoch.prior_ping.count", std::to_string(cfg.epoch.prior_ping.count)});
+    f.push_back({"epoch.prior_ping.interval_s",
+                 hexd(cfg.epoch.prior_ping.interval.value())});
+    f.push_back({"epoch.pathload_max_rate_factor",
+                 hexd(cfg.epoch.pathload_max_rate_factor)});
+    f.push_back({"epoch.hard_cap_s", hexd(cfg.epoch.hard_cap.value())});
+    for (std::size_t i = 0; i < cfg.epoch.prefix_s.size(); ++i) {
+        f.push_back({"epoch.prefix_s[" + std::to_string(i) + "]",
+                     "px" + hexd(cfg.epoch.prefix_s[i])});
+    }
+    return f;
+}
+
+std::string campaign_fingerprint(const campaign_config& cfg) {
+    // Byte-compatible with the pre-field-diff v2 format: exactly the
+    // '|'-join of the field values. (The old direct stream emitted bools as
+    // 0/1 via operator<<, which to_string reproduces.)
     std::ostringstream os;
-    os << "v2|" << cfg.paths << '|' << cfg.traces_per_path << '|'
-       << cfg.epochs_per_trace << '|' << cfg.seed << '|' << cfg.second_set << '|'
-       << cfg.faults.spec() << '|' << hexd(cfg.epoch.warmup.value()) << '|'
-       << hexd(cfg.epoch.transfer.value()) << '|'
-       << hexd(cfg.epoch.during_ping_interval.value())
-       // tcppred-lint: allow(ser-hexfloat): *_window_bytes are integral fields
-       << '|' << cfg.epoch.large_window_bytes << '|' << cfg.epoch.small_window_bytes
-       << '|' << cfg.epoch.run_small_window << '|' << cfg.epoch.run_pathload << '|'
-       << cfg.epoch.prior_ping.count << '|' << hexd(cfg.epoch.prior_ping.interval.value())
-       << '|' << hexd(cfg.epoch.pathload_max_rate_factor) << '|'
-       << hexd(cfg.epoch.hard_cap.value());
-    for (const double s : cfg.epoch.prefix_s) os << "|px" << hexd(s);
+    bool first = true;
+    for (const fingerprint_field& f : campaign_fingerprint_fields(cfg)) {
+        if (!first) os << '|';
+        os << f.value;
+        first = false;
+    }
     return os.str();
 }
 
-void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path& file) {
-    const std::filesystem::path tmp = file.string() + ".tmp";
+std::string describe_fingerprint_mismatch(const std::string& in_checkpoint,
+                                          const std::string& requested) {
+    // Positional slot names for the v2 layout above. Fields past the fixed
+    // schema are the variable-length prefix list.
+    static const char* const k_names[] = {
+        "version",
+        "paths",
+        "traces_per_path",
+        "epochs_per_trace",
+        "seed",
+        "second_set",
+        "faults",
+        "epoch.warmup_s",
+        "epoch.transfer_s",
+        "epoch.during_ping_interval_s",
+        "epoch.large_window_bytes",
+        "epoch.small_window_bytes",
+        "epoch.run_small_window",
+        "epoch.run_pathload",
+        "epoch.prior_ping.count",
+        "epoch.prior_ping.interval_s",
+        "epoch.pathload_max_rate_factor",
+        "epoch.hard_cap_s",
+    };
+    constexpr std::size_t k_fixed = sizeof(k_names) / sizeof(k_names[0]);
+    const auto old_f = split(in_checkpoint, '|');
+    const auto new_f = split(requested, '|');
+    const auto name_of = [&](std::size_t i) -> std::string {
+        if (i < k_fixed) return k_names[i];
+        return "epoch.prefix_s[" + std::to_string(i - k_fixed) + "]";
+    };
+    std::ostringstream os;
+    const std::size_t n = std::max(old_f.size(), new_f.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string old_v = i < old_f.size() ? old_f[i] : "<absent>";
+        const std::string new_v = i < new_f.size() ? new_f[i] : "<absent>";
+        if (old_v == new_v) continue;
+        os << "\n  " << name_of(i) << ": checkpoint=" << old_v
+           << " requested=" << new_v;
+    }
+    if (os.str().empty()) return "\n  (fingerprints differ only in field count)";
+    return os.str();
+}
+
+void atomic_write_text(const std::filesystem::path& file, const std::string& contents) {
+    // Temp placement: $TMPDIR when set (keeps half-written files out of
+    // shared data directories), else alongside the target. The pid in the
+    // name keeps concurrent writers of same-named files (shard workers,
+    // parallel tests sharing TMPDIR) from clobbering each other's temps.
+    namespace fs = std::filesystem;
+    fs::path dir = file.parent_path().empty() ? fs::path(".") : file.parent_path();
+    // tcppred-lint: allow(det-env): documented temp-placement knob, not sim state
+    if (const char* tmpdir = std::getenv("TMPDIR"); tmpdir && *tmpdir) dir = tmpdir;
+    const fs::path tmp =
+        dir / (file.filename().string() + "." + std::to_string(::getpid()) + ".tmp");
     {
-        std::ofstream out(tmp, std::ios::trunc);
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
         if (!out) {
-            throw std::runtime_error("save_checkpoint: cannot open " + tmp.string());
+            throw std::runtime_error("atomic_write_text: cannot open " + tmp.string());
         }
-        out << "tcppred-checkpoint,v1\n";
-        out << "fingerprint," << ck.fingerprint << '\n';
-        out << "total," << ck.total << '\n';
-        for (std::size_t i = 0; i < ck.total; ++i) {
-            if (!ck.done[i]) continue;
-            const epoch_record& r = ck.records[i];
-            const epoch_measurement& m = r.m;
-            out << "rec," << i << ',' << r.path_id << ',' << r.trace_id << ','
-                << r.epoch_index << ',' << hexd(m.avail_bw_bps) << ','
-                << hexd(m.phat) << ',' << hexd(m.phat_events) << ','
-                << hexd(m.that_s) << ',' << hexd(m.ptilde) << ','
-                << hexd(m.ttilde_s) << ',' << hexd(m.r_large_bps) << ','
-                << hexd(m.r_small_bps) << ',' << hexd(m.tcp_loss_rate) << ','
-                << hexd(m.tcp_event_rate) << ',' << hexd(m.tcp_mean_rtt_s) << ','
-                << hexd(m.sim_time_s) << ',' << m.events << ',' << m.fault_flags
-                << ',' << m.prefix_goodputs.size();
-            for (const auto& [s, bps] : m.prefix_goodputs) {
-                out << ',' << hexd(s) << ',' << hexd(bps);
-            }
-            out << '\n';
-        }
+        out << contents;
+        out.flush();
         if (!out) {
-            throw std::runtime_error("save_checkpoint: write failed on " + tmp.string());
+            throw std::runtime_error("atomic_write_text: write failed on " +
+                                     tmp.string());
         }
     }
-    // Atomic publish: readers see either the old checkpoint or the new one,
-    // never a torn file.
-    std::filesystem::rename(tmp, file);
+    // Atomic publish: readers see either the old file or the new one, never
+    // a torn file. rename(2) cannot cross filesystems — when the temp dir
+    // (TMPDIR) sits on another mount it fails EXDEV; fall back to copying
+    // next to the target, fsync'ing the copy, and renaming *that*, which is
+    // same-filesystem by construction. $TCPPRED_FORCE_EXDEV forces the
+    // fallback so tests can cover it without a second mount.
+    std::error_code ec;
+    // tcppred-lint: allow(det-env): test hook for the EXDEV fallback path
+    const bool force_exdev = std::getenv("TCPPRED_FORCE_EXDEV") != nullptr;
+    if (!force_exdev) {
+        fs::rename(tmp, file, ec);
+        if (!ec) return;
+        if (ec != std::errc::cross_device_link) {
+            fs::remove(tmp, ec);
+            throw std::runtime_error("atomic_write_text: cannot rename into " +
+                                     file.string());
+        }
+    }
+    const fs::path sibling = file.string() + ".tmp";
+    fs::copy_file(tmp, sibling, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw std::runtime_error("atomic_write_text: cross-device copy into " +
+                                 sibling.string() + " failed");
+    }
+    // fsync before the final rename: the copy's data must be durable before
+    // the name flips, or a crash could publish an empty/short file.
+    const int fd = ::open(sibling.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+    fs::rename(sibling, file, ec);
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    if (ec) {
+        throw std::runtime_error("atomic_write_text: cannot rename " +
+                                 sibling.string() + " into " + file.string());
+    }
+}
+
+void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path& file) {
+    std::ostringstream out;
+    out << "tcppred-checkpoint,v1\n";
+    out << "fingerprint," << ck.fingerprint << '\n';
+    out << "total," << ck.total << '\n';
+    for (std::size_t i = 0; i < ck.total; ++i) {
+        if (!ck.done[i]) continue;
+        const epoch_record& r = ck.records[i];
+        const epoch_measurement& m = r.m;
+        out << "rec," << i << ',' << r.path_id << ',' << r.trace_id << ','
+            << r.epoch_index << ',' << hexd(m.avail_bw_bps) << ','
+            << hexd(m.phat) << ',' << hexd(m.phat_events) << ','
+            << hexd(m.that_s) << ',' << hexd(m.ptilde) << ','
+            << hexd(m.ttilde_s) << ',' << hexd(m.r_large_bps) << ','
+            << hexd(m.r_small_bps) << ',' << hexd(m.tcp_loss_rate) << ','
+            << hexd(m.tcp_event_rate) << ',' << hexd(m.tcp_mean_rtt_s) << ','
+            << hexd(m.sim_time_s) << ',' << m.events << ',' << m.fault_flags
+            << ',' << m.prefix_goodputs.size();
+        for (const auto& [s, bps] : m.prefix_goodputs) {
+            out << ',' << hexd(s) << ',' << hexd(bps);
+        }
+        out << '\n';
+    }
+    atomic_write_text(file, out.str());
 }
 
 std::optional<campaign_checkpoint> load_checkpoint(
@@ -126,9 +260,11 @@ std::optional<campaign_checkpoint> load_checkpoint(
     }
     ck.fingerprint = line.substr(12);
     if (ck.fingerprint != expected_fingerprint) {
-        throw dataset_error(file, line_no, 0,
-                            "checkpoint belongs to a different campaign config "
-                            "(fingerprint mismatch) — refusing to resume");
+        throw dataset_error(
+            file, line_no, 0,
+            "checkpoint belongs to a different campaign config (fingerprint "
+            "mismatch) — refusing to resume; differing fields:" +
+                describe_fingerprint_mismatch(ck.fingerprint, expected_fingerprint));
     }
     next_line("total");
     if (line.rfind("total,", 0) != 0) {

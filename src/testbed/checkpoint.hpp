@@ -29,13 +29,42 @@ struct campaign_checkpoint {
     std::vector<epoch_record> records; ///< size == total; only done slots valid
 };
 
+/// One named field of a campaign fingerprint, e.g. {"seed", "20040501"}.
+struct fingerprint_field {
+    std::string name;
+    std::string value;
+};
+
+/// The fingerprint decomposed into named fields, in serialization order.
+/// campaign_fingerprint() is exactly the '|'-join of the values, so the two
+/// can never drift; the names exist to turn a mismatch into an actionable
+/// diagnosis ("seed: checkpoint has X, this run has Y") instead of a bare
+/// "fingerprint mismatch".
+[[nodiscard]] std::vector<fingerprint_field> campaign_fingerprint_fields(
+    const campaign_config& cfg);
+
 /// Identity of everything that shapes a campaign's records: sizes, seeds,
 /// fault profile, epoch parameters. Deliberately excludes cfg.jobs — the
 /// dataset is job-count-invariant (DESIGN.md §6), so a run checkpointed at
 /// one REPRO_JOBS may resume at another.
 [[nodiscard]] std::string campaign_fingerprint(const campaign_config& cfg);
 
-/// Write atomically: serialize to `file` + ".tmp", then rename over `file`.
+/// Field-by-field diff of two fingerprint strings, for error messages:
+/// each differing field as "name: checkpoint=<old> requested=<new>".
+/// Positional — both sides are split on '|' and compared slot by slot
+/// (slot names from the campaign_fingerprint_fields schema).
+[[nodiscard]] std::string describe_fingerprint_mismatch(const std::string& in_checkpoint,
+                                                        const std::string& requested);
+
+/// Write `contents` to `file` so that readers only ever observe the old
+/// bytes or the new bytes, never a torn file. The temp file lands in
+/// $TMPDIR when set (else next to `file`) and is published with rename(2);
+/// when the temp and target sit on different filesystems (rename fails
+/// EXDEV) it falls back to copy + fsync + same-directory rename. The test
+/// hook $TCPPRED_FORCE_EXDEV=1 forces the fallback path.
+void atomic_write_text(const std::filesystem::path& file, const std::string& contents);
+
+/// Write atomically via atomic_write_text.
 void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path& file);
 
 /// Load and validate a checkpoint. Returns nullopt when `file` does not

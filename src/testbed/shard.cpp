@@ -1,0 +1,148 @@
+#include "testbed/shard.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "testbed/checkpoint.hpp"
+#include "testbed/path_catalog.hpp"
+
+namespace tcppred::testbed {
+
+namespace {
+
+bool parse_int(std::string_view s, int& out) {
+    const auto* end = s.data() + s.size();
+    const auto res = std::from_chars(s.data(), end, out);
+    return res.ec == std::errc{} && res.ptr == end;
+}
+
+std::filesystem::path shard_file(const std::filesystem::path& out, shard_ref ref,
+                                 const char* ext) {
+    std::filesystem::path p = out;
+    p += ".shard-" + std::to_string(ref.index) + "-of-" + std::to_string(ref.count) +
+         ext;
+    return p;
+}
+
+}  // namespace
+
+std::optional<shard_ref> parse_shard(std::string_view spec) {
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    shard_ref ref;
+    if (!parse_int(spec.substr(0, slash), ref.index)) return std::nullopt;
+    if (!parse_int(spec.substr(slash + 1), ref.count)) return std::nullopt;
+    if (ref.count < 1 || ref.index < 0 || ref.index >= ref.count) return std::nullopt;
+    return ref;
+}
+
+std::function<bool(std::size_t)> shard_filter(shard_ref ref) {
+    TCPPRED_EXPECTS(ref.count >= 1 && ref.index >= 0 && ref.index < ref.count);
+    return [ref](std::size_t idx) { return shard_of(idx, ref.count) == ref.index; };
+}
+
+std::size_t shard_size(std::size_t total, shard_ref ref) {
+    TCPPRED_EXPECTS(ref.count >= 1 && ref.index >= 0 && ref.index < ref.count);
+    const std::size_t count = static_cast<std::size_t>(ref.count);
+    const std::size_t index = static_cast<std::size_t>(ref.index);
+    return total / count + (total % count > index ? 1 : 0);
+}
+
+std::filesystem::path shard_checkpoint_path(const std::filesystem::path& out,
+                                            shard_ref ref) {
+    return shard_file(out, ref, ".ckpt");
+}
+
+std::filesystem::path shard_heartbeat_path(const std::filesystem::path& out,
+                                           shard_ref ref) {
+    return shard_file(out, ref, ".hb");
+}
+
+std::filesystem::path shard_log_path(const std::filesystem::path& out, shard_ref ref) {
+    return shard_file(out, ref, ".log");
+}
+
+void write_heartbeat(const std::filesystem::path& file, const shard_heartbeat& hb) {
+    std::ostringstream out;
+    out << "tcppred-heartbeat v1\n"
+        << "pid " << hb.pid << "\n"
+        << "seq " << hb.seq << "\n"
+        << "done " << hb.epochs_done << "\n"
+        << "claimed " << hb.epochs_claimed << "\n";
+    atomic_write_text(file, out.str());
+}
+
+std::optional<shard_heartbeat> read_heartbeat(const std::filesystem::path& file) {
+    std::ifstream in(file);
+    if (!in) return std::nullopt;
+    std::string magic;
+    std::string version;
+    if (!(in >> magic >> version) || magic != "tcppred-heartbeat" || version != "v1") {
+        return std::nullopt;
+    }
+    shard_heartbeat hb;
+    std::string key;
+    if (!(in >> key >> hb.pid) || key != "pid") return std::nullopt;
+    if (!(in >> key >> hb.seq) || key != "seq") return std::nullopt;
+    if (!(in >> key >> hb.epochs_done) || key != "done") return std::nullopt;
+    if (!(in >> key >> hb.epochs_claimed) || key != "claimed") return std::nullopt;
+    return hb;
+}
+
+dataset merge_shard_checkpoints(const campaign_config& cfg,
+                                const std::vector<std::filesystem::path>& shard_ckpts) {
+    TCPPRED_EXPECTS(!shard_ckpts.empty());
+    const std::string fingerprint = campaign_fingerprint(cfg);
+    const std::size_t total = static_cast<std::size_t>(cfg.paths) *
+                              static_cast<std::size_t>(cfg.traces_per_path) *
+                              static_cast<std::size_t>(cfg.epochs_per_trace);
+
+    dataset data;
+    data.paths = cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
+                                : ron_like_catalog(cfg.paths, cfg.seed);
+    data.records.resize(total);
+    std::vector<char> done(total, 0);
+
+    for (const auto& file : shard_ckpts) {
+        // load_checkpoint already rejects fingerprint mismatches with a
+        // field-level diff and returns nullopt only for absent files — an
+        // absent shard means the campaign is not finished, so refuse.
+        auto ck = load_checkpoint(file, fingerprint);
+        if (!ck) {
+            throw dataset_error(file, 0, 0,
+                                "shard checkpoint missing — run its shard to "
+                                "completion before merging");
+        }
+        if (ck->total != total) {
+            throw dataset_error(file, 0, 0,
+                                "shard checkpoint epoch count disagrees with config");
+        }
+        for (std::size_t i = 0; i < total; ++i) {
+            if (!ck->done[i] || done[i]) continue;  // overlap: first writer wins
+            data.records[i] = std::move(ck->records[i]);
+            done[i] = 1;
+        }
+    }
+
+    std::size_t missing = 0;
+    std::size_t first_missing = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (done[i]) continue;
+        if (missing == 0) first_missing = i;
+        ++missing;
+    }
+    if (missing > 0) {
+        std::ostringstream msg;
+        msg << "shards cover only " << (total - missing) << " of " << total
+            << " epochs (first missing linear index " << first_missing
+            << ") — every shard must be complete before merging";
+        throw dataset_error(shard_ckpts.front(), 0, 0, msg.str());
+    }
+    return data;
+}
+
+}  // namespace tcppred::testbed

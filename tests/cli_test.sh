@@ -133,6 +133,41 @@ cmp -s "$WORK/full.csv" "$WORK/resumed.csv"
 check_exit "resumed CSV byte-identical to uninterrupted" 0 $?
 [ -f "$WORK/resumed.csv.ckpt" ] && { echo "FAIL: checkpoint not removed on completion"; FAILURES=$((FAILURES+1)); }
 
+# --- sharding: bad specs -> 1, shard+merge and --workers reproduce the
+# serial CSV byte for byte, merge of a missing shard -> 2, and a resume
+# under a changed config names the differing field.
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --shard "2/2" >/dev/null 2>&1
+check_exit "out-of-range --shard" 1 $?
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --shard "x/2" >/dev/null 2>&1
+check_exit "malformed --shard" 1 $?
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --workers 2 --shard 0/2 >/dev/null 2>&1
+check_exit "--workers with --shard" 1 $?
+
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --shard 0/2 >/dev/null 2>&1
+check_exit "shard 0/2 run" 0 $?
+[ -f "$WORK/s.csv" ] && { echo "FAIL: shard run wrote a CSV"; FAILURES=$((FAILURES+1)); }
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --merge 2 >/dev/null 2>&1
+check_exit "merge with a shard still missing" 2 $?
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --shard 1/2 >/dev/null 2>&1
+check_exit "shard 1/2 run" 0 $?
+"$CAMPAIGN" $TINY --out "$WORK/s.csv" --merge 2 >/dev/null 2>&1
+check_exit "merge of both shards" 0 $?
+"$CAMPAIGN" $TINY --out "$WORK/serial.csv" --jobs 1 >/dev/null 2>&1
+cmp -s "$WORK/serial.csv" "$WORK/s.csv"
+check_exit "shard+merge CSV byte-identical to serial" 0 $?
+
+"$CAMPAIGN" $TINY --out "$WORK/sup.csv" --workers 2 >/dev/null 2>&1
+check_exit "supervised --workers 2 run" 0 $?
+cmp -s "$WORK/serial.csv" "$WORK/sup.csv"
+check_exit "supervised CSV byte-identical to serial" 0 $?
+ls "$WORK"/sup.csv.shard-*.ckpt >/dev/null 2>&1 && { echo "FAIL: shard checkpoints survive a complete supervised run"; FAILURES=$((FAILURES+1)); }
+
+# Resume under a changed seed: refused, and the error names the field.
+"$CAMPAIGN" $TINY --out "$WORK/mm.csv" --shard 0/2 >/dev/null 2>&1
+"$CAMPAIGN" $TINY --out "$WORK/mm.csv" --shard 0/2 --seed 99 --resume >/dev/null 2>"$WORK/mm.err"
+check_exit "shard resume under changed seed" 2 $?
+grep -q "seed: checkpoint=20040501 requested=99" "$WORK/mm.err" || { echo "FAIL: mismatch error does not name the seed field"; FAILURES=$((FAILURES+1)); }
+
 if [ "$FAILURES" -ne 0 ]; then
     echo "$FAILURES CLI contract check(s) failed"
     exit 1

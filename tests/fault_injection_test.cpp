@@ -8,7 +8,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
+#include <string>
 
 #include "testbed/checkpoint.hpp"
 #include "testbed/epoch_runner.hpp"
@@ -274,4 +277,131 @@ TEST(checkpoint_fingerprint, resume_under_changed_fault_knob_is_rejected) {
         testbed::dataset_error);
 
     std::filesystem::remove(file);
+}
+
+TEST(checkpoint_fingerprint, fields_join_is_the_fingerprint) {
+    // The named-field decomposition and the opaque string are one schema:
+    // the '|'-join of the field values must reproduce the fingerprint
+    // byte for byte, or mismatch diagnoses would drift from reality.
+    for (const bool second : {false, true}) {
+        testbed::campaign_config cfg;
+        cfg.second_set = second;
+        cfg.faults.transfer_abort = 0.25;
+        std::string joined;
+        for (const auto& f : testbed::campaign_fingerprint_fields(cfg)) {
+            if (!joined.empty()) joined += '|';
+            joined += f.value;
+        }
+        EXPECT_EQ(joined, testbed::campaign_fingerprint(cfg));
+    }
+}
+
+TEST(checkpoint_fingerprint, mismatch_report_names_the_differing_fields) {
+    testbed::campaign_config cfg;
+    cfg.paths = 2;
+    cfg.traces_per_path = 1;
+    cfg.epochs_per_trace = 3;
+
+    testbed::campaign_config changed = cfg;
+    changed.seed = 777;
+    changed.faults.transfer_abort = 0.5;
+
+    const std::string diff = testbed::describe_fingerprint_mismatch(
+        testbed::campaign_fingerprint(cfg), testbed::campaign_fingerprint(changed));
+    EXPECT_NE(diff.find("seed: checkpoint=20040501 requested=777"), std::string::npos)
+        << diff;
+    EXPECT_NE(diff.find("faults: checkpoint=off requested=abort=0.5"),
+              std::string::npos)
+        << diff;
+    // Unchanged fields stay out of the report.
+    EXPECT_EQ(diff.find("paths:"), std::string::npos) << diff;
+
+    // And load_checkpoint surfaces the same diagnosis to the user.
+    testbed::campaign_checkpoint ck;
+    ck.fingerprint = testbed::campaign_fingerprint(cfg);
+    ck.total = 6;
+    ck.done.assign(6, 0);
+    ck.records.resize(6);
+    const std::filesystem::path file =
+        std::filesystem::temp_directory_path() / "tcppred_fpdiff_test.ckpt";
+    testbed::save_checkpoint(ck, file);
+    try {
+        (void)testbed::load_checkpoint(file, testbed::campaign_fingerprint(changed));
+        FAIL() << "mismatched fingerprint must throw";
+    } catch (const testbed::dataset_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("seed: checkpoint=20040501 requested=777"),
+                  std::string::npos)
+            << what;
+    }
+    std::filesystem::remove(file);
+}
+
+// --- atomic_write_text: cross-filesystem (EXDEV) fallback -------------------
+// The temp file honors $TMPDIR, which may sit on a different filesystem than
+// the target; rename(2) then fails EXDEV and the copy+fsync+same-dir-rename
+// fallback must kick in. Tests cannot mount a second filesystem, so the
+// fallback is forced via $TCPPRED_FORCE_EXDEV=1 — the code path is identical
+// from the EXDEV branch on.
+
+TEST(atomic_write_text, honors_tmpdir_and_survives_forced_exdev) {
+    const auto base = std::filesystem::temp_directory_path() / "tcppred_exdev_test";
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base / "tmp");
+    std::filesystem::create_directories(base / "data");
+    const std::filesystem::path target = base / "data" / "out.txt";
+
+    ::setenv("TMPDIR", (base / "tmp").string().c_str(), 1);
+    ::setenv("TCPPRED_FORCE_EXDEV", "1", 1);
+    testbed::atomic_write_text(target, "first\n");
+    testbed::atomic_write_text(target, "second\n");
+    ::unsetenv("TCPPRED_FORCE_EXDEV");
+    ::unsetenv("TMPDIR");
+
+    std::ifstream in(target);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "second\n");
+    // No droppings: the temp and the fallback sibling are both cleaned up.
+    std::size_t entries = 0;
+    for (const auto& e : std::filesystem::directory_iterator(base / "data")) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    EXPECT_TRUE(std::filesystem::is_empty(base / "tmp"));
+    std::filesystem::remove_all(base);
+}
+
+TEST(atomic_write_text, checkpoint_roundtrips_through_the_exdev_path) {
+    const auto base = std::filesystem::temp_directory_path() / "tcppred_exdev_ck";
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base / "tmp");
+    const std::filesystem::path file = base / "c.ckpt";
+
+    testbed::campaign_config cfg;
+    cfg.paths = 1;
+    cfg.traces_per_path = 1;
+    cfg.epochs_per_trace = 2;
+    testbed::campaign_checkpoint ck;
+    ck.fingerprint = testbed::campaign_fingerprint(cfg);
+    ck.total = 2;
+    ck.done.assign(2, 0);
+    ck.done[1] = 1;
+    ck.records.resize(2);
+    ck.records[1].path_id = 3;
+    ck.records[1].m.r_large_bps = 1.25e6;
+
+    ::setenv("TMPDIR", (base / "tmp").string().c_str(), 1);
+    ::setenv("TCPPRED_FORCE_EXDEV", "1", 1);
+    testbed::save_checkpoint(ck, file);
+    ::unsetenv("TCPPRED_FORCE_EXDEV");
+    ::unsetenv("TMPDIR");
+
+    const auto back = testbed::load_checkpoint(file, ck.fingerprint);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->done[1], 1);
+    EXPECT_EQ(back->records[1].path_id, 3);
+    EXPECT_EQ(back->records[1].m.r_large_bps, 1.25e6);
+    std::filesystem::remove_all(base);
 }

@@ -1,0 +1,235 @@
+// Sharding and merge (testbed/shard.hpp): the merge property — ANY
+// partition of the epoch grid into shard checkpoints, merged in ANY order,
+// reproduces the serial dataset and its CSV bytes exactly — plus the shard
+// arithmetic, heartbeat roundtrip, and the merge failure modes (missing
+// shard, incomplete coverage, foreign config).
+#include "testbed/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "testbed/campaign.hpp"
+#include "testbed/checkpoint.hpp"
+#include "testbed/dataset.hpp"
+
+using namespace tcppred;
+using testbed::shard_ref;
+
+namespace {
+
+/// Small but non-trivial campaign that runs in well under a second.
+testbed::campaign_config quick_config() {
+    testbed::campaign_config cfg;
+    cfg.paths = 3;
+    cfg.traces_per_path = 1;
+    cfg.epochs_per_trace = 4;
+    cfg.jobs = 1;
+    cfg.epoch.warmup = core::seconds{0.5};
+    cfg.epoch.prior_ping.count = 60;
+    cfg.epoch.transfer = core::seconds{1.5};
+    return cfg;
+}
+
+std::size_t total_epochs(const testbed::campaign_config& cfg) {
+    return static_cast<std::size_t>(cfg.paths) *
+           static_cast<std::size_t>(cfg.traces_per_path) *
+           static_cast<std::size_t>(cfg.epochs_per_trace);
+}
+
+std::string read_file(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Run one slice of the grid into its own checkpoint file; returns the path.
+std::filesystem::path run_slice(const testbed::campaign_config& cfg,
+                                const std::filesystem::path& dir, int slice_id,
+                                std::function<bool(std::size_t)> filter) {
+    testbed::campaign_run_options opts;
+    opts.checkpoint = dir / ("slice" + std::to_string(slice_id) + ".ckpt");
+    opts.keep_checkpoint = true;
+    opts.epoch_filter = std::move(filter);
+    const auto outcome = testbed::run_campaign_resumable(cfg, opts);
+    EXPECT_TRUE(outcome.complete);
+    return opts.checkpoint;
+}
+
+class shard_merge : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("tcppred_shard_merge_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->current_test_info()
+                                   ->line()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+}  // namespace
+
+TEST(shard_arith, parse_validates) {
+    EXPECT_FALSE(testbed::parse_shard("").has_value());
+    EXPECT_FALSE(testbed::parse_shard("2").has_value());
+    EXPECT_FALSE(testbed::parse_shard("a/4").has_value());
+    EXPECT_FALSE(testbed::parse_shard("2/x").has_value());
+    EXPECT_FALSE(testbed::parse_shard("4/4").has_value());
+    EXPECT_FALSE(testbed::parse_shard("-1/4").has_value());
+    EXPECT_FALSE(testbed::parse_shard("0/0").has_value());
+    const auto ok = testbed::parse_shard("2/4");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->index, 2);
+    EXPECT_EQ(ok->count, 4);
+}
+
+TEST(shard_arith, filters_partition_the_grid_and_sizes_sum) {
+    const std::size_t total = 37;  // deliberately not divisible
+    for (const int n : {1, 2, 3, 4, 7}) {
+        std::size_t claimed_total = 0;
+        for (std::size_t idx = 0; idx < total; ++idx) {
+            int owners = 0;
+            for (int i = 0; i < n; ++i) {
+                if (testbed::shard_filter(shard_ref{i, n})(idx)) ++owners;
+            }
+            EXPECT_EQ(owners, 1) << "epoch " << idx << " at N=" << n;
+        }
+        for (int i = 0; i < n; ++i) {
+            claimed_total += testbed::shard_size(total, shard_ref{i, n});
+        }
+        EXPECT_EQ(claimed_total, total) << "N=" << n;
+    }
+}
+
+TEST(shard_heartbeat, roundtrips_and_rejects_garbage) {
+    const auto file = std::filesystem::temp_directory_path() / "tcppred_hb_test";
+    testbed::shard_heartbeat hb;
+    hb.pid = 4242;
+    hb.seq = 17;
+    hb.epochs_done = 5;
+    hb.epochs_claimed = 9;
+    testbed::write_heartbeat(file, hb);
+    const auto back = testbed::read_heartbeat(file);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->pid, 4242);
+    EXPECT_EQ(back->seq, 17u);
+    EXPECT_EQ(back->epochs_done, 5);
+    EXPECT_EQ(back->epochs_claimed, 9);
+
+    EXPECT_FALSE(testbed::read_heartbeat(file.string() + ".absent").has_value());
+    std::ofstream(file) << "not a heartbeat\n";
+    EXPECT_FALSE(testbed::read_heartbeat(file).has_value());
+    std::filesystem::remove(file);
+}
+
+TEST_F(shard_merge, strided_shards_reproduce_serial_csv_bytes) {
+    const auto cfg = quick_config();
+    const testbed::dataset serial = testbed::run_campaign(cfg);
+    const auto serial_csv = dir_ / "serial.csv";
+    testbed::save_csv(serial, serial_csv);
+
+    const int n = 3;
+    std::vector<std::filesystem::path> ckpts;
+    for (int i = 0; i < n; ++i) {
+        ckpts.push_back(
+            run_slice(cfg, dir_, i, testbed::shard_filter(shard_ref{i, n})));
+    }
+    const testbed::dataset merged = testbed::merge_shard_checkpoints(cfg, ckpts);
+    const auto merged_csv = dir_ / "merged.csv";
+    testbed::save_csv(merged, merged_csv);
+    EXPECT_EQ(read_file(serial_csv), read_file(merged_csv));
+}
+
+TEST_F(shard_merge, any_partition_any_merge_order_reproduces_serial) {
+    // The merge property proper: partitions are random (pinned seeds), parts
+    // may be empty, and the merge order is shuffled per trial.
+    const auto cfg = quick_config();
+    const std::size_t total = total_epochs(cfg);
+    const testbed::dataset serial = testbed::run_campaign(cfg);
+    const auto serial_csv = dir_ / "serial.csv";
+    testbed::save_csv(serial, serial_csv);
+
+    for (const unsigned trial : {1u, 2u, 3u}) {
+        std::mt19937_64 gen(trial);  // pinned: failures replay exactly
+        const int parts = 2 + static_cast<int>(gen() % 3);  // 2..4
+        std::vector<int> owner(total);
+        for (auto& o : owner) o = static_cast<int>(gen() % parts);
+
+        std::vector<std::filesystem::path> ckpts;
+        for (int part = 0; part < parts; ++part) {
+            ckpts.push_back(run_slice(
+                cfg, dir_, static_cast<int>(trial) * 10 + part,
+                [&owner, part](std::size_t idx) { return owner[idx] == part; }));
+        }
+        std::shuffle(ckpts.begin(), ckpts.end(), gen);
+
+        const testbed::dataset merged = testbed::merge_shard_checkpoints(cfg, ckpts);
+        const auto merged_csv = dir_ / "merged.csv";
+        testbed::save_csv(merged, merged_csv);
+        EXPECT_EQ(read_file(serial_csv), read_file(merged_csv)) << "trial " << trial;
+        for (const auto& p : ckpts) std::filesystem::remove(p);
+    }
+}
+
+TEST_F(shard_merge, missing_shard_checkpoint_is_an_error) {
+    const auto cfg = quick_config();
+    const auto present =
+        run_slice(cfg, dir_, 0, [](std::size_t) { return true; });
+    try {
+        (void)testbed::merge_shard_checkpoints(
+            cfg, {present, dir_ / "nonexistent.ckpt"});
+        FAIL() << "absent shard file must throw";
+    } catch (const testbed::dataset_error& e) {
+        EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(shard_merge, incomplete_coverage_is_an_error) {
+    const auto cfg = quick_config();
+    // Only even epochs: merge must refuse and say how many are missing.
+    const auto evens =
+        run_slice(cfg, dir_, 0, [](std::size_t idx) { return idx % 2 == 0; });
+    try {
+        (void)testbed::merge_shard_checkpoints(cfg, {evens});
+        FAIL() << "uncovered epochs must throw";
+    } catch (const testbed::dataset_error& e) {
+        EXPECT_NE(std::string(e.what()).find("cover only"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(shard_merge, foreign_config_checkpoint_is_rejected) {
+    const auto cfg = quick_config();
+    testbed::campaign_config other = cfg;
+    other.seed = 999;
+    const auto foreign = run_slice(other, dir_, 0, [](std::size_t) { return true; });
+    EXPECT_THROW((void)testbed::merge_shard_checkpoints(cfg, {foreign}),
+                 testbed::dataset_error);
+}
+
+TEST_F(shard_merge, overlapping_shards_merge_cleanly) {
+    // Overlap is legal: slot contents are deterministic, so a twice-covered
+    // epoch is byte-identical in both checkpoints.
+    const auto cfg = quick_config();
+    const testbed::dataset serial = testbed::run_campaign(cfg);
+    const auto a = run_slice(cfg, dir_, 0, [](std::size_t idx) { return idx < 8; });
+    const auto b = run_slice(cfg, dir_, 1, [](std::size_t idx) { return idx >= 4; });
+    const testbed::dataset merged = testbed::merge_shard_checkpoints(cfg, {a, b});
+    const auto serial_csv = dir_ / "serial.csv";
+    const auto merged_csv = dir_ / "merged.csv";
+    testbed::save_csv(serial, serial_csv);
+    testbed::save_csv(merged, merged_csv);
+    EXPECT_EQ(read_file(serial_csv), read_file(merged_csv));
+}

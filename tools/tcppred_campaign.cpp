@@ -7,8 +7,18 @@
 //                    [--jobs N] [--faults SPEC] [--checkpoint-every N]
 //                    [--resume] [--trace FILE] [--metrics-summary]
 //
+// Multi-process modes (DESIGN.md §15): --workers N supervises N worker
+// processes (one shard each) and merges their checkpoints into the CSV;
+// --shard i/N runs one shard (what a worker does; its product is the shard
+// checkpoint, not a CSV); --merge N merges existing shard checkpoints.
+// $REPRO_CHAOS (e.g. kill=0.05,hang=0.01) makes workers crash/wedge on a
+// seeded schedule so supervision is testable.
+//
 // Exit codes: 0 success, 1 bad arguments, 2 runtime failure,
 // 130 interrupted (SIGINT; progress is checkpointed when enabled).
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -16,12 +26,18 @@
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "obs/stopwatch.hpp"
 #include "obs/trace_writer.hpp"
+#include "sim/chaos.hpp"
 #include "sim/fault_injector.hpp"
 #include "testbed/campaign.hpp"
+#include "testbed/shard.hpp"
+#include "testbed/supervisor.hpp"
 
 using namespace tcppred::testbed;
 
@@ -50,6 +66,18 @@ void usage(const char* argv0) {
                  "                    every N completed epochs (default 32 once\n"
                  "                    checkpointing is on; SIGINT also flushes)\n"
                  "  --resume          resume from FILE.ckpt if present\n"
+                 "  --workers N       supervise N worker processes (one shard\n"
+                 "                    each), restart crashed/hung ones, then merge\n"
+                 "                    shard checkpoints into FILE\n"
+                 "  --worker-jobs N   threads per worker process  (default 1)\n"
+                 "  --hang-timeout-s T  SIGKILL a worker whose heartbeat stalls\n"
+                 "                    this long (default 30)\n"
+                 "  --max-attempts N  launch attempts per shard   (default 50)\n"
+                 "  --shard i/N       run only shard i of N; writes the shard\n"
+                 "                    checkpoint FILE.shard-i-of-N.ckpt, no CSV\n"
+                 "                    (chaos via $REPRO_CHAOS=kill=P,hang=P,\n"
+                 "                    hang-s=T,seed=S applies here)\n"
+                 "  --merge N         merge shard checkpoints 0..N-1 into FILE\n"
                  "  --trace FILE      write a JSONL run trace (also $REPRO_TRACE;\n"
                  "                    off by default, zero hot-path cost when off)\n"
                  "  --metrics-summary print counters and stage timings to stderr\n"
@@ -75,11 +103,19 @@ int main(int argc, char** argv) {
     bool checkpointing = false;
     bool metrics_summary = false;
     std::string trace_file;
+    int workers = 0;             // > 0 = supervisor mode
+    int worker_jobs = 1;
+    double hang_timeout_s = 30.0;
+    int max_attempts = 50;
+    int merge_n = 0;             // > 0 = merge mode
+    std::optional<shard_ref> shard;  // set = worker mode
     tcppred::sim::fault_profile faults;
+    tcppred::sim::chaos_profile chaos;
     try {
         faults = tcppred::sim::fault_profile::from_env();
+        chaos = tcppred::sim::chaos_profile::from_env();
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "bad fault environment: %s\n", e.what());
+        std::fprintf(stderr, "bad fault/chaos environment: %s\n", e.what());
         return 1;
     }
 
@@ -127,6 +163,44 @@ int main(int argc, char** argv) {
         } else if (arg == "--resume") {
             run_opts.resume = true;
             checkpointing = true;
+        } else if (arg == "--workers") {
+            workers = std::atoi(next());
+            if (workers <= 0) {
+                std::fprintf(stderr, "--workers needs a positive count\n");
+                return 1;
+            }
+        } else if (arg == "--worker-jobs") {
+            worker_jobs = std::atoi(next());
+            if (worker_jobs <= 0) {
+                std::fprintf(stderr, "--worker-jobs needs a positive count\n");
+                return 1;
+            }
+        } else if (arg == "--hang-timeout-s") {
+            hang_timeout_s = std::atof(next());
+            if (hang_timeout_s <= 0) {
+                std::fprintf(stderr, "--hang-timeout-s needs a positive duration\n");
+                return 1;
+            }
+        } else if (arg == "--max-attempts") {
+            max_attempts = std::atoi(next());
+            if (max_attempts <= 0) {
+                std::fprintf(stderr, "--max-attempts needs a positive count\n");
+                return 1;
+            }
+        } else if (arg == "--shard") {
+            const char* spec = next();
+            shard = parse_shard(spec);
+            if (!shard) {
+                std::fprintf(stderr, "bad --shard spec: %s (want i/N with 0 <= i < N)\n",
+                             spec);
+                return 1;
+            }
+        } else if (arg == "--merge") {
+            merge_n = std::atoi(next());
+            if (merge_n <= 0) {
+                std::fprintf(stderr, "--merge needs a positive shard count\n");
+                return 1;
+            }
         } else if (arg == "--trace") {
             trace_file = next();
         } else if (arg == "--metrics-summary") {
@@ -158,7 +232,44 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
+    if ((workers > 0) + (merge_n > 0) + (shard ? 1 : 0) > 1) {
+        std::fprintf(stderr, "--workers, --shard and --merge are mutually exclusive\n");
+        return 1;
+    }
     if (checkpointing) run_opts.checkpoint = out + ".ckpt";
+    if (shard) {
+        // Worker mode: claim only our slice; the shard checkpoint is the
+        // product (the merge step consumes it), so keep it on completion.
+        run_opts.epoch_filter = shard_filter(*shard);
+        run_opts.keep_checkpoint = true;
+        run_opts.checkpoint = shard_checkpoint_path(out, *shard);
+        checkpointing = true;
+    }
+    if (chaos.enabled() && workers == 0 && merge_n == 0) {
+        // Process-level chaos (sim/chaos.hpp): SIGKILL or wedge ourselves
+        // just before a planned epoch. Checkpoint every epoch so each
+        // attempt's progress survives its planned crash — that is what makes
+        // chaos runs converge instead of looping.
+        if (checkpointing) run_opts.checkpoint_every = 1;
+        const int attempt = tcppred::sim::chaos_attempt_from_env();
+        const std::uint64_t chaos_campaign_seed = cfg.seed;
+        run_opts.epoch_hook = [chaos, chaos_campaign_seed, attempt](std::size_t idx) {
+            switch (tcppred::sim::plan_chaos(chaos, chaos_campaign_seed, attempt, idx)) {
+                case tcppred::sim::chaos_action::kill:
+                    std::raise(SIGKILL);
+                    break;
+                case tcppred::sim::chaos_action::hang:
+                    // Wedge without exiting: heartbeats stop, the supervisor
+                    // must notice and SIGKILL us.
+                    for (double t = 0.0; t < chaos.hang_s; t += 0.1) {
+                        ::usleep(100000);
+                    }
+                    break;
+                case tcppred::sim::chaos_action::none:
+                    break;
+            }
+        };
+    }
     run_opts.cancelled = [] { return g_interrupted != 0; };
     std::signal(SIGINT, on_sigint);
 
@@ -191,17 +302,113 @@ int main(int argc, char** argv) {
     };
 
     try {
-        std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu%s)...\n",
+        if (merge_n > 0) {
+            // Merge mode: read-only over the shard checkpoints (rerunnable);
+            // the supervisor's auto-merge is the consuming variant.
+            std::vector<std::filesystem::path> ckpts;
+            for (int i = 0; i < merge_n; ++i) {
+                ckpts.push_back(shard_checkpoint_path(out, shard_ref{i, merge_n}));
+            }
+            const dataset data = merge_shard_checkpoints(cfg, ckpts);
+            save_csv(data, out);
+            std::fprintf(stderr, "merged %d shard(s), %zu epoch records, into %s\n",
+                         merge_n, data.records.size(), out.c_str());
+            return finish_observability();
+        }
+
+        if (workers > 0) {
+            supervisor_options sup;
+            sup.cfg = cfg;
+            sup.out = out;
+            sup.workers = workers;
+            sup.worker_jobs = worker_jobs;
+            sup.hang_timeout_s = hang_timeout_s;
+            sup.max_attempts = max_attempts;
+            sup.cancelled = [] { return g_interrupted != 0; };
+            // Worker command line = ours minus supervision/observability
+            // flags (each worker gets --shard/--jobs/--resume appended by
+            // the supervisor; traces and metrics stay in this process).
+            static const std::set<std::string> drop_with_value = {
+                "--workers", "--worker-jobs", "--hang-timeout-s", "--max-attempts",
+                "--jobs",    "--trace",       "--merge",          "--shard"};
+            static const std::set<std::string> drop_flag = {"--metrics-summary",
+                                                            "--resume"};
+            static const std::set<std::string> with_value = {
+                "--out",  "--paths",  "--traces", "--epochs",          "--seed",
+                "--transfer-s", "--cross-model", "--faults", "--checkpoint-every"};
+            sup.worker_argv.push_back(argv[0]);
+            for (int i = 1; i < argc; ++i) {
+                const std::string a = argv[i];
+                if (drop_with_value.count(a) > 0) {
+                    ++i;
+                    continue;
+                }
+                if (drop_flag.count(a) > 0) continue;
+                sup.worker_argv.push_back(a);
+                if (with_value.count(a) > 0 && i + 1 < argc) {
+                    sup.worker_argv.push_back(argv[++i]);
+                }
+            }
+            std::fprintf(stderr,
+                         "supervising %d worker(s) over %d paths x %d traces x %d "
+                         "epochs (seed %llu%s)...\n",
+                         workers, cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
+                         static_cast<unsigned long long>(cfg.seed),
+                         chaos.enabled() ? (", chaos " + chaos.spec()).c_str() : "");
+            const supervisor_result res = run_supervisor(sup);
+            if (res.interrupted) {
+                std::fprintf(stderr,
+                             "interrupted; shard checkpoints are resumable — rerun "
+                             "the same --workers command\n");
+                finish_observability();
+                return 130;
+            }
+            if (!res.complete) {
+                std::fprintf(stderr, "error: %s\n", res.error.c_str());
+                finish_observability();
+                return 2;
+            }
+            std::fprintf(stderr,
+                         "wrote %zu epoch records to %s (%d launch(es), %d "
+                         "restart(s), %d hang(s) killed)\n",
+                         res.epochs_merged, out.c_str(), res.workers_spawned,
+                         res.worker_restarts, res.hangs_killed);
+            return finish_observability();
+        }
+
+        std::fprintf(stderr, "running %d paths x %d traces x %d epochs (seed %llu%s%s%s)...\n",
                      cfg.paths, cfg.traces_per_path, cfg.epochs_per_trace,
                      static_cast<unsigned long long>(cfg.seed),
                      cfg.faults.enabled()
                          ? (", faults " + cfg.faults.spec()).c_str()
-                         : "");
+                         : "",
+                     chaos.enabled() ? (", chaos " + chaos.spec()).c_str() : "",
+                     shard ? (", shard " + std::to_string(shard->index) + "/" +
+                              std::to_string(shard->count))
+                                 .c_str()
+                           : "");
+        // Worker heartbeat: one atomic write per completed epoch, from the
+        // progress path on purpose — a wedged worker must stop heartbeating.
+        const int total_epochs = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
+        const int claimed =
+            shard ? static_cast<int>(
+                        shard_size(static_cast<std::size_t>(total_epochs), *shard))
+                  : total_epochs;
+        const std::filesystem::path hb_path =
+            shard ? shard_heartbeat_path(out, *shard) : std::filesystem::path{};
+        std::uint64_t hb_seq = 0;
+        if (shard) {
+            write_heartbeat(hb_path, shard_heartbeat{::getpid(), ++hb_seq, 0, claimed});
+        }
         int last = -1;
         const tcppred::obs::stopwatch watch;
         const campaign_outcome outcome =
-            run_campaign_resumable(cfg, run_opts, [&](int done, int total) {
-                const int pct = done * 100 / total;
+            run_campaign_resumable(cfg, run_opts, [&](int done, int) {
+                if (shard) {
+                    write_heartbeat(hb_path, shard_heartbeat{::getpid(), ++hb_seq,
+                                                             done, claimed});
+                }
+                const int pct = done * 100 / std::max(1, claimed);
                 if (pct / 10 != last / 10) {
                     std::fprintf(stderr, "  %d%%\n", pct);
                     last = pct;
@@ -220,6 +427,14 @@ int main(int argc, char** argv) {
                          checkpointing ? run_opts.checkpoint.string().c_str() : "");
             finish_observability();  // partial summary/trace is still useful
             return 130;
+        }
+        if (shard) {
+            // A shard's output is its checkpoint; only the merge step (or
+            // the supervisor) writes the CSV.
+            std::fprintf(stderr, "shard %d/%d complete: %d epoch(s) in %s\n",
+                         shard->index, shard->count, outcome.epochs_completed,
+                         run_opts.checkpoint.string().c_str());
+            return finish_observability();
         }
         save_csv(outcome.data, out);
         std::fprintf(stderr, "wrote %zu epoch records to %s\n",
