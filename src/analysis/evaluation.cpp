@@ -343,6 +343,142 @@ conditioned_rmsre rmsre_conditioned(const predictor_result& result) {
     return out;
 }
 
+std::vector<double> stream_predictor_summary::trace_rmsres() const {
+    std::vector<double> out;
+    out.reserve(traces.size());
+    for (const auto& t : traces) out.push_back(t.rmsre);
+    return out;
+}
+
+stream_predictor_summary summarize(const predictor_result& result,
+                                   bool keep_epoch_errors) {
+    stream_predictor_summary s;
+    s.name = result.name;
+    s.traces.reserve(result.traces.size());
+    for (const auto& t : result.traces) {
+        s.traces.push_back(
+            stream_trace_rmsre{t.path_id, t.trace_id, t.rmsre, t.epochs.size()});
+    }
+    s.traces_unscored = result.traces_unscored;
+    s.conditioned = rmsre_conditioned(result);
+    if (keep_epoch_errors) s.epoch_errors = result.epoch_errors();
+    return s;
+}
+
+std::vector<stream_predictor_summary> evaluate_stream(
+    const record_source& source, const std::vector<std::string>& specs,
+    const stream_eval_options& opts) {
+    const engine_options& eopts = opts.engine;
+    if (eopts.downsample == 0) {
+        throw std::invalid_argument("evaluate_stream: downsample must be >= 1");
+    }
+    std::vector<std::unique_ptr<core::predictor>> owned;
+    owned.reserve(specs.size());
+    for (const auto& spec : specs) {
+        owned.push_back(core::make_predictor(spec, eopts.predictor));
+    }
+
+    std::vector<stream_predictor_summary> out(specs.size());
+    // Running conditioned-RMSRE sums, folded in the exact order
+    // rmsre_conditioned encounters errors (traces, then epochs): since
+    // core::rmsre is a left fold of e², finishing with sqrt(sum/n) is
+    // bitwise identical to collecting the vectors.
+    struct cond_accum {
+        double clean_sq{0.0};
+        std::size_t n_clean{0};
+        double faulty_sq{0.0};
+        std::size_t n_faulty{0};
+        double stale_sq{0.0};
+        std::size_t n_stale{0};
+    };
+    std::vector<cond_accum> cond(specs.size());
+    std::vector<bool> keep(specs.size(), false);
+    for (const std::size_t i : opts.keep_epoch_errors) {
+        if (i < specs.size()) keep[i] = true;
+    }
+    for (std::size_t pj = 0; pj < specs.size(); ++pj) out[pj].name = owned[pj]->name();
+
+    static const obs::counter c_traces_scored = obs::counter::get("engine.traces_scored");
+    static const obs::counter c_traces_unscored =
+        obs::counter::get("engine.traces_unscored");
+
+    std::size_t n_traces_seen = 0;
+    std::vector<testbed::epoch_record> trace_recs;  // ONE trace buffered at a time
+    int cur_path = 0;
+    int cur_trace = 0;
+
+    const auto flush_trace = [&] {
+        if (trace_recs.empty()) return;
+        ++n_traces_seen;
+        const obs::stage_timer t_trace("engine.trace");
+        std::vector<const testbed::epoch_record*> recs;
+        recs.reserve(trace_recs.size());
+        for (const auto& r : trace_recs) recs.push_back(&r);
+        const trace_view view = build_view({cur_path, cur_trace}, recs, eopts);
+
+        std::optional<std::vector<bool>> excluded;
+        if (eopts.exclude_outliers) {
+            excluded = core::lso_scan(view.actuals, eopts.predictor.lso).is_outlier;
+        }
+
+        for (std::size_t pj = 0; pj < owned.size(); ++pj) {
+            if (view.actuals.size() < owned[pj]->min_trace_length()) continue;
+            const auto pred = owned[pj]->clone_empty();
+            std::vector<epoch_score> epochs;
+            score_walk(view.inputs, view.actuals, &view.recs, *pred, eopts.warmup,
+                       excluded ? &*excluded : nullptr, epochs);
+            if (epochs.empty()) continue;  // nothing scorable on this trace
+            out[pj].traces.push_back(stream_trace_rmsre{
+                cur_path, cur_trace, rmsre_of_epochs(epochs), epochs.size()});
+            for (const auto& e : epochs) {
+                if (e.rec == nullptr || e.rec->m.fault_flags == testbed::fault_none) {
+                    cond[pj].clean_sq += e.error * e.error;
+                    ++cond[pj].n_clean;
+                } else {
+                    cond[pj].faulty_sq += e.error * e.error;
+                    ++cond[pj].n_faulty;
+                }
+                if (e.staleness > 0) {
+                    cond[pj].stale_sq += e.error * e.error;
+                    ++cond[pj].n_stale;
+                }
+                if (keep[pj]) out[pj].epoch_errors.push_back(e.error);
+            }
+        }
+        trace_recs.clear();
+    };
+
+    testbed::epoch_record rec;
+    while (source(rec)) {
+        if (!trace_recs.empty() &&
+            (rec.path_id != cur_path || rec.trace_id != cur_trace)) {
+            flush_trace();
+        }
+        cur_path = rec.path_id;
+        cur_trace = rec.trace_id;
+        trace_recs.push_back(std::move(rec));
+        rec = testbed::epoch_record{};
+    }
+    flush_trace();
+
+    const auto finish = [](double sq, std::size_t n) {
+        return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : std::sqrt(sq / static_cast<double>(n));
+    };
+    for (std::size_t pj = 0; pj < specs.size(); ++pj) {
+        out[pj].traces_unscored = n_traces_seen - out[pj].traces.size();
+        out[pj].conditioned.rmsre_clean = finish(cond[pj].clean_sq, cond[pj].n_clean);
+        out[pj].conditioned.n_clean = cond[pj].n_clean;
+        out[pj].conditioned.rmsre_faulty = finish(cond[pj].faulty_sq, cond[pj].n_faulty);
+        out[pj].conditioned.n_faulty = cond[pj].n_faulty;
+        out[pj].conditioned.rmsre_stale = finish(cond[pj].stale_sq, cond[pj].n_stale);
+        out[pj].conditioned.n_stale = cond[pj].n_stale;
+        c_traces_scored.add(out[pj].traces.size());
+        c_traces_unscored.add(out[pj].traces_unscored);
+    }
+    return out;
+}
+
 std::vector<path_error_summary> error_per_path(const predictor_result& result) {
     std::map<int, std::vector<double>> grouped;
     for (const auto& t : result.traces) {

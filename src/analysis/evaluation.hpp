@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,67 @@ struct conditioned_rmsre {
     std::size_t n_stale{0};
 };
 [[nodiscard]] conditioned_rmsre rmsre_conditioned(const predictor_result& result);
+
+/// Pull-based record source for evaluate_stream: fill `out` with the next
+/// record and return true, or return false at end of data. Records must
+/// arrive grouped by (path, trace) in ascending (path, trace) order — the
+/// order dataset::traces() iterates and the linear order a record store
+/// (testbed/record_store.hpp) streams, so a store reader plugs in directly.
+using record_source = std::function<bool(testbed::epoch_record&)>;
+
+/// One trace's RMSRE in a streamed evaluation (the per-trace scalars of
+/// trace_result, without the per-epoch payload).
+struct stream_trace_rmsre {
+    int path_id{0};
+    int trace_id{0};
+    double rmsre{0.0};
+    std::size_t epochs{0};  ///< scored epochs behind the RMSRE
+};
+
+/// One predictor's summary from a streamed evaluation: everything the
+/// analysis tools print, at O(traces) memory instead of O(epochs).
+/// Bitwise-identical to summarize() of the in-memory engine's
+/// predictor_result on the same records (the equivalence the stream tests
+/// pin): same per-trace RMSREs, same conditioned aggregation, same optional
+/// epoch-error list.
+struct stream_predictor_summary {
+    std::string name;  ///< canonical spec (predictor::name())
+    std::vector<stream_trace_rmsre> traces;
+    std::size_t traces_unscored{0};
+    conditioned_rmsre conditioned{};
+    /// Per-epoch relative errors in trace order; filled only when the
+    /// predictor's index is listed in stream_eval_options::keep_epoch_errors
+    /// (this is the one O(epochs) field — opt in per predictor).
+    std::vector<double> epoch_errors;
+
+    /// Per-trace RMSRE values, trace order (for CDFs over traces).
+    [[nodiscard]] std::vector<double> trace_rmsres() const;
+};
+
+struct stream_eval_options {
+    /// Engine knobs. `jobs` is ignored: the stream walk is one pass, serial
+    /// by construction — and the engine's determinism contract makes the
+    /// result identical to any parallel in-memory run anyway.
+    engine_options engine{};
+    /// Indices into the spec list whose per-epoch errors to keep.
+    std::vector<std::size_t> keep_epoch_errors{};
+};
+
+/// One-pass streaming evaluation: pull records from `source`, buffer ONE
+/// (path, trace) series at a time, and on each trace boundary run exactly
+/// the engine's per-trace pipeline (build_view → optional LSO scan →
+/// clone_empty → score_walk) for every spec, folding per-trace RMSREs and
+/// the conditioned error sums incrementally. Peak memory is O(longest trace
+/// + traces·specs), independent of the dataset size. Throws
+/// core::predictor_spec_error on a bad spec before pulling any record.
+[[nodiscard]] std::vector<stream_predictor_summary> evaluate_stream(
+    const record_source& source, const std::vector<std::string>& specs,
+    const stream_eval_options& opts = {});
+
+/// Collapse an in-memory predictor_result to the streamed summary form —
+/// the bridge that lets one report printer serve both evaluation paths.
+[[nodiscard]] stream_predictor_summary summarize(const predictor_result& result,
+                                                 bool keep_epoch_errors);
 
 /// Per-path error distribution summary (Fig. 7).
 struct path_error_summary {

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -23,18 +24,101 @@
 
 namespace tcppred::testbed {
 
-namespace {
+std::vector<path_profile> campaign_catalog(const campaign_config& cfg) {
+    return cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
+                          : ron_like_catalog(cfg.paths, cfg.seed);
+}
 
-/// Worker count for a campaign: explicit cfg.jobs wins, otherwise
-/// $REPRO_JOBS / hardware_concurrency, never more than one per epoch.
-unsigned effective_jobs(const campaign_config& cfg, int total_epochs) {
+std::size_t campaign_total_epochs(const campaign_config& cfg) {
+    return static_cast<std::size_t>(cfg.paths) *
+           static_cast<std::size_t>(cfg.traces_per_path) *
+           static_cast<std::size_t>(cfg.epochs_per_trace);
+}
+
+epoch_coords decompose_epoch_index(const campaign_config& cfg, std::size_t idx) {
+    const int per_path = cfg.traces_per_path * cfg.epochs_per_trace;
+    epoch_coords c;
+    c.path_index = idx / static_cast<std::size_t>(per_path);
+    const int rem = static_cast<int>(idx % static_cast<std::size_t>(per_path));
+    c.trace = rem / cfg.epochs_per_trace;
+    c.epoch = rem % cfg.epochs_per_trace;
+    return c;
+}
+
+unsigned campaign_effective_jobs(const campaign_config& cfg, std::size_t total_epochs) {
     const unsigned requested =
         cfg.jobs > 0 ? static_cast<unsigned>(cfg.jobs) : sim::jobs_from_env();
-    const unsigned cap = total_epochs > 0 ? static_cast<unsigned>(total_epochs) : 1u;
+    const std::size_t cap_epochs = total_epochs > 0 ? total_epochs : 1;
+    const unsigned cap = static_cast<unsigned>(std::min<std::size_t>(
+        cap_epochs, std::numeric_limits<unsigned>::max()));
     return std::min(requested, cap);
 }
 
-}  // namespace
+epoch_record simulate_campaign_epoch(const campaign_config& cfg,
+                                     const path_profile& profile,
+                                     const load_state& load, int trace, int epoch) {
+    static const obs::counter c_epochs = obs::counter::get("campaign.epochs_run");
+    static const obs::counter c_faulted = obs::counter::get("campaign.epochs_faulted");
+    const std::uint64_t epoch_seed = sim::derive_seed(
+        cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
+        static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
+    // The fault plan rides in a per-epoch copy of the epoch config; the
+    // fault-free path keeps using cfg.epoch directly.
+    const epoch_config* ecfg = &cfg.epoch;
+    epoch_config faulty_cfg;
+    if (cfg.faults.enabled()) {
+        faulty_cfg = cfg.epoch;
+        faulty_cfg.faults =
+            sim::plan_epoch_faults(cfg.faults, cfg.seed, profile.id, trace, epoch);
+        if (faulty_cfg.faults.any()) c_faulted.add();
+        ecfg = &faulty_cfg;
+    }
+    epoch_record rec;
+    rec.path_id = profile.id;
+    rec.trace_id = trace;
+    rec.epoch_index = epoch;
+    const bool observing = obs::metrics_enabled() || obs::trace_enabled();
+    const obs::stopwatch epoch_watch;  // read only when observing
+    rec.m = run_epoch(profile, load, epoch_seed, *ecfg);
+    c_epochs.add();
+    if (observing) {
+        const double dur_s = epoch_watch.elapsed_s();
+        obs::record_duration("campaign.epoch", dur_s);
+        if (obs::trace_enabled()) {
+            char seed_hex[20];
+            std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
+                          static_cast<unsigned long long>(epoch_seed));
+            obs::trace_emit(
+                obs::json_line{}
+                    .str("ev", "epoch")
+                    .num("path", static_cast<std::int64_t>(profile.id))
+                    .num("trace", static_cast<std::int64_t>(trace))
+                    .num("epoch", static_cast<std::int64_t>(epoch))
+                    .str("seed", seed_hex)
+                    .num("fault_flags", static_cast<std::uint64_t>(rec.m.fault_flags))
+                    .num("sim_events", rec.m.events)
+                    .num("dur_s", dur_s)
+                    .num("thread", static_cast<std::uint64_t>(std::hash<std::thread::id>{}(
+                                       std::this_thread::get_id())))
+                    .done());
+        }
+    }
+    return rec;
+}
+
+void trace_campaign_start(const campaign_config& cfg) {
+    if (!obs::trace_enabled()) return;
+    obs::trace_emit(obs::json_line{}
+                        .str("ev", "campaign_start")
+                        .num("paths", static_cast<std::int64_t>(cfg.paths))
+                        .num("traces", static_cast<std::int64_t>(cfg.traces_per_path))
+                        .num("epochs", static_cast<std::int64_t>(cfg.epochs_per_trace))
+                        .num("seed", static_cast<std::uint64_t>(cfg.seed))
+                        .str("faults", cfg.faults.spec())
+                        .num("second_set",
+                             static_cast<std::int64_t>(cfg.second_set ? 1 : 0))
+                        .done());
+}
 
 dataset run_campaign(const campaign_config& cfg, progress_fn progress) {
     return run_campaign_resumable(cfg, {}, std::move(progress)).data;
@@ -49,30 +133,17 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
     TCPPRED_EXPECTS(opts.checkpoint_every > 0);
     campaign_outcome out;
     dataset& data = out.data;
-    data.paths = cfg.second_set ? second_campaign_catalog(cfg.paths, cfg.seed)
-                                : ron_like_catalog(cfg.paths, cfg.seed);
+    data.paths = campaign_catalog(cfg);
 
     const int total = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
 
     // Observability: logical-event counters (job-count-invariant; DESIGN.md
-    // §12), the per-epoch latency recorder, and the JSONL run trace.
-    static const obs::counter c_epochs = obs::counter::get("campaign.epochs_run");
+    // §12) and the JSONL run trace (per-epoch events are emitted inside
+    // simulate_campaign_epoch).
     static const obs::counter c_resumed = obs::counter::get("campaign.epochs_resumed");
-    static const obs::counter c_faulted = obs::counter::get("campaign.epochs_faulted");
     static const obs::counter c_flushes =
         obs::counter::get("campaign.checkpoint_flushes");
-    if (obs::trace_enabled()) {
-        obs::trace_emit(obs::json_line{}
-                            .str("ev", "campaign_start")
-                            .num("paths", static_cast<std::int64_t>(cfg.paths))
-                            .num("traces", static_cast<std::int64_t>(cfg.traces_per_path))
-                            .num("epochs", static_cast<std::int64_t>(cfg.epochs_per_trace))
-                            .num("seed", static_cast<std::uint64_t>(cfg.seed))
-                            .str("faults", cfg.faults.spec())
-                            .num("second_set",
-                                 static_cast<std::int64_t>(cfg.second_set ? 1 : 0))
-                            .done());
-    }
+    trace_campaign_start(cfg);
     const bool checkpointing = !opts.checkpoint.empty();
     const std::string fingerprint =
         checkpointing ? campaign_fingerprint(cfg) : std::string{};
@@ -157,62 +228,13 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
             return;
         }
         if (opts.epoch_hook) opts.epoch_hook(idx);
-        const int per_path = cfg.traces_per_path * cfg.epochs_per_trace;
-        const std::size_t p = idx / static_cast<std::size_t>(per_path);
-        const int rem = static_cast<int>(idx % static_cast<std::size_t>(per_path));
-        const int trace = rem / cfg.epochs_per_trace;
-        const int epoch = rem % cfg.epochs_per_trace;
-        const path_profile& profile = data.paths[p];
-
-        const std::uint64_t epoch_seed = sim::derive_seed(
-            cfg.seed, "epoch", static_cast<std::uint64_t>(profile.id),
-            static_cast<std::uint64_t>(trace), static_cast<std::uint64_t>(epoch));
-        // The fault plan rides in a per-epoch copy of the epoch config; the
-        // fault-free path keeps using cfg.epoch directly.
-        const epoch_config* ecfg = &cfg.epoch;
-        epoch_config faulty_cfg;
-        if (cfg.faults.enabled()) {
-            faulty_cfg = cfg.epoch;
-            faulty_cfg.faults = sim::plan_epoch_faults(cfg.faults, cfg.seed,
-                                                       profile.id, trace, epoch);
-            if (faulty_cfg.faults.any()) c_faulted.add();
-            ecfg = &faulty_cfg;
-        }
-        epoch_record& rec = data.records[idx];
-        rec.path_id = profile.id;
-        rec.trace_id = trace;
-        rec.epoch_index = epoch;
-        const bool observing = obs::metrics_enabled() || obs::trace_enabled();
-        const obs::stopwatch epoch_watch;  // read only when observing
-        rec.m = run_epoch(
-            profile,
-            loads[p * static_cast<std::size_t>(cfg.traces_per_path) +
-                  static_cast<std::size_t>(trace)][static_cast<std::size_t>(epoch)],
-            epoch_seed, *ecfg);
-        c_epochs.add();
-        if (observing) {
-            const double dur_s = epoch_watch.elapsed_s();
-            obs::record_duration("campaign.epoch", dur_s);
-            if (obs::trace_enabled()) {
-                char seed_hex[20];
-                std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
-                              static_cast<unsigned long long>(epoch_seed));
-                obs::trace_emit(
-                    obs::json_line{}
-                        .str("ev", "epoch")
-                        .num("path", static_cast<std::int64_t>(profile.id))
-                        .num("trace", static_cast<std::int64_t>(trace))
-                        .num("epoch", static_cast<std::int64_t>(epoch))
-                        .str("seed", seed_hex)
-                        .num("fault_flags", static_cast<std::uint64_t>(rec.m.fault_flags))
-                        .num("sim_events", rec.m.events)
-                        .num("dur_s", dur_s)
-                        .num("thread",
-                             static_cast<std::uint64_t>(std::hash<std::thread::id>{}(
-                                 std::this_thread::get_id())))
-                        .done());
-            }
-        }
+        const epoch_coords c = decompose_epoch_index(cfg, idx);
+        const path_profile& profile = data.paths[c.path_index];
+        data.records[idx] = simulate_campaign_epoch(
+            cfg, profile,
+            loads[c.path_index * static_cast<std::size_t>(cfg.traces_per_path) +
+                  static_cast<std::size_t>(c.trace)][static_cast<std::size_t>(c.epoch)],
+            c.trace, c.epoch);
         {
             const std::lock_guard<std::mutex> lock(ck_mutex);
             done[idx] = 1;
@@ -227,7 +249,8 @@ campaign_outcome run_campaign_resumable(const campaign_config& cfg,
 
     try {
         const obs::stage_timer t_sweep("campaign.sweep");
-        sim::parallel_for(static_cast<std::size_t>(total), effective_jobs(cfg, total),
+        sim::parallel_for(static_cast<std::size_t>(total),
+                          campaign_effective_jobs(cfg, static_cast<std::size_t>(total)),
                           run_one);
     } catch (...) {
         // A worker threw (parallel_for already drained the pool and captured
@@ -333,8 +356,7 @@ dataset load_or_run(const campaign_config& cfg, const std::filesystem::path& fil
     if (std::filesystem::exists(file)) {
         return load_csv(file);
     }
-    const unsigned jobs =
-        effective_jobs(cfg, cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace);
+    const unsigned jobs = campaign_effective_jobs(cfg, campaign_total_epochs(cfg));
     std::cerr << "[campaign] dataset " << file
               << " not found; running measurement campaign on " << jobs
               << " thread(s) (this is done once and cached)...\n";

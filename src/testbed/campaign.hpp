@@ -10,6 +10,7 @@
 #include <string>
 
 #include "testbed/dataset.hpp"
+#include "testbed/load_process.hpp"
 
 namespace tcppred::testbed {
 
@@ -40,6 +41,46 @@ struct campaign_config {
 /// epochs complete out of record order, so `completed` is a count, not an
 /// index. It must not re-enter run_campaign.
 using progress_fn = std::function<void(int, int)>;
+
+/// The path catalogue a campaign config generates (campaign-1 or campaign-2
+/// per cfg.second_set). Path ids ascend 0..paths-1 in catalogue order — the
+/// invariant that makes the linearized epoch order below equal the
+/// (path, trace)-sorted order dataset::traces() produces.
+[[nodiscard]] std::vector<path_profile> campaign_catalog(const campaign_config& cfg);
+
+/// Epochs in the full grid: paths * traces_per_path * epochs_per_trace.
+[[nodiscard]] std::size_t campaign_total_epochs(const campaign_config& cfg);
+
+/// Grid coordinates of a linear epoch index (DESIGN.md §6): the inverse of
+/// idx = path_index * (traces_per_path * epochs_per_trace)
+///     + trace * epochs_per_trace + epoch.
+struct epoch_coords {
+    std::size_t path_index{0};  ///< index into campaign_catalog(cfg)
+    int trace{0};
+    int epoch{0};
+};
+[[nodiscard]] epoch_coords decompose_epoch_index(const campaign_config& cfg,
+                                                 std::size_t idx);
+
+/// Worker count for a campaign sweep: explicit cfg.jobs wins, otherwise
+/// $REPRO_JOBS / hardware_concurrency, never more than one per epoch.
+[[nodiscard]] unsigned campaign_effective_jobs(const campaign_config& cfg,
+                                               std::size_t total_epochs);
+
+/// Simulate one campaign epoch exactly as run_campaign does: per-epoch seed
+/// derivation, fault planning, the campaign.epochs_run/faulted counters, the
+/// per-epoch latency recorder and the JSONL "epoch" trace event. `load` is
+/// the trace's load state for `epoch` (load_trajectory position). A pure
+/// function of (cfg, profile, load, trace, epoch) — both the in-memory sweep
+/// and the streamed store sink (record_store.hpp) call this, which is what
+/// keeps their records bitwise identical.
+[[nodiscard]] epoch_record simulate_campaign_epoch(const campaign_config& cfg,
+                                                   const path_profile& profile,
+                                                   const load_state& load, int trace,
+                                                   int epoch);
+
+/// Emit the JSONL "campaign_start" event (no-op when tracing is off).
+void trace_campaign_start(const campaign_config& cfg);
 
 /// Run a campaign from scratch. Deterministic in cfg alone: the records
 /// vector (and hence the CSV) is identical for any cfg.jobs / $REPRO_JOBS,

@@ -12,12 +12,6 @@
 
 namespace tcppred::testbed {
 
-namespace {
-
-/// Bit-exact double -> text. Hexfloat survives the round-trip exactly, which
-/// decimal at any precision does not guarantee; printf is used because
-/// istream extraction of hexfloat is not required to work (and does not in
-/// libstdc++), while strtod is.
 std::string hexd(double v) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%a", v);
@@ -34,6 +28,8 @@ double parse_hexd(const std::string& s, const std::filesystem::path& file,
     return v;
 }
 
+namespace {
+
 std::vector<std::string> split(const std::string& line, char sep) {
     std::vector<std::string> out;
     std::stringstream ss(line);
@@ -43,6 +39,45 @@ std::vector<std::string> split(const std::string& line, char sep) {
 }
 
 constexpr std::size_t k_fixed_doubles = 12;  // measurement doubles per record
+
+/// Parse one already-split "rec,..." line into (linear index, record).
+/// Shared by the streaming reader and (through it) load_checkpoint.
+std::pair<std::size_t, epoch_record> parse_checkpoint_record(
+    const std::vector<std::string>& f, std::size_t total,
+    const std::filesystem::path& file, std::size_t line_no) {
+    if (f.size() < 20 || f[0] != "rec") {
+        throw dataset_error(file, line_no, 0, "bad checkpoint record line");
+    }
+    const auto idx = static_cast<std::size_t>(std::stoull(f[1]));
+    if (idx >= total) {
+        throw dataset_error(file, line_no, 2, "record index " + f[1] + " out of range");
+    }
+    epoch_record r;
+    r.path_id = std::stoi(f[2]);
+    r.trace_id = std::stoi(f[3]);
+    r.epoch_index = std::stoi(f[4]);
+    double* const ds[k_fixed_doubles] = {
+        &r.m.avail_bw_bps, &r.m.phat,         &r.m.phat_events,
+        &r.m.that_s,       &r.m.ptilde,       &r.m.ttilde_s,
+        &r.m.r_large_bps,  &r.m.r_small_bps,  &r.m.tcp_loss_rate,
+        &r.m.tcp_event_rate, &r.m.tcp_mean_rtt_s, &r.m.sim_time_s};
+    for (std::size_t i = 0; i < k_fixed_doubles; ++i) {
+        *ds[i] = parse_hexd(f[5 + i], file, line_no);
+    }
+    r.m.events = std::stoull(f[17]);
+    r.m.fault_flags = static_cast<std::uint32_t>(std::stoul(f[18]));
+    const auto n_prefix = static_cast<std::size_t>(std::stoull(f[19]));
+    if (f.size() != 20 + 2 * n_prefix) {
+        throw dataset_error(file, line_no, 20, "prefix count disagrees with field count");
+    }
+    r.m.prefix_goodputs.clear();
+    for (std::size_t i = 0; i < n_prefix; ++i) {
+        const double s = parse_hexd(f[20 + 2 * i], file, line_no);
+        const double bps = parse_hexd(f[21 + 2 * i], file, line_no);
+        r.m.prefix_goodputs.emplace_back(s, bps);
+    }
+    return {idx, std::move(r)};
+}
 
 }  // namespace
 
@@ -233,85 +268,71 @@ void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path&
     atomic_write_text(file, out.str());
 }
 
-std::optional<campaign_checkpoint> load_checkpoint(
-    const std::filesystem::path& file, const std::string& expected_fingerprint) {
-    std::ifstream in(file);
-    if (!in) return std::nullopt;
-
-    campaign_checkpoint ck;
+checkpoint_reader::checkpoint_reader(const std::filesystem::path& file,
+                                     const std::string& expected_fingerprint)
+    : in_(file), file_(file) {
+    if (!in_) {
+        throw dataset_error(file_, 0, 0, "cannot open checkpoint");
+    }
     std::string line;
-    std::size_t line_no = 0;
-
     auto next_line = [&](const char* what) {
-        if (!std::getline(in, line)) {
-            throw dataset_error(file, line_no + 1, 0,
+        if (!std::getline(in_, line)) {
+            throw dataset_error(file_, line_no_ + 1, 0,
                                 std::string("truncated checkpoint: expected ") + what);
         }
-        ++line_no;
+        ++line_no_;
     };
-
     next_line("magic");
     if (line != "tcppred-checkpoint,v1") {
-        throw dataset_error(file, line_no, 0, "not a tcppred checkpoint");
+        throw dataset_error(file_, line_no_, 0, "not a tcppred checkpoint");
     }
     next_line("fingerprint");
     if (line.rfind("fingerprint,", 0) != 0) {
-        throw dataset_error(file, line_no, 0, "expected fingerprint line");
+        throw dataset_error(file_, line_no_, 0, "expected fingerprint line");
     }
-    ck.fingerprint = line.substr(12);
-    if (ck.fingerprint != expected_fingerprint) {
+    fingerprint_ = line.substr(12);
+    if (!expected_fingerprint.empty() && fingerprint_ != expected_fingerprint) {
         throw dataset_error(
-            file, line_no, 0,
+            file_, line_no_, 0,
             "checkpoint belongs to a different campaign config (fingerprint "
             "mismatch) — refusing to resume; differing fields:" +
-                describe_fingerprint_mismatch(ck.fingerprint, expected_fingerprint));
+                describe_fingerprint_mismatch(fingerprint_, expected_fingerprint));
     }
     next_line("total");
     if (line.rfind("total,", 0) != 0) {
-        throw dataset_error(file, line_no, 0, "expected total line");
+        throw dataset_error(file_, line_no_, 0, "expected total line");
     }
-    ck.total = static_cast<std::size_t>(std::stoull(line.substr(6)));
+    total_ = static_cast<std::size_t>(std::stoull(line.substr(6)));
+}
+
+std::optional<std::pair<std::size_t, epoch_record>> checkpoint_reader::next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_no_;
+        if (line.empty()) continue;
+        return parse_checkpoint_record(split(line, ','), total_, file_, line_no_);
+    }
+    return std::nullopt;
+}
+
+std::optional<campaign_checkpoint> load_checkpoint(
+    const std::filesystem::path& file, const std::string& expected_fingerprint) {
+    {
+        // Missing (or unreadable) file means "no checkpoint yet", not an
+        // error — the reader's cannot-open throw is for callers that already
+        // know the file must exist (the shard merge).
+        std::ifstream probe(file);
+        if (!probe) return std::nullopt;
+    }
+    checkpoint_reader reader(file, expected_fingerprint);
+    campaign_checkpoint ck;
+    ck.fingerprint = reader.fingerprint();
+    ck.total = reader.total();
     ck.done.assign(ck.total, 0);
     ck.records.resize(ck.total);
-
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty()) continue;
-        const auto f = split(line, ',');
-        if (f.size() < 20 || f[0] != "rec") {
-            throw dataset_error(file, line_no, 0, "bad checkpoint record line");
-        }
-        const auto idx = static_cast<std::size_t>(std::stoull(f[1]));
-        if (idx >= ck.total) {
-            throw dataset_error(file, line_no, 2,
-                                "record index " + f[1] + " out of range");
-        }
-        epoch_record& r = ck.records[idx];
-        r.path_id = std::stoi(f[2]);
-        r.trace_id = std::stoi(f[3]);
-        r.epoch_index = std::stoi(f[4]);
-        double* const ds[k_fixed_doubles] = {
-            &r.m.avail_bw_bps, &r.m.phat,         &r.m.phat_events,
-            &r.m.that_s,       &r.m.ptilde,       &r.m.ttilde_s,
-            &r.m.r_large_bps,  &r.m.r_small_bps,  &r.m.tcp_loss_rate,
-            &r.m.tcp_event_rate, &r.m.tcp_mean_rtt_s, &r.m.sim_time_s};
-        for (std::size_t i = 0; i < k_fixed_doubles; ++i) {
-            *ds[i] = parse_hexd(f[5 + i], file, line_no);
-        }
-        r.m.events = std::stoull(f[17]);
-        r.m.fault_flags = static_cast<std::uint32_t>(std::stoul(f[18]));
-        const auto n_prefix = static_cast<std::size_t>(std::stoull(f[19]));
-        if (f.size() != 20 + 2 * n_prefix) {
-            throw dataset_error(file, line_no, 20,
-                                "prefix count disagrees with field count");
-        }
-        r.m.prefix_goodputs.clear();
-        for (std::size_t i = 0; i < n_prefix; ++i) {
-            const double s = parse_hexd(f[20 + 2 * i], file, line_no);
-            const double bps = parse_hexd(f[21 + 2 * i], file, line_no);
-            r.m.prefix_goodputs.emplace_back(s, bps);
-        }
-        ck.done[idx] = 1;
+    while (auto rec = reader.next()) {
+        ck.records[rec->first] = std::move(rec->second);
+        ck.done[rec->first] = 1;
     }
     return ck;
 }

@@ -13,8 +13,10 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/campaign.hpp"
@@ -28,6 +30,19 @@ struct campaign_checkpoint {
     std::vector<char> done;            ///< size == total; nonzero = completed
     std::vector<epoch_record> records; ///< size == total; only done slots valid
 };
+
+/// Bit-exact double -> text ("%a" hexfloat): the serialization primitive
+/// shared by every bit-exact format (checkpoints, the record store).
+/// Decimal at any precision does not guarantee the round trip; hexfloat
+/// does, and strtod parses it back everywhere (istream extraction of
+/// hexfloat is not required to work, and does not in libstdc++).
+[[nodiscard]] std::string hexd(double v);
+
+/// Parse a hexd()-formatted field back to the identical double. Throws
+/// dataset_error (with `file`/`line_no` context) unless the entire field
+/// parses as one float.
+[[nodiscard]] double parse_hexd(const std::string& s, const std::filesystem::path& file,
+                                std::size_t line_no);
 
 /// One named field of a campaign fingerprint, e.g. {"seed", "20040501"}.
 struct fingerprint_field {
@@ -72,5 +87,34 @@ void save_checkpoint(const campaign_checkpoint& ck, const std::filesystem::path&
 /// fingerprint does not match `expected_fingerprint`.
 [[nodiscard]] std::optional<campaign_checkpoint> load_checkpoint(
     const std::filesystem::path& file, const std::string& expected_fingerprint);
+
+/// Streaming cursor over a checkpoint file: the header (magic, fingerprint,
+/// total) is validated up front, then records surface one `rec` line at a
+/// time, in file order, with O(1) memory. Files written by save_checkpoint
+/// carry their records in ascending linear-index order, which is what lets
+/// the shard merge (record_store.hpp) walk N shard cursors in lockstep
+/// instead of loading every shard whole. load_checkpoint is this reader run
+/// to exhaustion. Pass an empty `expected_fingerprint` to accept any.
+class checkpoint_reader {
+public:
+    /// Opens and validates the header; throws dataset_error when the file
+    /// cannot be read, is malformed, or carries a different fingerprint.
+    checkpoint_reader(const std::filesystem::path& file,
+                      const std::string& expected_fingerprint);
+
+    [[nodiscard]] const std::string& fingerprint() const noexcept { return fingerprint_; }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+    /// The next record and its linear campaign index; nullopt at end of
+    /// file. Throws dataset_error on a malformed or out-of-range line.
+    [[nodiscard]] std::optional<std::pair<std::size_t, epoch_record>> next();
+
+private:
+    std::ifstream in_;
+    std::filesystem::path file_;
+    std::string fingerprint_;
+    std::size_t total_{0};
+    std::size_t line_no_{0};
+};
 
 }  // namespace tcppred::testbed

@@ -166,20 +166,17 @@ const path_profile& dataset::profile(int path_id) const {
     throw std::out_of_range("dataset: unknown path id " + std::to_string(path_id));
 }
 
-void save_csv(const dataset& data, const std::filesystem::path& file) {
-    // The dataset CSV is the *legacy v1 analysis format*: decimal at
-    // precision 10, pinned byte-for-byte by the campaign goldens and every
-    // downstream analysis script. Its determinism contract is "same
-    // computation -> same bytes", not "parse back bit-exactly" — the
-    // bit-exact path is the checkpoint (hexd). Hence the explicit
-    // ser-hexfloat allowances below; new serialization formats must not
-    // copy this pattern.
-    std::ofstream out(file);
-    if (!out) throw std::runtime_error("save_csv: cannot open " + file.string());
-    out.precision(10);  // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+// The dataset CSV is the *legacy v1 analysis format*: decimal at precision
+// 10, pinned byte-for-byte by the campaign goldens and every downstream
+// analysis script. Its determinism contract is "same computation -> same
+// bytes", not "parse back bit-exactly" — the bit-exact path is the
+// checkpoint / record store (hexd). Hence the explicit ser-hexfloat
+// allowances below; new serialization formats must not copy this pattern.
 
+void write_csv_catalog(std::ostream& out, const std::vector<path_profile>& paths) {
+    out.precision(10);  // tcppred-lint: allow(ser-hexfloat): legacy v1 format
     // Catalogue summary lines: what post-hoc analysis needs about each path.
-    for (const auto& p : data.paths) {
+    for (const auto& p : paths) {
         out << "#path," << p.id << ',' << p.name << ',' << to_string(p.klass) << ','
             // tcppred-lint: allow(ser-hexfloat): legacy v1 format
             << p.bottleneck_capacity().value() << ',' << p.base_rtt().value() << ','
@@ -187,6 +184,99 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
             << p.forward.at(p.bottleneck).buffer_packets << ',' << p.base_utilization << ','
             << p.elastic_flows << '\n';
     }
+}
+
+void write_csv_header(std::ostream& out, bool any_faults) {
+    out << "path,trace,epoch,availbw_bps,phat,phat_events,that_s,ptilde,ttilde_s,"
+           "r_large_bps,r_small_bps,tcp_loss,tcp_event_rate,tcp_rtt_s";
+    for (int i = 0; i < k_max_prefixes; ++i) out << ",prefix" << i << "_s,prefix" << i << "_bps";
+    if (any_faults) out << ",fault_flags";
+    out << '\n';
+}
+
+void write_csv_record(std::ostream& out, const epoch_record& r, bool any_faults) {
+    out.precision(10);  // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+    const auto& m = r.m;
+    out << r.path_id << ',' << r.trace_id << ',' << r.epoch_index << ','
+        // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+        << m.avail_bw_bps << ',' << m.phat << ',' << m.phat_events << ','
+        // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+        << m.that_s << ',' << m.ptilde << ',' << m.ttilde_s << ','
+        // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+        << m.r_large_bps << ',' << m.r_small_bps << ','
+        // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+        << m.tcp_loss_rate << ',' << m.tcp_event_rate << ',' << m.tcp_mean_rtt_s;
+    for (int i = 0; i < k_max_prefixes; ++i) {
+        if (static_cast<std::size_t>(i) < m.prefix_goodputs.size()) {
+            out << ',' << m.prefix_goodputs[static_cast<std::size_t>(i)].first << ','
+                << m.prefix_goodputs[static_cast<std::size_t>(i)].second;
+        } else {
+            out << ",0,0";
+        }
+    }
+    if (any_faults) out << ',' << m.fault_flags;
+    out << '\n';
+}
+
+std::vector<std::string> csv_catalog_lines(const std::vector<path_profile>& paths) {
+    std::ostringstream os;
+    write_csv_catalog(os, paths);
+    std::istringstream is(os.str());
+    std::vector<std::string> out;
+    out.reserve(paths.size());
+    std::string line;
+    while (std::getline(is, line)) out.push_back(line);
+    return out;
+}
+
+namespace {
+
+/// One double through the v1 CSV's formatter and back through its parser.
+double csv_num_round_trip(double v) {
+    std::ostringstream os;
+    os.precision(10);  // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+    os << v;           // tcppred-lint: allow(ser-hexfloat): legacy v1 format
+    return std::stod(os.str());
+}
+
+}  // namespace
+
+epoch_record csv_normalized_record(const epoch_record& r) {
+    epoch_record out;
+    out.path_id = r.path_id;
+    out.trace_id = r.trace_id;
+    out.epoch_index = r.epoch_index;
+    out.m.avail_bw_bps = csv_num_round_trip(r.m.avail_bw_bps);
+    out.m.phat = csv_num_round_trip(r.m.phat);
+    out.m.phat_events = csv_num_round_trip(r.m.phat_events);
+    out.m.that_s = csv_num_round_trip(r.m.that_s);
+    out.m.ptilde = csv_num_round_trip(r.m.ptilde);
+    out.m.ttilde_s = csv_num_round_trip(r.m.ttilde_s);
+    out.m.r_large_bps = csv_num_round_trip(r.m.r_large_bps);
+    out.m.r_small_bps = csv_num_round_trip(r.m.r_small_bps);
+    out.m.tcp_loss_rate = csv_num_round_trip(r.m.tcp_loss_rate);
+    out.m.tcp_event_rate = csv_num_round_trip(r.m.tcp_event_rate);
+    out.m.tcp_mean_rtt_s = csv_num_round_trip(r.m.tcp_mean_rtt_s);
+    // The CSV carries at most k_max_prefixes pairs and the loader keeps only
+    // pairs with a positive duration (the "0,0" padding parses to 0 and is
+    // dropped); sim_time_s and events are not serialized at all.
+    for (int i = 0; i < k_max_prefixes; ++i) {
+        if (static_cast<std::size_t>(i) >= r.m.prefix_goodputs.size()) continue;
+        const auto& [s, bps] = r.m.prefix_goodputs[static_cast<std::size_t>(i)];
+        const double s_rt = csv_num_round_trip(s);
+        if (s_rt > 0.0) out.m.prefix_goodputs.emplace_back(s_rt, csv_num_round_trip(bps));
+    }
+    out.m.sim_time_s = 0.0;
+    out.m.events = 0;
+    out.m.fault_flags = r.m.fault_flags;
+    return out;
+}
+
+void save_csv(const dataset& data, const std::filesystem::path& file) {
+    std::ofstream out(file);
+    if (!out) throw std::runtime_error("save_csv: cannot open " + file.string());
+
+    write_csv_catalog(out, data.paths);
 
     // The fault column only exists when something actually faulted, so
     // fault-free datasets stay byte-identical to the pre-fault format.
@@ -194,34 +284,8 @@ void save_csv(const dataset& data, const std::filesystem::path& file) {
         std::any_of(data.records.begin(), data.records.end(),
                     [](const epoch_record& r) { return r.m.fault_flags != fault_none; });
 
-    out << "path,trace,epoch,availbw_bps,phat,phat_events,that_s,ptilde,ttilde_s,"
-           "r_large_bps,r_small_bps,tcp_loss,tcp_event_rate,tcp_rtt_s";
-    for (int i = 0; i < k_max_prefixes; ++i) out << ",prefix" << i << "_s,prefix" << i << "_bps";
-    if (any_faults) out << ",fault_flags";
-    out << '\n';
-
-    for (const auto& r : data.records) {
-        const auto& m = r.m;
-        out << r.path_id << ',' << r.trace_id << ',' << r.epoch_index << ','
-            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
-            << m.avail_bw_bps << ',' << m.phat << ',' << m.phat_events << ','
-            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
-            << m.that_s << ',' << m.ptilde << ',' << m.ttilde_s << ','
-            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
-            << m.r_large_bps << ',' << m.r_small_bps << ','
-            // tcppred-lint: allow(ser-hexfloat): legacy v1 format
-            << m.tcp_loss_rate << ',' << m.tcp_event_rate << ',' << m.tcp_mean_rtt_s;
-        for (int i = 0; i < k_max_prefixes; ++i) {
-            if (static_cast<std::size_t>(i) < m.prefix_goodputs.size()) {
-                out << ',' << m.prefix_goodputs[static_cast<std::size_t>(i)].first << ','
-                    << m.prefix_goodputs[static_cast<std::size_t>(i)].second;
-            } else {
-                out << ",0,0";
-            }
-        }
-        if (any_faults) out << ',' << m.fault_flags;
-        out << '\n';
-    }
+    write_csv_header(out, any_faults);
+    for (const auto& r : data.records) write_csv_record(out, r, any_faults);
 }
 
 namespace {

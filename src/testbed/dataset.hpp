@@ -65,6 +65,32 @@ struct dataset {
 /// datasets written before the fault layer existed.
 void save_csv(const dataset& data, const std::filesystem::path& file);
 
+/// Streaming emitters of the legacy v1 analysis CSV, shared by save_csv and
+/// the record-store conversion (record_store.hpp) so that "store -> CSV" is
+/// byte-identical to save_csv by construction, not by parallel maintenance.
+/// Each call configures the stream itself (decimal, precision 10);
+/// `any_faults` must be the same value for the header and every record of
+/// one file (it decides the optional fault_flags column).
+void write_csv_catalog(std::ostream& out, const std::vector<path_profile>& paths);
+void write_csv_header(std::ostream& out, bool any_faults);
+void write_csv_record(std::ostream& out, const epoch_record& r, bool any_faults);
+
+/// The catalogue lines write_csv_catalog would emit, one string per path,
+/// without trailing newlines — the verbatim form the record store carries in
+/// its header so conversion back to CSV needs no re-formatting.
+[[nodiscard]] std::vector<std::string> csv_catalog_lines(
+    const std::vector<path_profile>& paths);
+
+/// Project a record through the v1 CSV number format: every measurement
+/// double is rendered exactly as save_csv would render it and parsed back
+/// exactly as load_csv would parse it, fields the CSV does not carry
+/// (sim_time_s, events) are zeroed, and prefix goodputs get the CSV's
+/// pad-to-3/drop-non-positive treatment. Evaluating csv_normalized_record(r)
+/// is bitwise equivalent to evaluating r after a save_csv/load_csv round
+/// trip — the bridge that lets streamed, store-backed analysis reproduce the
+/// pinned CSV-derived goldens without materializing a CSV.
+[[nodiscard]] epoch_record csv_normalized_record(const epoch_record& r);
+
 /// Read records back. The path catalogue is re-derived from the stored
 /// catalogue parameters line; the optional `fault_flags` column is detected
 /// from the header. NaN fields are legal in measurement columns (a failed

@@ -301,9 +301,13 @@ supervisor_result run_supervisor(const supervisor_options& opts) {
         for (int i = 0; i < n; ++i) {
             ckpts.push_back(shard_checkpoint_path(opts.out, shard_ref{i, n}));
         }
-        const dataset data = merge_shard_checkpoints(opts.cfg, ckpts);
-        save_csv(data, opts.out);
-        result.epochs_merged = data.records.size();
+        if (opts.merge) {
+            result.epochs_merged = opts.merge(opts.cfg, ckpts, opts.out);
+        } else {
+            const dataset data = merge_shard_checkpoints(opts.cfg, ckpts);
+            save_csv(data, opts.out);
+            result.epochs_merged = data.records.size();
+        }
         for (int i = 0; i < n; ++i) {
             std::error_code ec;
             std::filesystem::remove(shard_checkpoint_path(opts.out, shard_ref{i, n}), ec);

@@ -54,6 +54,15 @@ struct supervisor_options {
     /// Polled each cycle; true = fan SIGINT out to the workers, wait for
     /// them to checkpoint and exit, and return interrupted.
     std::function<bool()> cancelled{};
+    /// Override for the final merge step: (cfg, shard checkpoint paths, out)
+    /// -> merged record count, writing `out` in whatever format the caller
+    /// wants. Null = the default in-memory merge_shard_checkpoints +
+    /// save_csv. This inversion is how the store layer (record_store.hpp)
+    /// plugs its streaming merge in without testbed depending on it.
+    std::function<std::size_t(const campaign_config&,
+                              const std::vector<std::filesystem::path>&,
+                              const std::filesystem::path&)>
+        merge{};
 };
 
 /// What a supervised run did.

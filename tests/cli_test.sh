@@ -162,6 +162,57 @@ cmp -s "$WORK/serial.csv" "$WORK/sup.csv"
 check_exit "supervised CSV byte-identical to serial" 0 $?
 ls "$WORK"/sup.csv.shard-*.ckpt >/dev/null 2>&1 && { echo "FAIL: shard checkpoints survive a complete supervised run"; FAILURES=$((FAILURES+1)); }
 
+# --- record store (--format store / --convert / --from-store): the past-RAM
+# path must reproduce the CSV path byte for byte at every entry point.
+"$CAMPAIGN" $TINY --out "$WORK/a.store" --format store --jobs 2 >/dev/null 2>&1
+check_exit "store campaign run (jobs 2)" 0 $?
+"$CAMPAIGN" --convert "$WORK/a.store" --out "$WORK/a.csv" >/dev/null 2>&1
+check_exit "store -> CSV conversion" 0 $?
+cmp -s "$WORK/a.csv" "$WORK/serial.csv"
+check_exit "converted store byte-identical to serial CSV" 0 $?
+
+"$CAMPAIGN" $TINY --out "$WORK/b.store" --format store --jobs 1 >/dev/null 2>&1
+check_exit "store campaign run (jobs 1)" 0 $?
+cmp -s "$WORK/a.store" "$WORK/b.store"
+check_exit "store bytes identical across job counts" 0 $?
+
+"$CAMPAIGN" $TINY --out "$WORK/w.store" --format store --workers 2 >/dev/null 2>&1
+check_exit "supervised --workers store run" 0 $?
+"$CAMPAIGN" --convert "$WORK/w.store" --out "$WORK/w.csv" >/dev/null 2>&1
+cmp -s "$WORK/w.csv" "$WORK/serial.csv"
+check_exit "workers store converts byte-identical to serial CSV" 0 $?
+
+# Shard checkpoints merge straight into a store (s.csv's shards were
+# consumed by the CSV merge above, so run a fresh pair).
+"$CAMPAIGN" $TINY --out "$WORK/m.store" --shard 0/2 >/dev/null 2>&1
+"$CAMPAIGN" $TINY --out "$WORK/m.store" --shard 1/2 >/dev/null 2>&1
+"$CAMPAIGN" $TINY --out "$WORK/m.store" --merge 2 --format store >/dev/null 2>&1
+check_exit "merge of shards into a store" 0 $?
+"$CAMPAIGN" --convert "$WORK/m.store" --out "$WORK/m.csv" >/dev/null 2>&1
+cmp -s "$WORK/m.csv" "$WORK/serial.csv"
+check_exit "merged store converts byte-identical to serial CSV" 0 $?
+
+# Streamed analysis reads the store directly and must print the same report.
+"$ANALYZE" "$WORK/serial.csv" >"$WORK/csv_report.out" 2>/dev/null
+"$ANALYZE" --from-store "$WORK/a.store" >"$WORK/store_report.out" 2>/dev/null
+check_exit "analyze --from-store" 0 $?
+cmp -s "$WORK/store_report.out" "$WORK/csv_report.out"
+check_exit "--from-store report byte-identical to CSV report" 0 $?
+
+# Flag validation: the store path is explicit about what it refuses.
+"$CAMPAIGN" $TINY --out "$WORK/x" --format bogus >/dev/null 2>&1
+check_exit "bad --format" 1 $?
+"$CAMPAIGN" $TINY --out "$WORK/x.store" --format store --resume >/dev/null 2>&1
+check_exit "store with --resume" 1 $?
+"$CAMPAIGN" $TINY --out "$WORK/x.store" --format store --shard 0/2 >/dev/null 2>&1
+check_exit "store with --shard" 1 $?
+"$CAMPAIGN" --convert "$WORK/a.store" --out "$WORK/x.csv" --workers 2 >/dev/null 2>&1
+check_exit "--convert with campaign flags" 1 $?
+"$ANALYZE" --from-store "$WORK/a.store" "$WORK/serial.csv" >/dev/null 2>&1
+check_exit "--from-store plus dataset is a usage error" 1 $?
+"$ANALYZE" --from-store "$WORK/does-not-exist.store" >/dev/null 2>&1
+check_exit "--from-store missing store" 2 $?
+
 # Resume under a changed seed: refused, and the error names the field.
 "$CAMPAIGN" $TINY --out "$WORK/mm.csv" --shard 0/2 >/dev/null 2>&1
 "$CAMPAIGN" $TINY --out "$WORK/mm.csv" --shard 0/2 --seed 99 --resume >/dev/null 2>"$WORK/mm.err"

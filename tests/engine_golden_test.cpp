@@ -75,6 +75,37 @@ void check_campaign(const testbed::dataset& data, const golden& g) {
             }
         }
     }
+
+    // The one-pass streamed evaluation (evaluate_stream) must also hit the
+    // goldens bitwise when fed the same records in traces() order — the
+    // equivalence the past-RAM analysis path rests on.
+    std::vector<const testbed::epoch_record*> ordered;
+    for (const auto& [key, recs] : data.traces()) {
+        ordered.insert(ordered.end(), recs.begin(), recs.end());
+    }
+    std::size_t pos = 0;
+    const auto streamed = evaluate_stream(
+        [&](testbed::epoch_record& out) {
+            if (pos >= ordered.size()) return false;
+            out = *ordered[pos++];
+            return true;
+        },
+        specs);
+    ASSERT_EQ(streamed.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_EQ(streamed[i].traces.size(), results[i].traces.size());
+        for (std::size_t t = 0; t < results[i].traces.size(); ++t) {
+            EXPECT_EQ(streamed[i].traces[t].rmsre, results[i].traces[t].rmsre);
+        }
+    }
+    const auto s_fb = streamed[0].trace_rmsres();
+    const ecdf s_fb_cdf{std::vector<double>(s_fb)};
+    EXPECT_EQ(s_fb_cdf.quantile(0.5), g.fb_median);
+    EXPECT_EQ(s_fb_cdf.quantile(0.9), g.fb_p90);
+    EXPECT_EQ(ecdf{std::vector<double>(streamed[1].trace_rmsres())}.at(0.4),
+              g.ma_p_lt_04);
+    EXPECT_EQ(ecdf{std::vector<double>(streamed[2].trace_rmsres())}.at(0.4),
+              g.hw_p_lt_04);
 }
 
 TEST(engine_golden, campaign1_tiny_headline_numbers) {

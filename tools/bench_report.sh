@@ -8,6 +8,9 @@
 #                         TCP hot loops, from bench/micro_engine)
 #   BENCH_campaign.json   end-to-end campaign throughput in epochs/s, per
 #                         campaign and cross-traffic model
+#   BENCH_record_store.json
+#                         record-store cursor rates (sequential ingest and
+#                         scan in records/s, from bench/micro_store)
 #
 # Usage: tools/bench_report.sh [options]
 #   --build-dir DIR   build tree with bench/ and tools/ binaries
@@ -48,8 +51,9 @@ case "$SCALE" in tiny|normal) ;; *)
 esac
 
 MICRO="$BUILD_DIR/bench/micro_engine"
+MICRO_STORE="$BUILD_DIR/bench/micro_store"
 CAMPAIGN="$BUILD_DIR/tools/tcppred_campaign"
-for bin in "$MICRO" "$CAMPAIGN"; do
+for bin in "$MICRO" "$MICRO_STORE" "$CAMPAIGN"; do
     if [ ! -x "$bin" ]; then
         echo "bench_report.sh: missing binary: $bin (build the repo first)" >&2
         exit 1
@@ -78,6 +82,31 @@ out = {
                 if "items_per_second" in b
                 else {}
             ),
+        }
+        for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    ],
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+open(sys.argv[2], "a").write("\n")
+print("wrote", sys.argv[2], file=sys.stderr)
+PY
+
+# --- record-store cursors -> BENCH_record_store.json ----------------------
+echo "running micro_store benchmarks..." >&2
+"$MICRO_STORE" --benchmark_format=json > "$TMP_DIR/micro_store.json"
+
+python3 - "$TMP_DIR/micro_store.json" "$OUT_DIR/BENCH_record_store.json" <<'PY'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+out = {
+    "schema": "tcppred-bench-record-store-v1",
+    "source": "bench/micro_store --benchmark_format=json",
+    "benchmarks": [
+        {
+            "name": b["name"],
+            "real_time_ns": round(b["real_time"], 1),
+            "records_per_second": round(b["items_per_second"], 1),
         }
         for b in raw["benchmarks"]
         if b.get("run_type", "iteration") == "iteration"
@@ -141,4 +170,4 @@ open(sys.argv[2], "a").write("\n")
 print("wrote", sys.argv[2], file=sys.stderr)
 PY
 
-echo "bench report complete: $OUT_DIR/BENCH_scheduler.json $OUT_DIR/BENCH_campaign.json" >&2
+echo "bench report complete: $OUT_DIR/BENCH_scheduler.json $OUT_DIR/BENCH_campaign.json $OUT_DIR/BENCH_record_store.json" >&2

@@ -20,6 +20,8 @@ cmake --build "$BUILD_DIR" --target tidy
 REPRO_SCALE=tiny ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
 "$SRC_DIR/tools/ci_resume_check.sh" "$BUILD_DIR/tools/tcppred_campaign"
 "$SRC_DIR/tools/ci_chaos_check.sh" "$BUILD_DIR/tools/tcppred_campaign"
+"$SRC_DIR/tools/ci_memcap_check.sh" \
+    "$BUILD_DIR/tools/tcppred_campaign" "$BUILD_DIR/tools/tcppred_analyze"
 "$SRC_DIR/tools/bench_smoke.sh" "$BUILD_DIR/bench"
 "$SRC_DIR/tools/trace_smoke.sh" \
     "$BUILD_DIR/tools/tcppred_campaign" "$BUILD_DIR/tools/tcppred_analyze"

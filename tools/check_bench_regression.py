@@ -4,14 +4,16 @@
 Usage:
     tools/check_bench_regression.py COMMITTED_DIR FRESH_DIR [--factor 2.0]
 
-Loads BENCH_campaign.json and BENCH_scheduler.json from both directories,
+Loads BENCH_campaign.json, BENCH_scheduler.json and BENCH_record_store.json
+from both directories,
 validates the schemas (see PERFORMANCE.md), then compares each campaign
 run's epochs/s: a fresh number more than `factor` times slower than the
 committed one fails the check. Only runs present in BOTH files are
 compared (so adding a new campaign/model doesn't break the gate), but the
-committed runs must all still exist. The micro-benchmark file is schema-
-validated only: google-benchmark timings on shared CI runners are too
-noisy for a hard numeric gate, the end-to-end epochs/s is the contract.
+committed runs must all still exist. The micro-benchmark files (scheduler
+and record store) are schema-validated only: google-benchmark timings on
+shared CI runners are too noisy for a hard numeric gate, the end-to-end
+epochs/s is the contract.
 """
 
 import argparse
@@ -74,6 +76,27 @@ def validate_scheduler(doc: dict, origin: pathlib.Path) -> None:
             fail(f"{origin}: bad real_time_ns: {b!r}")
 
 
+def validate_record_store(doc: dict, origin: pathlib.Path) -> None:
+    if doc.get("schema") != "tcppred-bench-record-store-v1":
+        fail(f"{origin}: bad schema tag: {doc.get('schema')!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail(f"{origin}: benchmarks must be a non-empty list")
+    names = set()
+    for b in benches:
+        if not isinstance(b.get("name"), str):
+            fail(f"{origin}: benchmark without a name: {b!r}")
+        if not isinstance(b.get("real_time_ns"), (int, float)) or b["real_time_ns"] <= 0:
+            fail(f"{origin}: bad real_time_ns: {b!r}")
+        if (not isinstance(b.get("records_per_second"), (int, float))
+                or b["records_per_second"] <= 0):
+            fail(f"{origin}: bad records_per_second: {b!r}")
+        names.add(b["name"])
+    for required in ("bm_store_ingest", "bm_store_scan"):
+        if required not in names:
+            fail(f"{origin}: required benchmark missing: {required}")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("committed_dir", type=pathlib.Path)
@@ -92,6 +115,10 @@ def main() -> None:
                        args.committed_dir / "BENCH_scheduler.json")
     validate_scheduler(load(args.fresh_dir / "BENCH_scheduler.json"),
                        args.fresh_dir / "BENCH_scheduler.json")
+    validate_record_store(load(args.committed_dir / "BENCH_record_store.json"),
+                          args.committed_dir / "BENCH_record_store.json")
+    validate_record_store(load(args.fresh_dir / "BENCH_record_store.json"),
+                          args.fresh_dir / "BENCH_record_store.json")
 
     failed = False
     for key, old in sorted(committed.items()):

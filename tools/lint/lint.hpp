@@ -57,12 +57,21 @@ struct config {
     /// module -> allowed first-party include modules ("*" = anything).
     /// A module's own name is always an implied allowed target.
     std::map<std::string, std::set<std::string>> layers;
+    /// repo-relative path prefix -> module name ("module" directives).
+    /// Longest matching prefix wins; carves a sub-module with its own layer
+    /// entry out of a parent directory (src/testbed/record_store.* lints as
+    /// "store", not "testbed").
+    std::vector<std::pair<std::string, std::string>> modules;
     /// rule id -> repo-relative path globs exempt from that rule.
     std::map<std::string, std::vector<std::string>> allows;
     /// Files holding the ser-hexfloat contract (repo-relative paths).
     std::set<std::string> serialization_files;
     /// Globs never walked at all (fixtures, corpora, compile-fail probes).
     std::vector<std::string> skips;
+
+    /// The module a path belongs to per the "module" directives, or "" when
+    /// no prefix matches (use the path-derived default).
+    [[nodiscard]] std::string module_override(const std::string& rel_path) const;
 };
 
 /// One source file prepared for rule scans.

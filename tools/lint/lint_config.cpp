@@ -57,6 +57,18 @@ bool glob_match(const std::string& pattern, const std::string& path) {
     return glob_match_at(pattern, 0, path, 0);
 }
 
+std::string config::module_override(const std::string& rel_path) const {
+    std::string best;
+    std::size_t best_len = 0;
+    for (const auto& [prefix, name] : modules) {
+        if (prefix.size() >= best_len && rel_path.rfind(prefix, 0) == 0) {
+            best = name;
+            best_len = prefix.size();
+        }
+    }
+    return best;
+}
+
 config parse_config(const std::filesystem::path& file) {
     std::ifstream in(file);
     if (!in) {
@@ -96,6 +108,15 @@ config parse_config(const std::filesystem::path& file) {
             std::string extra;
             if (ss >> extra) fail("one glob per allow line (got '" + extra + "')");
             cfg.allows[rule].push_back(glob);
+        } else if (directive == "module") {
+            std::string prefix;
+            std::string name;
+            if (!(ss >> prefix) || !(ss >> name)) {
+                fail("expected 'module <path-prefix> <name>'");
+            }
+            std::string extra;
+            if (ss >> extra) fail("one mapping per module line (got '" + extra + "')");
+            cfg.modules.emplace_back(std::move(prefix), std::move(name));
         } else if (directive == "serialization") {
             std::string path;
             if (!(ss >> path)) fail("expected 'serialization <path>'");
@@ -109,6 +130,14 @@ config parse_config(const std::filesystem::path& file) {
         }
     }
     if (cfg.layers.empty()) fail("config declares no 'layer' table");
+    // A module mapping must target a declared layer, or the override would
+    // silently disable layer checking for those files.
+    for (const auto& [prefix, name] : cfg.modules) {
+        if (cfg.layers.find(name) == cfg.layers.end()) {
+            throw std::runtime_error(file.string() + ": module mapping '" + prefix +
+                                     "' targets undeclared module '" + name + "'");
+        }
+    }
     // Every dependency must itself be a declared module (or the wildcard) so
     // a table typo cannot silently open an edge.
     for (const auto& [module, deps] : cfg.layers) {

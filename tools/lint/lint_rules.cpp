@@ -419,7 +419,14 @@ public:
             const std::string inc = m[1].str();
             const auto slash = inc.find('/');
             if (slash == std::string::npos) continue;  // same-directory include
-            const std::string target = inc.substr(0, slash);
+            std::string target = inc.substr(0, slash);
+            // First-party includes are rooted at src/; a "module" mapping on
+            // the included file reassigns it (e.g. testbed/record_store.hpp
+            // is module "store").
+            if (const std::string ov = cfg_.module_override("src/" + inc);
+                !ov.empty()) {
+                target = ov;
+            }
             if (cfg_.layers.find(target) == cfg_.layers.end()) {
                 continue;  // not a first-party module prefix (e.g. vendored)
             }
@@ -478,7 +485,17 @@ private:
 std::vector<finding> lint_file(const source_file& src, const config& cfg,
                                const std::vector<std::filesystem::path>& include_dirs) {
     std::vector<finding> out;
-    scanner sc(src, cfg, include_dirs, out);
+    // "module" directives override the path-derived module (prepare_source
+    // has no config, so the reassignment happens here).
+    source_file patched;
+    const source_file* use = &src;
+    if (const std::string ov = cfg.module_override(src.rel_path);
+        !ov.empty() && ov != src.module) {
+        patched = src;
+        patched.module = ov;
+        use = &patched;
+    }
+    scanner sc(*use, cfg, include_dirs, out);
     sc.banned_tokens();
     sc.unordered_iteration();
     sc.serialization_hygiene();

@@ -7,7 +7,14 @@
 //
 //   tcppred_analyze DATASET.csv [--predictors SPEC,SPEC,...]
 //                   [--trace FILE] [--metrics-summary]
+//   tcppred_analyze --from-store STORE [--predictors ...]
 //   tcppred_analyze --from-trace RUN.jsonl
+//
+// --from-store streams a chunked record store (tcppred_campaign
+// --format store) through analysis::evaluate_stream — one trace resident
+// at a time, never the dataset — and prints a report byte-identical to
+// analyzing the store's CSV conversion (records are CSV-normalized on the
+// fly so the lossy decimal round-trip matches).
 //
 // --from-trace re-derives the fault-conditioned RMSRE table from a JSONL
 // run trace (tcppred_campaign/tcppred_analyze --trace, $REPRO_TRACE)
@@ -33,6 +40,7 @@
 #include "obs/stopwatch.hpp"
 #include "obs/trace_writer.hpp"
 #include "testbed/dataset.hpp"
+#include "testbed/record_store.hpp"
 
 using namespace tcppred;
 
@@ -42,6 +50,7 @@ void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s DATASET.csv [--predictors SPEC,SPEC,...]\n"
                  "          [--trace FILE] [--metrics-summary]\n"
+                 "       %s --from-store STORE [--predictors ...]\n"
                  "       %s --from-trace RUN.jsonl\n"
                  "  default predictors: 10-MA,10-MA-LSO,0.8-HW,0.8-HW-LSO,NWS\n"
                  "  spec grammar: fb[:pftk|:pftk-full|:sqrt|:minwa], <n>-MA[-LSO],\n"
@@ -49,9 +58,12 @@ void usage(const char* argv0) {
                  "                hybrid:<hb-spec>[:<k>]   (see README \"Predictor specs\")\n"
                  "  --trace FILE      write a JSONL run trace (also $REPRO_TRACE)\n"
                  "  --metrics-summary print counters and stage timings to stderr on exit\n"
+                 "  --from-store FILE stream-analyze a chunked record store\n"
+                 "                    (tcppred_campaign --format store) with one\n"
+                 "                    trace resident at a time, never the dataset\n"
                  "  --from-trace FILE re-derive the conditioned RMSRE table from a\n"
                  "                    previously written run trace\n",
-                 argv0, argv0);
+                 argv0, argv0, argv0);
 }
 
 /// Render an RMSRE with its sample count, or "n/a" when nothing was scored
@@ -61,6 +73,113 @@ std::string fmt_rmsre(double rmsre, std::size_t n) {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.3f (%zu)", rmsre, n);
     return buf;
+}
+
+/// What the dataset header line reports, however the records arrived.
+struct dataset_counts {
+    std::size_t epochs{0};
+    std::size_t paths{0};
+    std::size_t traces{0};
+    std::size_t faulty{0};
+};
+
+/// The one report printer both evaluation paths share: the in-memory engine
+/// path collapses its predictor_results with analysis::summarize, the
+/// --from-store path gets summaries straight from evaluate_stream — so the
+/// two modes produce byte-identical stdout on the same records.
+void print_report(const dataset_counts& counts,
+                  const std::vector<std::string>& all_specs,
+                  const std::vector<std::string>& specs,
+                  const std::vector<analysis::stream_predictor_summary>& summaries) {
+    std::printf("dataset: %zu epochs, %zu paths, %zu traces", counts.epochs,
+                counts.paths, counts.traces);
+    if (counts.faulty > 0) {
+        std::printf(" (%zu epochs carry measurement faults, %.1f%%)", counts.faulty,
+                    100.0 * static_cast<double>(counts.faulty) /
+                        static_cast<double>(counts.epochs));
+    }
+    std::printf("\n\n");
+
+    const auto summary_of =
+        [&](const std::string& spec) -> const analysis::stream_predictor_summary& {
+        for (std::size_t i = 0; i < all_specs.size(); ++i) {
+            if (all_specs[i] == spec) return summaries[i];
+        }
+        throw std::logic_error("spec not evaluated: " + spec);
+    };
+
+    // ---- FB summary
+    const auto& fb = summary_of("fb:pftk");
+    const auto& errors = fb.epoch_errors;
+    if (errors.empty()) {
+        std::printf("formula-based (Eq. 3): no scorable epochs\n");
+    } else {
+        std::size_t over = 0, over2 = 0, under2 = 0;
+        for (const double e : errors) {
+            over += e > 0;
+            over2 += e >= 1;
+            under2 += e <= -1;
+        }
+        std::printf("formula-based (Eq. 3) over %zu epochs:\n", errors.size());
+        std::printf("  median E %+.2f | overestimates %zu%% | off by >2x: over %zu%%, "
+                    "under %zu%%\n",
+                    analysis::median(errors), over * 100 / errors.size(),
+                    over2 * 100 / errors.size(), under2 * 100 / errors.size());
+        if (counts.faulty > 0) {
+            // Fault-conditioned accuracy: how much measurement failures
+            // (and the stale-fallback inputs they force) cost.
+            const auto& cond = fb.conditioned;
+            if (cond.n_clean == 0) {
+                std::printf("  RMSRE by measurement status: clean n/a");
+            } else {
+                std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
+                            cond.rmsre_clean, cond.n_clean);
+            }
+            if (cond.n_faulty > 0) {
+                std::printf(" | faulty %.3f (%zu)", cond.rmsre_faulty, cond.n_faulty);
+            }
+            if (cond.n_stale > 0) {
+                std::printf(" | stale-input %.3f (%zu)", cond.rmsre_stale,
+                            cond.n_stale);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+
+    // ---- HB summary per predictor
+    std::printf("history-based, per-trace RMSRE:\n");
+    std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
+    for (const auto& spec : specs) {
+        const auto& res = summary_of(spec);
+        const auto rmsres = res.trace_rmsres();
+        if (rmsres.empty()) {
+            // Every trace was unscorable (too short / all-faulty): there
+            // is no RMSRE distribution, which is not the same as a
+            // perfect one.
+            std::printf("  %-14s %8s %8s %10s (%zu traces unscored)\n", spec.c_str(),
+                        "n/a", "n/a", "n/a", res.traces_unscored);
+            continue;
+        }
+        const analysis::ecdf cdf{std::vector<double>(rmsres)};
+        std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
+                    analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
+                    100.0 * cdf.at(0.4));
+    }
+
+    // ---- per-path classes (HW-LSO)
+    const auto& hw = summary_of("0.8-HW-LSO");
+    std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
+    std::map<int, std::vector<double>> per_path;
+    for (const auto& t : hw.traces) per_path[t.path_id].push_back(t.rmsre);
+    for (const auto& [path, rs] : per_path) {
+        const double mean_err = analysis::mean(rs);
+        const char* klass = mean_err < 0.2   ? "predictable"
+                            : mean_err < 0.5 ? "moderate"
+                                             : "unpredictable";
+        std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass,
+                    mean_err, rs.size());
+    }
 }
 
 /// Per-predictor accumulation of "predict" events from a run trace.
@@ -124,6 +243,7 @@ int analyze_from_trace(const std::string& file) {
 int main(int argc, char** argv) {
     std::string input;
     std::string from_trace;
+    std::string from_store;
     std::string trace_file;
     bool metrics_summary = false;
     std::vector<std::string> specs{"10-MA", "10-MA-LSO", "0.8-HW", "0.8-HW-LSO", "NWS"};
@@ -147,6 +267,8 @@ int main(int argc, char** argv) {
             while (std::getline(ss, item, ',')) specs.push_back(item);
         } else if (arg == "--from-trace") {
             from_trace = next();
+        } else if (arg == "--from-store") {
+            from_store = next();
         } else if (arg == "--trace") {
             trace_file = next();
         } else if (arg == "--metrics-summary") {
@@ -165,7 +287,7 @@ int main(int argc, char** argv) {
     }
 
     if (!from_trace.empty()) {
-        if (!input.empty()) {
+        if (!input.empty() || !from_store.empty()) {
             std::fprintf(stderr, "--from-trace takes no dataset argument\n");
             return 1;
         }
@@ -176,7 +298,11 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
-    if (input.empty()) {
+    if (!from_store.empty() && !input.empty()) {
+        std::fprintf(stderr, "--from-store takes no dataset argument\n");
+        return 1;
+    }
+    if (input.empty() && from_store.empty()) {
         usage(argv[0]);
         return 1;
     }
@@ -207,23 +333,9 @@ int main(int argc, char** argv) {
     };
 
     try {
-        const testbed::dataset data = testbed::load_csv(input);
-        std::size_t faulty_epochs = 0;
-        for (const auto& r : data.records) {
-            faulty_epochs += r.m.fault_flags != testbed::fault_none;
-        }
-        std::printf("dataset: %zu epochs, %zu paths, %zu traces", data.records.size(),
-                    data.paths.size(), data.traces().size());
-        if (faulty_epochs > 0) {
-            std::printf(" (%zu epochs carry measurement faults, %.1f%%)",
-                        faulty_epochs,
-                        100.0 * static_cast<double>(faulty_epochs) /
-                            static_cast<double>(data.records.size()));
-        }
-        std::printf("\n\n");
-
-        // One engine pass evaluates the FB baseline, every requested HB
-        // spec, and the HW-LSO classifier input together.
+        // One pass evaluates the FB baseline, every requested HB spec, and
+        // the HW-LSO classifier input together. fb:pftk is always index 0 —
+        // the one spec whose per-epoch errors the report needs.
         std::vector<std::string> all_specs{"fb:pftk"};
         for (const char* extra : {"0.8-HW-LSO"}) {
             if (std::find(specs.begin(), specs.end(), extra) == specs.end()) {
@@ -231,86 +343,41 @@ int main(int argc, char** argv) {
             }
         }
         all_specs.insert(all_specs.end(), specs.begin(), specs.end());
-        const auto results = analysis::evaluation_engine{}.run(data, all_specs);
-        const auto result_of = [&](const std::string& spec) -> const auto& {
-            for (std::size_t i = 0; i < all_specs.size(); ++i) {
-                if (all_specs[i] == spec) return results[i];
-            }
-            throw std::logic_error("spec not evaluated: " + spec);
-        };
 
-        // ---- FB summary
-        const auto& fb = result_of("fb:pftk");
-        const auto errors = fb.epoch_errors();
-        if (errors.empty()) {
-            std::printf("formula-based (Eq. 3): no scorable epochs\n");
+        if (!from_store.empty()) {
+            // Streamed path: records flow store → CSV-normalization →
+            // evaluate_stream one trace at a time. The normalization applies
+            // the same lossy precision-10 decimal round-trip loading the
+            // store's CSV conversion would, so the report is byte-identical
+            // to the in-memory path on that CSV.
+            testbed::record_reader reader(from_store);
+            const dataset_counts counts{reader.total(), reader.catalog_lines().size(),
+                                        reader.n_traces(), reader.n_faulted()};
+            analysis::stream_eval_options sopts;
+            sopts.keep_epoch_errors = {0};
+            const auto summaries = analysis::evaluate_stream(
+                [&](testbed::epoch_record& out) {
+                    if (!reader.next(out)) return false;
+                    out = testbed::csv_normalized_record(out);
+                    return true;
+                },
+                all_specs, sopts);
+            print_report(counts, all_specs, specs, summaries);
         } else {
-            std::size_t over = 0, over2 = 0, under2 = 0;
-            for (const double e : errors) {
-                over += e > 0;
-                over2 += e >= 1;
-                under2 += e <= -1;
+            const testbed::dataset data = testbed::load_csv(input);
+            std::size_t faulty_epochs = 0;
+            for (const auto& r : data.records) {
+                faulty_epochs += r.m.fault_flags != testbed::fault_none;
             }
-            std::printf("formula-based (Eq. 3) over %zu epochs:\n", errors.size());
-            std::printf("  median E %+.2f | overestimates %zu%% | off by >2x: over %zu%%, "
-                        "under %zu%%\n",
-                        analysis::median(errors), over * 100 / errors.size(),
-                        over2 * 100 / errors.size(), under2 * 100 / errors.size());
-            if (faulty_epochs > 0) {
-                // Fault-conditioned accuracy: how much measurement failures
-                // (and the stale-fallback inputs they force) cost.
-                const auto cond = analysis::rmsre_conditioned(fb);
-                if (cond.n_clean == 0) {
-                    std::printf("  RMSRE by measurement status: clean n/a");
-                } else {
-                    std::printf("  RMSRE by measurement status: clean %.3f (%zu epochs)",
-                                cond.rmsre_clean, cond.n_clean);
-                }
-                if (cond.n_faulty > 0) {
-                    std::printf(" | faulty %.3f (%zu)", cond.rmsre_faulty,
-                                cond.n_faulty);
-                }
-                if (cond.n_stale > 0) {
-                    std::printf(" | stale-input %.3f (%zu)", cond.rmsre_stale,
-                                cond.n_stale);
-                }
-                std::printf("\n");
+            const dataset_counts counts{data.records.size(), data.paths.size(),
+                                        data.traces().size(), faulty_epochs};
+            const auto results = analysis::evaluation_engine{}.run(data, all_specs);
+            std::vector<analysis::stream_predictor_summary> summaries;
+            summaries.reserve(results.size());
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                summaries.push_back(analysis::summarize(results[i], i == 0));
             }
-        }
-        std::printf("\n");
-
-        // ---- HB summary per predictor
-        std::printf("history-based, per-trace RMSRE:\n");
-        std::printf("  %-14s %8s %8s %10s\n", "predictor", "median", "p90", "P(<0.4)");
-        for (const auto& spec : specs) {
-            const auto& res = result_of(spec);
-            const auto rmsres = res.trace_rmsres();
-            if (rmsres.empty()) {
-                // Every trace was unscorable (too short / all-faulty): there
-                // is no RMSRE distribution, which is not the same as a
-                // perfect one.
-                std::printf("  %-14s %8s %8s %10s (%zu traces unscored)\n",
-                            spec.c_str(), "n/a", "n/a", "n/a", res.traces_unscored);
-                continue;
-            }
-            const analysis::ecdf cdf{std::vector<double>(rmsres)};
-            std::printf("  %-14s %8.3f %8.3f %9.0f%%\n", spec.c_str(),
-                        analysis::median(rmsres), analysis::quantile(rmsres, 0.9),
-                        100.0 * cdf.at(0.4));
-        }
-
-        // ---- per-path classes (HW-LSO)
-        const auto& hw = result_of("0.8-HW-LSO");
-        std::printf("\nper-path predictability (0.8-HW-LSO mean trace RMSRE):\n");
-        std::map<int, std::vector<double>> per_path;
-        for (const auto& t : hw.traces) per_path[t.path_id].push_back(t.rmsre);
-        for (const auto& [path, rs] : per_path) {
-            const double mean_err = analysis::mean(rs);
-            const char* klass = mean_err < 0.2   ? "predictable"
-                                : mean_err < 0.5 ? "moderate"
-                                                 : "unpredictable";
-            std::printf("  path %-4d %-14s RMSRE %.3f (%zu traces)\n", path, klass,
-                        mean_err, rs.size());
+            print_report(counts, all_specs, specs, summaries);
         }
     } catch (const core::predictor_spec_error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

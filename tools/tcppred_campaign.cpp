@@ -36,6 +36,7 @@
 #include "sim/chaos.hpp"
 #include "sim/fault_injector.hpp"
 #include "testbed/campaign.hpp"
+#include "testbed/record_store.hpp"
 #include "testbed/shard.hpp"
 #include "testbed/supervisor.hpp"
 
@@ -78,6 +79,13 @@ void usage(const char* argv0) {
                  "                    (chaos via $REPRO_CHAOS=kill=P,hang=P,\n"
                  "                    hang-s=T,seed=S applies here)\n"
                  "  --merge N         merge shard checkpoints 0..N-1 into FILE\n"
+                 "  --format F        output format: csv (default) or store (the\n"
+                 "                    chunked columnar record store, DESIGN.md §16;\n"
+                 "                    epochs stream to disk instead of being held\n"
+                 "                    in RAM — convert to CSV with --convert)\n"
+                 "  --convert STORE   convert an existing record store to the CSV\n"
+                 "                    at --out (streaming; byte-identical to a CSV\n"
+                 "                    run of the same config; no campaign is run)\n"
                  "  --trace FILE      write a JSONL run trace (also $REPRO_TRACE;\n"
                  "                    off by default, zero hot-path cost when off)\n"
                  "  --metrics-summary print counters and stage timings to stderr\n"
@@ -108,6 +116,8 @@ int main(int argc, char** argv) {
     double hang_timeout_s = 30.0;
     int max_attempts = 50;
     int merge_n = 0;             // > 0 = merge mode
+    std::string format = "csv";
+    std::string convert_from;    // non-empty = convert mode
     std::optional<shard_ref> shard;  // set = worker mode
     tcppred::sim::fault_profile faults;
     tcppred::sim::chaos_profile chaos;
@@ -201,6 +211,10 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "--merge needs a positive shard count\n");
                 return 1;
             }
+        } else if (arg == "--format") {
+            format = next();
+        } else if (arg == "--convert") {
+            convert_from = next();
         } else if (arg == "--trace") {
             trace_file = next();
         } else if (arg == "--metrics-summary") {
@@ -234,6 +248,29 @@ int main(int argc, char** argv) {
     }
     if ((workers > 0) + (merge_n > 0) + (shard ? 1 : 0) > 1) {
         std::fprintf(stderr, "--workers, --shard and --merge are mutually exclusive\n");
+        return 1;
+    }
+    if (format != "csv" && format != "store") {
+        std::fprintf(stderr, "bad --format: %s (want csv or store)\n", format.c_str());
+        return 1;
+    }
+    const bool store_mode = format == "store";
+    if (!convert_from.empty() &&
+        (workers > 0 || merge_n > 0 || shard || checkpointing)) {
+        std::fprintf(stderr,
+                     "--convert is a standalone mode (no campaign/shard/merge flags)\n");
+        return 1;
+    }
+    if (store_mode && checkpointing) {
+        std::fprintf(stderr,
+                     "--format store does not checkpoint (--resume/--checkpoint-every);"
+                     " use --workers for crash tolerance\n");
+        return 1;
+    }
+    if (store_mode && shard) {
+        std::fprintf(stderr,
+                     "--shard writes a shard checkpoint, not a store; use --format "
+                     "store on the --workers or --merge side\n");
         return 1;
     }
     if (checkpointing) run_opts.checkpoint = out + ".ckpt";
@@ -302,6 +339,15 @@ int main(int argc, char** argv) {
     };
 
     try {
+        if (!convert_from.empty()) {
+            record_reader reader(convert_from);
+            const std::size_t n = reader.total();
+            store_to_csv(reader, out);
+            std::fprintf(stderr, "converted %zu epoch records from %s to %s\n", n,
+                         convert_from.c_str(), out.c_str());
+            return finish_observability();
+        }
+
         if (merge_n > 0) {
             // Merge mode: read-only over the shard checkpoints (rerunnable);
             // the supervisor's auto-merge is the consuming variant.
@@ -309,10 +355,16 @@ int main(int argc, char** argv) {
             for (int i = 0; i < merge_n; ++i) {
                 ckpts.push_back(shard_checkpoint_path(out, shard_ref{i, merge_n}));
             }
-            const dataset data = merge_shard_checkpoints(cfg, ckpts);
-            save_csv(data, out);
+            std::size_t merged = 0;
+            if (store_mode) {
+                merged = merge_shard_checkpoints_to_store(cfg, ckpts, out);
+            } else {
+                const dataset data = merge_shard_checkpoints(cfg, ckpts);
+                save_csv(data, out);
+                merged = data.records.size();
+            }
             std::fprintf(stderr, "merged %d shard(s), %zu epoch records, into %s\n",
-                         merge_n, data.records.size(), out.c_str());
+                         merge_n, merged, out.c_str());
             return finish_observability();
         }
 
@@ -325,12 +377,23 @@ int main(int argc, char** argv) {
             sup.hang_timeout_s = hang_timeout_s;
             sup.max_attempts = max_attempts;
             sup.cancelled = [] { return g_interrupted != 0; };
+            if (store_mode) {
+                // Workers still checkpoint their shards (that is the crash-
+                // tolerance story); only the final merge streams into a
+                // store instead of loading everything for save_csv.
+                sup.merge = [](const campaign_config& mcfg,
+                               const std::vector<std::filesystem::path>& ckpts,
+                               const std::filesystem::path& dest) {
+                    return merge_shard_checkpoints_to_store(mcfg, ckpts, dest);
+                };
+            }
             // Worker command line = ours minus supervision/observability
             // flags (each worker gets --shard/--jobs/--resume appended by
             // the supervisor; traces and metrics stay in this process).
             static const std::set<std::string> drop_with_value = {
                 "--workers", "--worker-jobs", "--hang-timeout-s", "--max-attempts",
-                "--jobs",    "--trace",       "--merge",          "--shard"};
+                "--jobs",    "--trace",       "--merge",          "--shard",
+                "--format",  "--convert"};
             static const std::set<std::string> drop_flag = {"--metrics-summary",
                                                             "--resume"};
             static const std::set<std::string> with_value = {
@@ -387,6 +450,36 @@ int main(int argc, char** argv) {
                               std::to_string(shard->count))
                                  .c_str()
                            : "");
+        if (store_mode) {
+            // Streamed sweep: epochs flow straight into the store's chunk
+            // sink; nothing grid-sized is ever resident.
+            streamed_campaign_options sopts;
+            sopts.cancelled = [] { return g_interrupted != 0; };
+            int last = -1;
+            const tcppred::obs::stopwatch watch;
+            const streamed_campaign_outcome outcome =
+                run_campaign_streamed(cfg, out, sopts, [&](int done, int total) {
+                    const int pct = done * 100 / std::max(1, total);
+                    if (pct / 10 != last / 10) {
+                        std::fprintf(stderr, "  %d%%\n", pct);
+                        last = pct;
+                    }
+                });
+            const double wall_s = watch.elapsed_s();
+            if (!outcome.complete) {
+                std::fprintf(stderr,
+                             "interrupted after %d epoch(s); store runs are not "
+                             "checkpointed — rerun from scratch (or use --workers)\n",
+                             outcome.epochs_completed);
+                finish_observability();
+                return 130;
+            }
+            const std::size_t n = campaign_total_epochs(cfg);
+            std::fprintf(stderr, "wrote %zu epoch records to %s\n", n, out.c_str());
+            std::fprintf(stderr, "%zu epochs in %.2f s (%.1f epochs/s)\n", n, wall_s,
+                         wall_s > 0 ? static_cast<double>(n) / wall_s : 0.0);
+            return finish_observability();
+        }
         // Worker heartbeat: one atomic write per completed epoch, from the
         // progress path on purpose — a wedged worker must stop heartbeating.
         const int total_epochs = cfg.paths * cfg.traces_per_path * cfg.epochs_per_trace;
