@@ -17,6 +17,48 @@
 
 namespace tcppred::analysis {
 
+record_view view_of_record(const testbed::epoch_record& rec,
+                           const engine_options& opts) {
+    const auto& m = rec.m;
+
+    double loss_in = 0.0;
+    double rtt_in = 0.0;
+    if (opts.use_during_flow) {
+        loss_in = m.ptilde;
+        rtt_in = m.ttilde_s;
+    } else {
+        loss_in = opts.use_event_loss ? m.phat_events : m.phat;
+        rtt_in = m.that_s;
+    }
+
+    // A failed a-priori measurement (fault flags or NaN fields) never
+    // reaches a formula; FB-style predictors substitute the trace's last
+    // good measurement instead (their staleness fallback).
+    const bool meas_failed = testbed::apriori_faulty(m.fault_flags) ||
+                             std::isnan(loss_in) || std::isnan(rtt_in) ||
+                             std::isnan(m.avail_bw_bps);
+
+    record_view rv;
+    if (meas_failed) {
+        rv.inputs = core::epoch_inputs::failed_measurement();
+    } else if (rtt_in <= 0.0) {
+        // A zero RTT means the epoch never produced a prior view: the epoch
+        // carries no measurement at all (and is skipped without aging any
+        // fallback), rather than counting as a failure.
+        rv.inputs = core::epoch_inputs::absent();
+    } else {
+        rv.inputs = core::epoch_inputs::valid(core::path_measurement{
+            core::probability{loss_in}, core::seconds{rtt_in},
+            core::bits_per_second{m.avail_bw_bps}});
+    }
+
+    const double actual = opts.small_window ? m.r_small_bps : m.r_large_bps;
+    rv.actual_bps = testbed::actual_faulty(m.fault_flags)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : actual;
+    return rv;
+}
+
 namespace {
 
 const char* source_name(core::prediction_source s) {
@@ -53,6 +95,17 @@ trace_view build_view(std::pair<int, int> key,
     v.inputs.reserve(v.recs.size());
     v.actuals.reserve(v.recs.size());
 
+    if (!opts.smooth_inputs) {
+        // The stateless path: one shared projection per record, the same
+        // function online consumers (src/serve/) call per observation.
+        for (const testbed::epoch_record* rec : v.recs) {
+            const record_view rv = view_of_record(*rec, opts);
+            v.inputs.push_back(rv.inputs);
+            v.actuals.push_back(rv.actual_bps);
+        }
+        return v;
+    }
+
     // Per-trace (p, T) history for input smoothing, in walked-epoch order.
     std::vector<double> p_hist, t_hist;
     for (const testbed::epoch_record* rec : v.recs) {
@@ -75,7 +128,7 @@ trace_view build_view(std::pair<int, int> key,
                                  std::isnan(loss_in) || std::isnan(rtt_in) ||
                                  std::isnan(m.avail_bw_bps);
 
-        if (opts.smooth_inputs && !meas_failed) {
+        if (!meas_failed) {
             // One-step-ahead moving average over the previous epochs' good
             // measurements; the raw current measurement seeds the very
             // first epoch of a trace.

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,25 @@ struct engine_options {
     /// Shared predictor parameters (flow, window, fallback, LSO tuning).
     core::predictor_config predictor{};
 };
+
+/// One epoch record projected to the engine's per-epoch evaluation inputs:
+/// the a-priori measurement view predict() sees and the (possibly masked)
+/// actual throughput observe_maybe() reveals.
+struct record_view {
+    core::epoch_inputs inputs{};
+    /// Measured throughput; NaN when the transfer measurement faulted.
+    double actual_bps{std::numeric_limits<double>::quiet_NaN()};
+};
+
+/// The stateless per-record slice of the engine's view building, honouring
+/// the stateless engine_options switches (use_during_flow, use_event_loss,
+/// small_window) and ignoring the cross-epoch ones (smooth_inputs,
+/// downsample, which need trace context). The engine itself routes every
+/// non-smoothed epoch through this function, so an online consumer — the
+/// serve daemon replaying an observation stream — sees bitwise-identical
+/// inputs to an offline engine run over the same records by construction.
+[[nodiscard]] record_view view_of_record(const testbed::epoch_record& rec,
+                                         const engine_options& opts = {});
 
 /// One scored epoch of one predictor.
 struct epoch_score {

@@ -1,0 +1,82 @@
+#include "core/checked_parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace tcppred::core {
+
+namespace {
+
+[[noreturn]] void reject(std::string_view knob, std::string_view text,
+                         const std::string& reason) {
+    throw parse_error(std::string(knob), std::string(text), reason);
+}
+
+/// strtoll/strtoull/strtod all need a NUL-terminated buffer and an end
+/// pointer check; centralize the "whole token or nothing" plumbing.
+template <typename Value, typename Fn>
+Value strto_whole(std::string_view knob, std::string_view text, Fn fn,
+                  const char* what) {
+    if (text.empty()) reject(knob, text, std::string("expected ") + what);
+    // strto* skip leading whitespace; the whole-token contract does not.
+    if (std::isspace(static_cast<unsigned char>(text.front()))) {
+        reject(knob, text, std::string("expected ") + what);
+    }
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const Value v = fn(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+        reject(knob, text, std::string("expected ") + what);
+    }
+    if (errno == ERANGE) reject(knob, text, "value overflows");
+    return v;
+}
+
+std::string range_msg(const std::string& lo, const std::string& hi) {
+    return "expected a value in [" + lo + ", " + hi + "]";
+}
+
+}  // namespace
+
+std::int64_t parse_checked_int(std::string_view knob, std::string_view text,
+                               std::int64_t min, std::int64_t max) {
+    const long long v = strto_whole<long long>(
+        knob, text, [](const char* s, char** end) { return std::strtoll(s, end, 10); },
+        "an integer");
+    if (v < min || v > max) {
+        reject(knob, text, range_msg(std::to_string(min), std::to_string(max)));
+    }
+    return v;
+}
+
+std::uint64_t parse_checked_u64(std::string_view knob, std::string_view text,
+                                std::uint64_t min, std::uint64_t max) {
+    // strtoull silently negates "-1"; forbid the sign before parsing.
+    if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+        reject(knob, text, "expected an unsigned integer");
+    }
+    const unsigned long long v = strto_whole<unsigned long long>(
+        knob, text, [](const char* s, char** end) { return std::strtoull(s, end, 10); },
+        "an unsigned integer");
+    if (v < min || v > max) {
+        reject(knob, text, range_msg(std::to_string(min), std::to_string(max)));
+    }
+    return v;
+}
+
+double parse_checked_double(std::string_view knob, std::string_view text, double min,
+                            double max) {
+    const double v = strto_whole<double>(
+        knob, text, [](const char* s, char** end) { return std::strtod(s, end); },
+        "a number");
+    if (!std::isfinite(v)) reject(knob, text, "expected a finite number");
+    if (v < min || v > max) {
+        reject(knob, text, range_msg(std::to_string(min), std::to_string(max)));
+    }
+    return v;
+}
+
+}  // namespace tcppred::core

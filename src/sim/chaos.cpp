@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/checked_parse.hpp"
 #include "sim/rng.hpp"
 
 namespace tcppred::sim {
@@ -102,11 +103,11 @@ chaos_action plan_chaos(const chaos_profile& profile, std::uint64_t campaign_see
 
 int chaos_attempt_from_env() {
     const char* v = std::getenv("REPRO_CHAOS_ATTEMPT");  // NOLINT(concurrency-mt-unsafe)
-    if (!v) return 0;
-    char* end = nullptr;
-    const long n = std::strtol(v, &end, 10);
-    if (end == v || n < 0) return 0;
-    return static_cast<int>(n);
+    if (!v || *v == '\0') return 0;
+    // Checked parse: a garbled attempt counter used to silently restart the
+    // chaos schedule at attempt 0, which silently changes which epochs die.
+    return static_cast<int>(
+        core::parse_checked_int("REPRO_CHAOS_ATTEMPT", v, 0, 1 << 30));
 }
 
 }  // namespace tcppred::sim

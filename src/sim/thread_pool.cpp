@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "core/checked_parse.hpp"
 #include "obs/counters.hpp"
 
 namespace tcppred::sim {
@@ -118,8 +119,13 @@ void parallel_for(std::size_t n, unsigned jobs,
 
 unsigned jobs_from_env() {
     if (const char* env = std::getenv("REPRO_JOBS")) {  // NOLINT(concurrency-mt-unsafe)
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0) return static_cast<unsigned>(v);
+        // Checked parse (core/checked_parse.hpp): "REPRO_JOBS=garbage" used
+        // to silently fall back to all cores; now it is a loud typed error.
+        // An empty value means unset (matching `REPRO_JOBS= cmd` usage) and
+        // 0 means auto, mirroring the tools' --jobs 0.
+        if (*env == '\0') return resolve_threads(0);
+        return resolve_threads(static_cast<unsigned>(
+            core::parse_checked_int("REPRO_JOBS", env, 0, 4096)));
     }
     return resolve_threads(0);
 }

@@ -212,6 +212,25 @@ record_reader::record_reader(std::istream& in, std::filesystem::path context,
 
 void record_reader::open_and_validate(const std::string& expected_fingerprint) {
     std::istream& in = *in_;
+
+    // Probe seekability and size up front: footer discovery needs random
+    // access, and the probe lets the error messages distinguish an *empty*
+    // store (a crashed writer's target, a truncated copy) from a stream
+    // that genuinely cannot seek — both used to collapse into the baffling
+    // "store is not seekable".
+    const std::istream::pos_type probe_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type probe_end = in.tellg();
+    if (probe_start < std::istream::pos_type{0} ||
+        probe_end < std::istream::pos_type{0} || !in.seekg(probe_start)) {
+        throw dataset_error(file_, 0, 0,
+                            "store stream is not seekable (footer discovery "
+                            "needs random access)");
+    }
+    if (probe_end == probe_start) {
+        throw dataset_error(file_, 0, 0, "store file is empty (0 bytes)");
+    }
+
     std::string line;
     const auto next_line = [&](const char* what) {
         if (!std::getline(in, line)) {
@@ -267,7 +286,12 @@ void record_reader::open_and_validate(const std::string& expected_fingerprint) {
     in.clear();
     in.seekg(0, std::ios::end);
     const auto size = static_cast<std::int64_t>(in.tellg());
-    if (size <= 0) throw dataset_error(file_, 0, 0, "store is not seekable");
+    if (size <= 0) {
+        // Unreachable for empty/truncated input (the up-front probe and the
+        // header reads reject those with specific messages first); a failed
+        // tellg() here means the stream lost seekability mid-parse.
+        throw dataset_error(file_, 0, 0, "store stream is not seekable");
+    }
     const std::int64_t tail_len = std::min<std::int64_t>(size, 64);
     in.seekg(size - tail_len);
     std::string tail(static_cast<std::size_t>(tail_len), '\0');

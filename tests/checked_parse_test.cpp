@@ -1,0 +1,87 @@
+// Checked knob parsing (core/checked_parse.hpp): whole-token decimal /
+// unsigned / double parsing with typed rejection. These are the semantics
+// every CLI flag, environment knob and daemon request field now shares —
+// the "atoi returns 0" failure mode this layer replaces must stay dead.
+#include "core/checked_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+using namespace tcppred::core;
+
+TEST(parse_checked_int, accepts_plain_decimals_in_range) {
+    EXPECT_EQ(parse_checked_int("--paths", "35", 1, 1000), 35);
+    EXPECT_EQ(parse_checked_int("--paths", "1", 1, 1000), 1);
+    EXPECT_EQ(parse_checked_int("--paths", "1000", 1, 1000), 1000);
+    EXPECT_EQ(parse_checked_int("--delta", "-7", -10, 10), -7);
+    EXPECT_EQ(parse_checked_int("--big", "9223372036854775807",
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()),
+              std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(parse_checked_int, rejects_everything_atoi_accepted_silently) {
+    // Each of these was a silent 0 (or a silent truncation) under atoi.
+    EXPECT_THROW((void)parse_checked_int("--paths", "foo", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "12x", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", " 12", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "12 ", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "1 2", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "0x10", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "3.5", 1, 1000), parse_error);
+}
+
+TEST(parse_checked_int, range_and_overflow_are_errors_not_saturation) {
+    EXPECT_THROW((void)parse_checked_int("--paths", "0", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "-3", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "1001", 1, 1000), parse_error);
+    EXPECT_THROW((void)parse_checked_int("--paths", "99999999999999999999", 1, 1000),
+                 parse_error);
+}
+
+TEST(parse_checked_int, error_names_the_knob_and_the_text) {
+    try {
+        (void)parse_checked_int("--paths", "foo", 1, 1000);
+        FAIL() << "must throw";
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.knob(), "--paths");
+        EXPECT_EQ(e.text(), "foo");
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--paths"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("\"foo\""), std::string::npos) << msg;
+    }
+}
+
+TEST(parse_checked_u64, accepts_full_unsigned_range_and_rejects_sign) {
+    EXPECT_EQ(parse_checked_u64("--seed", "0", 0,
+                                std::numeric_limits<std::uint64_t>::max()),
+              0u);
+    EXPECT_EQ(parse_checked_u64("--seed", "18446744073709551615", 0,
+                                std::numeric_limits<std::uint64_t>::max()),
+              std::numeric_limits<std::uint64_t>::max());
+    // strtoull would happily wrap "-1" around; the checked parser must not.
+    EXPECT_THROW((void)parse_checked_u64("--seed", "-1", 0, 100), parse_error);
+    EXPECT_THROW((void)parse_checked_u64("--seed", "18446744073709551616", 0,
+                                         std::numeric_limits<std::uint64_t>::max()),
+                 parse_error);
+    EXPECT_THROW((void)parse_checked_u64("--seed", "12q", 0, 100), parse_error);
+}
+
+TEST(parse_checked_double, accepts_decimal_scientific_and_hexfloat) {
+    EXPECT_DOUBLE_EQ(parse_checked_double("--transfer-s", "10", 0.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(parse_checked_double("--transfer-s", "2.5e1", 0.0, 100.0), 25.0);
+    EXPECT_EQ(parse_checked_double("--x", "0x1.8p+1", 0.0, 100.0), 3.0);
+}
+
+TEST(parse_checked_double, rejects_nonfinite_partial_and_out_of_range) {
+    EXPECT_THROW((void)parse_checked_double("--t", "inf", 0.0, 1e9), parse_error);
+    EXPECT_THROW((void)parse_checked_double("--t", "nan", 0.0, 1e9), parse_error);
+    EXPECT_THROW((void)parse_checked_double("--t", "1.5s", 0.0, 1e9), parse_error);
+    EXPECT_THROW((void)parse_checked_double("--t", "", 0.0, 1e9), parse_error);
+    EXPECT_THROW((void)parse_checked_double("--t", "-0.1", 0.0, 1e9), parse_error);
+    EXPECT_THROW((void)parse_checked_double("--t", "1e10", 0.0, 1e9), parse_error);
+}

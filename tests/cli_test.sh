@@ -32,6 +32,31 @@ grep -q "usage:" "$WORK/err" || { echo "FAIL: campaign usage not on stderr"; FAI
 "$CAMPAIGN" --no-such-flag >/dev/null 2>&1; check_exit "campaign unknown flag" 1 $?
 "$CAMPAIGN" --out "$WORK/x.csv" --faults "bogus=1" >/dev/null 2>&1
 check_exit "campaign bad --faults spec" 1 $?
+
+# --- malformed flag VALUES -> 2, diagnostic names the flag (the checked
+# parser of core/checked_parse.hpp; atoi used to turn these into 0 silently)
+"$CAMPAIGN" --out "$WORK/x.csv" --paths foo >/dev/null 2>"$WORK/err"
+check_exit "campaign --paths foo" 2 $?
+grep -q -- "--paths" "$WORK/err" || { echo "FAIL: bad --paths error does not name the flag"; FAILURES=$((FAILURES+1)); }
+"$CAMPAIGN" --out "$WORK/x.csv" --paths -3 >/dev/null 2>"$WORK/err"
+check_exit "campaign --paths -3" 2 $?
+grep -q -- "--paths" "$WORK/err" || { echo "FAIL: negative --paths error does not name the flag"; FAILURES=$((FAILURES+1)); }
+"$CAMPAIGN" --out "$WORK/x.csv" --epochs 3.5 >/dev/null 2>&1
+check_exit "campaign --epochs 3.5" 2 $?
+"$CAMPAIGN" --out "$WORK/x.csv" --seed -1 >/dev/null 2>&1
+check_exit "campaign --seed -1" 2 $?
+"$CAMPAIGN" --out "$WORK/x.csv" --workers 0 >/dev/null 2>&1
+check_exit "campaign --workers 0" 2 $?
+"$CAMPAIGN" --out "$WORK/x.csv" --transfer-s banana >/dev/null 2>&1
+check_exit "campaign --transfer-s banana" 2 $?
+
+# Garbage in an env knob fails just as loudly, naming the variable.
+REPRO_JOBS=garbage "$CAMPAIGN" $TINY --out "$WORK/x.csv" >/dev/null 2>"$WORK/err"
+check_exit "campaign REPRO_JOBS=garbage" 2 $?
+grep -q "REPRO_JOBS" "$WORK/err" || { echo "FAIL: bad REPRO_JOBS error does not name the variable"; FAILURES=$((FAILURES+1)); }
+# ...while 0 still means auto (the documented --jobs 0 alias).
+REPRO_JOBS=0 "$CAMPAIGN" $TINY --out "$WORK/envjobs.csv" >/dev/null 2>&1
+check_exit "campaign REPRO_JOBS=0 is auto" 0 $?
 "$ANALYZE" >/dev/null 2>&1; check_exit "analyze without dataset" 1 $?
 "$ANALYZE" --help >/dev/null 2>&1; check_exit "analyze --help" 0 $?
 

@@ -1,0 +1,56 @@
+// Fuzz harness: serve::parse_request_line over arbitrary bytes.
+//
+// Contract under test — the serve daemon's request parser is its untrusted
+// network boundary and must either return a well-formed request or throw
+// protocol_error; any other escape (crash, sanitizer report, a foreign
+// exception such as the TCPPRED_EXPECTS abort inside core::probability for
+// an out-of-range loss rate) is a bug. Accepted OBSERVE requests are
+// additionally re-rendered with format_observe and re-parsed: the second
+// parse must accept and agree bitwise, pinning the parse/format inverse the
+// snapshot replay and loadgen rely on.
+//
+// Built two ways (see tests/fuzz/CMakeLists.txt): as a libFuzzer target
+// under -DREPRO_FUZZ=ON (Clang), or with the corpus-replay main() under any
+// compiler, where it runs as the fuzz_corpus_serve_request ctest.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace {
+
+bool bits_equal(double a, double b) {
+    if (std::isnan(a) && std::isnan(b)) return true;
+    return a == b;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view line(reinterpret_cast<const char*>(data), size);
+    try {
+        const tcppred::serve::request req = tcppred::serve::parse_request_line(line);
+        if (req.kind != tcppred::serve::request_kind::observe) return 0;
+        // Accepted observations must survive the format/parse round trip.
+        const std::string rendered =
+            tcppred::serve::format_observe(req.path, req.obs);
+        const tcppred::serve::request again =
+            tcppred::serve::parse_request_line(rendered);
+        if (again.path != req.path || again.obs.epoch != req.obs.epoch ||
+            again.obs.fault_flags != req.obs.fault_flags ||
+            !bits_equal(again.obs.avail_bw_bps, req.obs.avail_bw_bps) ||
+            !bits_equal(again.obs.phat, req.obs.phat) ||
+            !bits_equal(again.obs.phat_events, req.obs.phat_events) ||
+            !bits_equal(again.obs.that_s, req.obs.that_s) ||
+            !bits_equal(again.obs.r_large_bps, req.obs.r_large_bps)) {
+            std::abort();  // round-trip divergence is a harness-visible bug
+        }
+    } catch (const tcppred::serve::protocol_error&) {
+        // The documented rejection path for malformed input.
+    }
+    return 0;
+}

@@ -314,6 +314,36 @@ TEST_F(record_store, reader_rejects_truncated_and_tampered_stores) {
                  testbed::dataset_error);
 }
 
+TEST_F(record_store, empty_store_is_diagnosed_as_empty_not_unseekable) {
+    // Regression: a 0-byte store (a writer that died before its first
+    // flush) and a genuinely unseekable stream used to collapse into the
+    // same baffling "store is not seekable" error. The empty file must name
+    // its real problem.
+    const auto p = dir_ / "empty.store";
+    { std::ofstream out(p, std::ios::binary | std::ios::trunc); }
+    try {
+        testbed::record_reader r(p);
+        FAIL() << "empty store must be rejected";
+    } catch (const testbed::dataset_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("empty (0 bytes)"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("not seekable"), std::string::npos) << msg;
+    }
+
+    // A stream that truly cannot seek still gets the seekability diagnosis.
+    struct unseekable_buf : std::streambuf {
+        // default seekoff/seekpos return pos_type(-1): every seek fails
+    } buf;
+    std::istream unseekable(&buf);
+    try {
+        testbed::record_reader r(unseekable, "<pipe>", "");
+        FAIL() << "unseekable stream must be rejected";
+    } catch (const testbed::dataset_error& e) {
+        EXPECT_NE(std::string(e.what()).find("not seekable"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST_F(record_store, csv_normalized_record_matches_csv_round_trip) {
     const auto cfg = faulty_config();
     const testbed::dataset data = testbed::run_campaign(cfg);

@@ -3,6 +3,8 @@
 // covers [0, n) exactly, and the serial fallback bypasses the pool.
 #include "sim/thread_pool.hpp"
 
+#include "core/checked_parse.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -122,10 +124,22 @@ TEST(parallel_for, zero_items_is_a_no_op) {
 TEST(jobs_from_env, parses_repro_jobs_and_defaults_to_hardware) {
     ::setenv("REPRO_JOBS", "3", 1);
     EXPECT_EQ(jobs_from_env(), 3u);
-    ::setenv("REPRO_JOBS", "0", 1);        // non-positive -> auto
+    ::setenv("REPRO_JOBS", "0", 1);  // 0 -> auto, like the tools' --jobs 0
     EXPECT_GE(jobs_from_env(), 1u);
-    ::setenv("REPRO_JOBS", "garbage", 1);  // unparsable -> auto
+    ::setenv("REPRO_JOBS", "", 1);  // empty -> unset -> auto
     EXPECT_GE(jobs_from_env(), 1u);
     ::unsetenv("REPRO_JOBS");
     EXPECT_GE(jobs_from_env(), 1u);
+}
+
+TEST(jobs_from_env, rejects_garbage_loudly) {
+    // The old behaviour silently fell back to all cores; a typo'd value now
+    // surfaces as a typed parse error naming the knob.
+    ::setenv("REPRO_JOBS", "garbage", 1);
+    EXPECT_THROW((void)jobs_from_env(), tcppred::core::parse_error);
+    ::setenv("REPRO_JOBS", "8x", 1);
+    EXPECT_THROW((void)jobs_from_env(), tcppred::core::parse_error);
+    ::setenv("REPRO_JOBS", "-2", 1);
+    EXPECT_THROW((void)jobs_from_env(), tcppred::core::parse_error);
+    ::unsetenv("REPRO_JOBS");
 }

@@ -11,6 +11,9 @@
 #   BENCH_record_store.json
 #                         record-store cursor rates (sequential ingest and
 #                         scan in records/s, from bench/micro_store)
+#   BENCH_serve.json      online daemon replay throughput (predictions/s and
+#                         PREDICT round-trip p50/p99 over a Unix socket,
+#                         from tools/tcppred_loadgen against tcppred_serve)
 #
 # Usage: tools/bench_report.sh [options]
 #   --build-dir DIR   build tree with bench/ and tools/ binaries
@@ -53,7 +56,9 @@ esac
 MICRO="$BUILD_DIR/bench/micro_engine"
 MICRO_STORE="$BUILD_DIR/bench/micro_store"
 CAMPAIGN="$BUILD_DIR/tools/tcppred_campaign"
-for bin in "$MICRO" "$MICRO_STORE" "$CAMPAIGN"; do
+SERVE="$BUILD_DIR/tools/tcppred_serve"
+LOADGEN="$BUILD_DIR/tools/tcppred_loadgen"
+for bin in "$MICRO" "$MICRO_STORE" "$CAMPAIGN" "$SERVE" "$LOADGEN"; do
     if [ ! -x "$bin" ]; then
         echo "bench_report.sh: missing binary: $bin (build the repo first)" >&2
         exit 1
@@ -61,7 +66,12 @@ for bin in "$MICRO" "$MICRO_STORE" "$CAMPAIGN"; do
 done
 
 TMP_DIR="$(mktemp -d /tmp/bench_report.XXXXXX)"
-trap 'rm -rf "$TMP_DIR"' EXIT
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
 
 # --- micro-benchmarks -> BENCH_scheduler.json -----------------------------
 echo "running micro_engine benchmarks..." >&2
@@ -170,4 +180,34 @@ open(sys.argv[2], "a").write("\n")
 print("wrote", sys.argv[2], file=sys.stderr)
 PY
 
-echo "bench report complete: $OUT_DIR/BENCH_scheduler.json $OUT_DIR/BENCH_campaign.json $OUT_DIR/BENCH_record_store.json" >&2
+# --- serve daemon replay -> BENCH_serve.json ------------------------------
+# A store replayed over a Unix socket; the loadgen writes the JSON itself
+# (schema tcppred-bench-serve-v1). Like the micro-benchmarks this file is
+# schema-gated only — socket round-trip latency on shared runners is too
+# noisy for a numeric gate.
+if [ "$SCALE" = "tiny" ]; then
+    SERVE_FLAGS="--paths 4 --traces 1 --epochs 40"
+else
+    SERVE_FLAGS="--paths 8 --traces 2 --epochs 120"
+fi
+echo "running serve replay bench ($SCALE)..." >&2
+# shellcheck disable=SC2086  # SERVE_FLAGS is a word list by construction
+"$CAMPAIGN" --out "$TMP_DIR/serve.store" --format store --jobs "$JOBS" \
+    $SERVE_FLAGS 2>/dev/null
+"$SERVE" --socket "$TMP_DIR/serve.sock" --specs "fb:pftk,10-MA" \
+    >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do
+    [ -S "$TMP_DIR/serve.sock" ] && break
+    sleep 0.05
+done
+"$LOADGEN" --from-store "$TMP_DIR/serve.store" --specs "fb:pftk,10-MA" \
+    --socket "$TMP_DIR/serve.sock" --bench "$OUT_DIR/BENCH_serve.json" \
+    2> "$TMP_DIR/serve.log"
+kill -INT "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+grep 'predictions/s' "$TMP_DIR/serve.log" | sed 's/^/  /' >&2 || true
+echo "wrote $OUT_DIR/BENCH_serve.json" >&2
+
+echo "bench report complete: $OUT_DIR/BENCH_scheduler.json $OUT_DIR/BENCH_campaign.json $OUT_DIR/BENCH_record_store.json $OUT_DIR/BENCH_serve.json" >&2

@@ -22,6 +22,8 @@ REPRO_SCALE=tiny ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2
 "$SRC_DIR/tools/ci_chaos_check.sh" "$BUILD_DIR/tools/tcppred_campaign"
 "$SRC_DIR/tools/ci_memcap_check.sh" \
     "$BUILD_DIR/tools/tcppred_campaign" "$BUILD_DIR/tools/tcppred_analyze"
+"$SRC_DIR/tools/ci_serve_check.sh" "$BUILD_DIR/tools/tcppred_campaign" \
+    "$BUILD_DIR/tools/tcppred_serve" "$BUILD_DIR/tools/tcppred_loadgen"
 "$SRC_DIR/tools/bench_smoke.sh" "$BUILD_DIR/bench"
 "$SRC_DIR/tools/trace_smoke.sh" \
     "$BUILD_DIR/tools/tcppred_campaign" "$BUILD_DIR/tools/tcppred_analyze"

@@ -4,16 +4,16 @@
 Usage:
     tools/check_bench_regression.py COMMITTED_DIR FRESH_DIR [--factor 2.0]
 
-Loads BENCH_campaign.json, BENCH_scheduler.json and BENCH_record_store.json
-from both directories,
+Loads BENCH_campaign.json, BENCH_scheduler.json, BENCH_record_store.json
+and BENCH_serve.json from both directories,
 validates the schemas (see PERFORMANCE.md), then compares each campaign
 run's epochs/s: a fresh number more than `factor` times slower than the
 committed one fails the check. Only runs present in BOTH files are
 compared (so adding a new campaign/model doesn't break the gate), but the
-committed runs must all still exist. The micro-benchmark files (scheduler
-and record store) are schema-validated only: google-benchmark timings on
-shared CI runners are too noisy for a hard numeric gate, the end-to-end
-epochs/s is the contract.
+committed runs must all still exist. The other files (scheduler, record
+store, serve) are schema-validated only: google-benchmark timings and
+socket round-trip latencies on shared CI runners are too noisy for a hard
+numeric gate, the end-to-end epochs/s is the contract.
 """
 
 import argparse
@@ -97,6 +97,24 @@ def validate_record_store(doc: dict, origin: pathlib.Path) -> None:
             fail(f"{origin}: required benchmark missing: {required}")
 
 
+def validate_serve(doc: dict, origin: pathlib.Path) -> None:
+    if doc.get("schema") != "tcppred-bench-serve-v1":
+        fail(f"{origin}: bad schema tag: {doc.get('schema')!r}")
+    specs = doc.get("specs")
+    if not isinstance(specs, list) or not specs \
+            or not all(isinstance(s, str) for s in specs):
+        fail(f"{origin}: specs must be a non-empty list of strings")
+    for key in ("observations", "predictions"):
+        if not isinstance(doc.get(key), int) or doc[key] <= 0:
+            fail(f"{origin}: bad {key}: {doc.get(key)!r}")
+    for key in ("wall_s", "predictions_per_s", "predict_p50_us",
+                "predict_p99_us"):
+        if not isinstance(doc.get(key), (int, float)) or doc[key] <= 0:
+            fail(f"{origin}: bad {key}: {doc.get(key)!r}")
+    if doc["predict_p99_us"] < doc["predict_p50_us"]:
+        fail(f"{origin}: p99 below p50")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("committed_dir", type=pathlib.Path)
@@ -119,6 +137,10 @@ def main() -> None:
                           args.committed_dir / "BENCH_record_store.json")
     validate_record_store(load(args.fresh_dir / "BENCH_record_store.json"),
                           args.fresh_dir / "BENCH_record_store.json")
+    validate_serve(load(args.committed_dir / "BENCH_serve.json"),
+                   args.committed_dir / "BENCH_serve.json")
+    validate_serve(load(args.fresh_dir / "BENCH_serve.json"),
+                   args.fresh_dir / "BENCH_serve.json")
 
     failed = False
     for key, old in sorted(committed.items()):

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checked_parse.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/trace_writer.hpp"
 #include "sim/chaos.hpp"
@@ -121,14 +122,23 @@ int main(int argc, char** argv) {
     std::optional<shard_ref> shard;  // set = worker mode
     tcppred::sim::fault_profile faults;
     tcppred::sim::chaos_profile chaos;
+    int chaos_attempt = 0;
     try {
         faults = tcppred::sim::fault_profile::from_env();
         chaos = tcppred::sim::chaos_profile::from_env();
+        // Read eagerly: a garbled $REPRO_CHAOS_ATTEMPT must fail here with
+        // the other environment knobs, not throw mid-campaign.
+        chaos_attempt = tcppred::sim::chaos_attempt_from_env();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "bad fault/chaos environment: %s\n", e.what());
         return 1;
     }
 
+    // Numeric flag values go through core::parse_checked_* (one shared
+    // strict parser): "--paths foo" or "--epochs 12x" is a typed
+    // parse_error naming the flag, mapped to exit 2 below — the same
+    // contract as a bad predictor spec — never a silent atoi() zero.
+    try {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
@@ -138,24 +148,28 @@ int main(int argc, char** argv) {
             }
             return argv[++i];
         };
+        const auto checked_int = [&](std::int64_t min, std::int64_t max) {
+            return tcppred::core::parse_checked_int(arg, next(), min, max);
+        };
         if (arg == "--out") {
             out = next();
         } else if (arg == "--paths") {
-            cfg.paths = std::atoi(next());
+            cfg.paths = static_cast<int>(checked_int(1, 1000000));
         } else if (arg == "--traces") {
-            cfg.traces_per_path = std::atoi(next());
+            cfg.traces_per_path = static_cast<int>(checked_int(1, 1000000));
         } else if (arg == "--epochs") {
-            cfg.epochs_per_trace = std::atoi(next());
+            cfg.epochs_per_trace = static_cast<int>(checked_int(1, 1000000000));
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next(), nullptr, 10);
+            cfg.seed = tcppred::core::parse_checked_u64(arg, next(), 0, UINT64_MAX);
         } else if (arg == "--transfer-s") {
-            cfg.epoch.transfer = tcppred::core::seconds{std::atof(next())};
+            cfg.epoch.transfer = tcppred::core::seconds{
+                tcppred::core::parse_checked_double(arg, next(), 1e-9, 1e9)};
         } else if (arg == "--second-set") {
             cfg = campaign2_config(campaign_scale::normal);
         } else if (arg == "--cross-model") {
             cross_model_name = next();
         } else if (arg == "--jobs") {
-            jobs = std::atoi(next());
+            jobs = static_cast<int>(checked_int(0, 4096));  // 0 = auto
         } else if (arg == "--faults") {
             try {
                 faults = tcppred::sim::fault_profile::parse(next());
@@ -164,39 +178,20 @@ int main(int argc, char** argv) {
                 return 1;
             }
         } else if (arg == "--checkpoint-every") {
-            run_opts.checkpoint_every = std::atoi(next());
+            run_opts.checkpoint_every = static_cast<int>(checked_int(1, 1000000000));
             checkpointing = true;
-            if (run_opts.checkpoint_every <= 0) {
-                std::fprintf(stderr, "--checkpoint-every needs a positive count\n");
-                return 1;
-            }
         } else if (arg == "--resume") {
             run_opts.resume = true;
             checkpointing = true;
         } else if (arg == "--workers") {
-            workers = std::atoi(next());
-            if (workers <= 0) {
-                std::fprintf(stderr, "--workers needs a positive count\n");
-                return 1;
-            }
+            workers = static_cast<int>(checked_int(1, 4096));
         } else if (arg == "--worker-jobs") {
-            worker_jobs = std::atoi(next());
-            if (worker_jobs <= 0) {
-                std::fprintf(stderr, "--worker-jobs needs a positive count\n");
-                return 1;
-            }
+            worker_jobs = static_cast<int>(checked_int(1, 4096));
         } else if (arg == "--hang-timeout-s") {
-            hang_timeout_s = std::atof(next());
-            if (hang_timeout_s <= 0) {
-                std::fprintf(stderr, "--hang-timeout-s needs a positive duration\n");
-                return 1;
-            }
+            hang_timeout_s =
+                tcppred::core::parse_checked_double(arg, next(), 1e-3, 1e9);
         } else if (arg == "--max-attempts") {
-            max_attempts = std::atoi(next());
-            if (max_attempts <= 0) {
-                std::fprintf(stderr, "--max-attempts needs a positive count\n");
-                return 1;
-            }
+            max_attempts = static_cast<int>(checked_int(1, 1000000000));
         } else if (arg == "--shard") {
             const char* spec = next();
             shard = parse_shard(spec);
@@ -206,11 +201,7 @@ int main(int argc, char** argv) {
                 return 1;
             }
         } else if (arg == "--merge") {
-            merge_n = std::atoi(next());
-            if (merge_n <= 0) {
-                std::fprintf(stderr, "--merge needs a positive shard count\n");
-                return 1;
-            }
+            merge_n = static_cast<int>(checked_int(1, 1000000));
         } else if (arg == "--format") {
             format = next();
         } else if (arg == "--convert") {
@@ -227,6 +218,11 @@ int main(int argc, char** argv) {
             usage(argv[0]);
             return 1;
         }
+    }
+    } catch (const tcppred::core::parse_error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+        return 2;
     }
     if (out.empty() || cfg.paths <= 0 || cfg.traces_per_path <= 0 ||
         cfg.epochs_per_trace <= 0) {
@@ -288,7 +284,7 @@ int main(int argc, char** argv) {
         // attempt's progress survives its planned crash — that is what makes
         // chaos runs converge instead of looping.
         if (checkpointing) run_opts.checkpoint_every = 1;
-        const int attempt = tcppred::sim::chaos_attempt_from_env();
+        const int attempt = chaos_attempt;
         const std::uint64_t chaos_campaign_seed = cfg.seed;
         run_opts.epoch_hook = [chaos, chaos_campaign_seed, attempt](std::size_t idx) {
             switch (tcppred::sim::plan_chaos(chaos, chaos_campaign_seed, attempt, idx)) {
